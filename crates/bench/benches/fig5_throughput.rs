@@ -1,0 +1,68 @@
+//! Fig. 5 (a)–(l): update throughput vs number of clients, for six RS codes
+//! × {Ali-Cloud, Ten-Cloud} × six methods on the 16-node SSD cluster.
+//!
+//! The paper's claims this reproduces: TSUE is highest everywhere, its
+//! advantage grows with M (≈1.5× FO at M=2 → ≈2.9× at M=4), it is larger on
+//! Ten-Cloud than Ali-Cloud, and throughput scales with client count.
+
+use ecfs::run_trace;
+use traces::TraceFamily;
+use tsue_bench::{fig5_codes, kfmt, print_table, ssd_replay, FIG5_METHODS};
+
+fn main() {
+    let clients = if tsue_bench::full_scale() {
+        vec![4usize, 8, 16, 32, 64]
+    } else {
+        vec![4usize, 16, 64]
+    };
+    let mut subplot = b'a';
+    for &(k, m) in &fig5_codes() {
+        for family in [TraceFamily::AliCloud, TraceFamily::TenCloud] {
+            let fam_name = match family {
+                TraceFamily::AliCloud => "Ali-Cloud",
+                TraceFamily::TenCloud => "Ten-Cloud",
+                _ => unreachable!(),
+            };
+            let mut rows = Vec::new();
+            let mut tsue_by_clients: Vec<f64> = Vec::new();
+            let mut fo_by_clients: Vec<f64> = Vec::new();
+            for method in FIG5_METHODS {
+                let mut row = vec![method.name().to_string()];
+                for &c in &clients {
+                    let rcfg = ssd_replay(k, m, method, family, c);
+                    let res = run_trace(&rcfg);
+                    assert_eq!(
+                        res.oracle_violations, 0,
+                        "consistency violated: {} RS({k},{m})",
+                        method.name()
+                    );
+                    row.push(kfmt(res.update_iops));
+                    if method == ecfs::MethodKind::Tsue {
+                        tsue_by_clients.push(res.update_iops);
+                    }
+                    if method == ecfs::MethodKind::Fo {
+                        fo_by_clients.push(res.update_iops);
+                    }
+                }
+                rows.push(row);
+            }
+            let headers: Vec<String> = std::iter::once("method".to_string())
+                .chain(clients.iter().map(|c| format!("{c} clients")))
+                .collect();
+            let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+            print_table(
+                &format!(
+                    "Fig. 5({}) RS({k},{m}) {fam_name}: update IOPS vs clients",
+                    subplot as char
+                ),
+                &header_refs,
+                &rows,
+            );
+            // Paper shape note: TSUE/FO ratio at the largest client count.
+            if let (Some(t), Some(f)) = (tsue_by_clients.last(), fo_by_clients.last()) {
+                println!("  -> TSUE/FO at {} clients: {:.2}x", clients.last().unwrap(), t / f);
+            }
+            subplot += 1;
+        }
+    }
+}

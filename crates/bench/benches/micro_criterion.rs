@@ -1,0 +1,114 @@
+//! Criterion microbenchmarks for the hot kernels underneath TSUE:
+//! GF(2^8) slice operations, Reed-Solomon encode/delta, two-level-index
+//! insertion, and log-pool append/recycle cycling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use gf256::slice;
+use rscode::{CodeParams, ReedSolomon};
+use tsue::index::{BlockIndex, MergeMode};
+use tsue::payload::Ghost;
+use tsue::pool::{LogPool, PoolConfig};
+
+fn bench_gf_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gf256");
+    for size in [4096usize, 65536] {
+        let src = vec![0xa5u8; size];
+        let mut dst = vec![0x5au8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("xor", size), &size, |b, _| {
+            b.iter(|| slice::xor(&mut dst, &src));
+        });
+        g.bench_with_input(BenchmarkId::new("mul_acc", size), &size, |b, _| {
+            b.iter(|| slice::mul_acc(&mut dst, &src, 0x1d));
+        });
+    }
+    g.finish();
+}
+
+fn bench_rs_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rscode");
+    for (k, m) in [(6usize, 3usize), (12, 4)] {
+        let rs = ReedSolomon::new(CodeParams::new(k, m).unwrap());
+        let block = 64 << 10;
+        let mut shards: Vec<Vec<u8>> = (0..k + m).map(|i| vec![i as u8; block]).collect();
+        g.throughput(Throughput::Bytes((k * block) as u64));
+        g.bench_with_input(
+            BenchmarkId::new("encode", format!("rs({k},{m})x64KiB")),
+            &k,
+            |b, _| {
+                b.iter(|| rs.encode_shards(&mut shards).unwrap());
+            },
+        );
+        let delta = vec![0x5au8; 4096];
+        let mut acc = vec![0u8; 4096];
+        g.bench_with_input(
+            BenchmarkId::new("parity_delta_4k", format!("rs({k},{m})")),
+            &k,
+            |b, _| {
+                b.iter(|| rscode::delta::parity_delta(&rs, 0, 1, &delta, &mut acc));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_index(c: &mut Criterion) {
+    let mut g = c.benchmark_group("two_level_index");
+    g.bench_function("insert_zipf_merge", |b| {
+        b.iter(|| {
+            let mut idx: BlockIndex<Ghost> = BlockIndex::new();
+            let mut x = 12345u64;
+            for _ in 0..1000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let off = ((x >> 33) % 256) as u32 * 4096; // hot 1 MiB
+                idx.insert(off, Ghost(4096), MergeMode::Overwrite);
+            }
+            idx.range_count()
+        });
+    });
+    g.bench_function("lookup_hit", |b| {
+        let mut idx: BlockIndex<Ghost> = BlockIndex::new();
+        for i in 0..256u32 {
+            idx.insert(i * 8192, Ghost(4096), MergeMode::Overwrite);
+        }
+        b.iter(|| idx.lookup(128 * 8192, 4096).len());
+    });
+    g.bench_function("lookup_bitmap_miss", |b| {
+        let mut idx: BlockIndex<Ghost> = BlockIndex::new();
+        idx.insert(0, Ghost(4096), MergeMode::Overwrite);
+        b.iter(|| idx.definitely_absent(64 << 20, 4096));
+    });
+    g.finish();
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("log_pool");
+    g.bench_function("append_seal_recycle_cycle", |b| {
+        b.iter(|| {
+            let mut pool: LogPool<u64, Ghost> = LogPool::new(PoolConfig {
+                unit_bytes: 64 << 10,
+                min_units: 2,
+                max_units: 4,
+                mode: MergeMode::Overwrite,
+            });
+            let mut done = 0u64;
+            for i in 0..64u64 {
+                let _ = pool.append(i % 8, (i as u32 % 16) * 4096, Ghost(4096), i);
+                if let Some(taken) = pool.take_recyclable() {
+                    pool.finish_recycle(taken.id);
+                    done += 1;
+                }
+            }
+            done
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_gf_kernels, bench_rs_encode, bench_index, bench_pool
+);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+use ecfs::{run_trace, ClusterConfig, MethodKind, ReplayConfig};
+use rscode::CodeParams;
+use traces::TraceFamily;
+
+fn main() {
+    for m in [2usize, 4] {
+        let code = CodeParams::new(6, m).unwrap();
+        println!("== RS(6,{m}) Ali-Cloud, 64 clients, 1500 ops/client ==");
+        let mut results = vec![];
+        for method in [MethodKind::Fo, MethodKind::Pl, MethodKind::Plr, MethodKind::Parix, MethodKind::Cord, MethodKind::Tsue] {
+            let mut cluster = ClusterConfig::ssd_testbed(code, method);
+            cluster.clients = 64;
+            let mut r = ReplayConfig::new(cluster, TraceFamily::AliCloud);
+            r.ops_per_client = 800;
+            r.volume_bytes = 128 << 20;
+            let res = run_trace(&r);
+            println!("{:6} iops={:8.0} lat_us={:7.1} rw_ops={:8} ow_ops={:7} net_gib={:6.2} erases={:5} drain_s={:6.3} stalls={}",
+                method.name(), res.update_iops, res.latency_mean_us, res.disk.rw_ops(), res.disk.overwrites.ops, res.net_gib, res.erases, res.drain_s, res.stalls);
+            results.push((method, res.update_iops));
+        }
+        let tsue = results.iter().find(|(m,_)| *m==MethodKind::Tsue).unwrap().1;
+        for (method, iops) in &results {
+            if *method != MethodKind::Tsue { println!("  TSUE/{} = {:.2}x", method.name(), tsue/iops); }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Shared plumbing for the benchmark harness.
+//!
+//! Every bench target regenerates one table or figure of the paper's
+//! evaluation (§5). Targets are plain `main` functions (`harness = false`)
+//! that run deterministic simulations and print the same rows/series the
+//! paper reports, so `cargo bench --workspace` reproduces the entire
+//! evaluation.
+//!
+//! Scale knobs: the default grid is sized to finish in minutes; set
+//! `TSUE_BENCH_FULL=1` for the paper-scale grid (more clients, more ops).
+
+use ecfs::{ClusterConfig, MethodKind, ReplayConfig, RunResult};
+use rscode::CodeParams;
+use traces::TraceFamily;
+
+/// Whether the full-scale grid was requested.
+pub fn full_scale() -> bool {
+    std::env::var("TSUE_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Operations per client for the current scale.
+pub fn ops_per_client() -> usize {
+    if full_scale() {
+        2_000
+    } else {
+        500
+    }
+}
+
+/// The six methods of Fig. 5, in the paper's order.
+pub const FIG5_METHODS: [MethodKind; 6] = [
+    MethodKind::Fo,
+    MethodKind::Pl,
+    MethodKind::Plr,
+    MethodKind::Parix,
+    MethodKind::Cord,
+    MethodKind::Tsue,
+];
+
+/// The six RS codes of Fig. 5.
+pub fn fig5_codes() -> Vec<(usize, usize)> {
+    vec![(6, 2), (12, 2), (6, 3), (12, 3), (6, 4), (12, 4)]
+}
+
+/// Builds the standard SSD replay configuration.
+pub fn ssd_replay(
+    k: usize,
+    m: usize,
+    method: MethodKind,
+    family: TraceFamily,
+    clients: usize,
+) -> ReplayConfig {
+    let code = CodeParams::new(k, m).expect("valid code");
+    let mut cluster = ClusterConfig::ssd_testbed(code, method);
+    cluster.clients = clients;
+    let mut r = ReplayConfig::new(cluster, family);
+    r.ops_per_client = ops_per_client();
+    r.volume_bytes = 128 << 20;
+    r
+}
+
+/// Builds the standard HDD replay configuration (§5.4).
+pub fn hdd_replay(
+    k: usize,
+    m: usize,
+    method: MethodKind,
+    family: TraceFamily,
+    clients: usize,
+) -> ReplayConfig {
+    let code = CodeParams::new(k, m).expect("valid code");
+    let mut cluster = ClusterConfig::hdd_testbed(code, method);
+    cluster.clients = clients;
+    let mut r = ReplayConfig::new(cluster, family);
+    // HDDs are ~30x slower per random op: fewer ops keep runs short, and
+    // smaller log units keep TSUE's real-time recycling active within the
+    // shortened run (the paper's 16 MiB units assume minute-long runs).
+    r.cluster.tsue_unit_bytes = 1 << 20;
+    r.ops_per_client = ops_per_client() / 4;
+    r.volume_bytes = 128 << 20;
+    r
+}
+
+/// Renders a markdown-ish table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    println!(
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Formats IOPS with thousands separators elided (k-units).
+pub fn kfmt(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{:.1}k", v / 1000.0)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// One-line summary of a run for method-comparison rows.
+pub fn summary_row(label: &str, r: &RunResult) -> Vec<String> {
+    vec![
+        label.to_string(),
+        kfmt(r.update_iops),
+        format!("{:.0}", r.latency_mean_us),
+        format!("{}", r.disk.rw_ops()),
+        format!("{:.1}", (r.disk.rw_bytes() as f64) / (1u64 << 30) as f64),
+        format!("{}", r.disk.overwrites.ops),
+        format!("{:.2}", r.net_gib),
+        format!("{}", r.erases),
+    ]
+}
+
+/// Header matching [`summary_row`].
+pub const SUMMARY_HEADERS: [&str; 8] = [
+    "method", "IOPS", "lat(us)", "rw ops", "rw GiB", "overwrites", "net GiB", "erases",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_definitions() {
+        assert_eq!(fig5_codes().len(), 6);
+        assert_eq!(FIG5_METHODS.len(), 6);
+        assert!(ops_per_client() > 0);
+    }
+
+    #[test]
+    fn replay_builders_validate() {
+        let r = ssd_replay(6, 4, MethodKind::Tsue, TraceFamily::AliCloud, 8);
+        assert!(r.cluster.validate().is_ok());
+        let h = hdd_replay(6, 4, MethodKind::Pl, TraceFamily::TenCloud, 8);
+        assert!(h.cluster.validate().is_ok());
+        assert!(matches!(h.cluster.disk, ecfs::DiskKind::Hdd(_)));
+    }
+
+    #[test]
+    fn kfmt_formats() {
+        assert_eq!(kfmt(950.0), "950");
+        assert_eq!(kfmt(25_400.0), "25.4k");
+    }
+}

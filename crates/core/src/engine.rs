@@ -1,0 +1,620 @@
+//! A real, multi-threaded, single-node TSUE engine over in-memory stripes.
+//!
+//! This is the byte-exact realisation of the paper's two-stage pipeline:
+//!
+//! * **front end** — [`TsueEngine::update`] appends the new bytes to the
+//!   DataLog and returns (the paper's "ack after data-log append");
+//! * **back end** — recycler threads drain DataLog units into data blocks
+//!   (computing deltas under the block lock), forward deltas to the
+//!   DeltaLog, combine them per stripe into parity deltas (Eq. 5), forward
+//!   those to the ParityLog, and finally XOR them into parity blocks.
+//!
+//! The engine exists to *prove the scheme correct under concurrency*: after
+//! [`TsueEngine::flush`], every stripe's parity equals a fresh re-encode of
+//! its data blocks, no matter how many writer and recycler threads raced.
+//! The cluster simulator reuses the same pool/index types with ghost
+//! payloads for performance modelling; this engine runs them with real
+//! bytes and real `parking_lot`/`crossbeam` concurrency.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex, RwLock};
+use rscode::{CodeParams, ReedSolomon};
+
+use crate::index::MergeMode;
+use crate::layers::{
+    group_data_jobs, group_delta_jobs, group_parity_jobs, BlockId, LogPoolSet, ParityKey,
+    StripeBlock,
+};
+use crate::payload::{Data, Payload};
+use crate::pool::{AppendOutcome, PoolConfig};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// RS(k, m) shape.
+    pub code: CodeParams,
+    /// Bytes per block.
+    pub block_len: u32,
+    /// Number of stripes managed.
+    pub stripes: u64,
+    /// Log-unit size for all three layers (small values exercise sealing).
+    pub unit_bytes: u64,
+    /// Unit quota per pool.
+    pub max_units: usize,
+    /// Pools per layer.
+    pub pools_per_layer: usize,
+    /// Background recycler threads.
+    pub recycler_threads: usize,
+}
+
+impl EngineConfig {
+    /// A small configuration suitable for tests and examples.
+    pub fn small(code: CodeParams) -> EngineConfig {
+        EngineConfig {
+            code,
+            block_len: 64 << 10,
+            stripes: 4,
+            unit_bytes: 64 << 10,
+            max_units: 4,
+            pools_per_layer: 2,
+            recycler_threads: 2,
+        }
+    }
+}
+
+struct Shared {
+    cfg: EngineConfig,
+    rs: ReedSolomon,
+    /// All blocks: stripe-major, `k` data then `m` parity per stripe.
+    blocks: Vec<RwLock<Vec<u8>>>,
+    data_log: Mutex<LogPoolSet<BlockId, Data>>,
+    delta_log: Mutex<LogPoolSet<StripeBlock, Data>>,
+    parity_log: Mutex<LogPoolSet<ParityKey, Data>>,
+    /// Signalled whenever a unit is sealed or recycled (wakes recyclers and
+    /// stalled appenders).
+    work_cv: Condvar,
+    work_mx: Mutex<()>,
+    /// Units currently being recycled across all layers.
+    in_flight: AtomicU64,
+    shutdown: AtomicBool,
+    /// Updates acknowledged (appended to the data log).
+    acked: AtomicU64,
+    /// Updates fully folded into data blocks.
+    applied_ranges: AtomicU64,
+}
+
+impl Shared {
+    fn block_slot(&self, stripe: u64, idx: usize) -> usize {
+        let per = self.cfg.code.total();
+        stripe as usize * per + idx
+    }
+
+    fn data_block_id(&self, stripe: u64, block_idx: u16) -> BlockId {
+        stripe * self.cfg.code.k() as u64 + block_idx as u64
+    }
+
+    fn id_to_stripe_block(&self, id: BlockId) -> (u64, u16) {
+        let k = self.cfg.code.k() as u64;
+        (id / k, (id % k) as u16)
+    }
+
+    /// Processes one recyclable unit from any layer; returns false if there
+    /// was nothing to do. Terminal layers first so stalled upper layers
+    /// drain fastest.
+    fn recycle_once(&self) -> bool {
+        if self.recycle_parity_once() {
+            return true;
+        }
+        if self.recycle_delta_once() {
+            return true;
+        }
+        self.recycle_data_once()
+    }
+
+    /// DataLog recycle: fold newest data into blocks, forward deltas.
+    fn recycle_data_once(&self) -> bool {
+        let taken = {
+            let mut log = self.data_log.lock();
+            // Ordered take: per-pool serialisation keeps newest-wins safe.
+            log.take_recyclable_ordered()
+        };
+        let Some((pool_idx, taken)) = taken else {
+            return false;
+        };
+        let unit_id = taken.id;
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        for job in group_data_jobs(taken.contents) {
+            let (stripe, block_idx) = self.id_to_stripe_block(job.block);
+            let slot = self.block_slot(stripe, block_idx as usize);
+            // Compute deltas and apply new data under the block lock.
+            let mut deltas: Vec<(u32, Data)> = Vec::with_capacity(job.ranges.len());
+            {
+                let mut block = self.blocks[slot].write();
+                for (off, data) in &job.ranges {
+                    let bytes = data.as_slice();
+                    let start = *off as usize;
+                    let old = &block[start..start + bytes.len()];
+                    let delta: Vec<u8> =
+                        old.iter().zip(bytes).map(|(o, n)| o ^ n).collect();
+                    deltas.push((*off, Data::copy_from(&delta)));
+                    block[start..start + bytes.len()].copy_from_slice(bytes);
+                    self.applied_ranges.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // Forward each delta to the DeltaLog (Eq. 2's ΔD).
+            let key = StripeBlock { stripe, block_idx };
+            for (off, delta) in deltas {
+                self.append_with_backpressure(Layer::Delta, move |sh| {
+                    let mut log = sh.delta_log.lock();
+                    log.append(key, off, delta.clone(), 0).1
+                });
+            }
+        }
+        self.data_log.lock().pool_mut(pool_idx).finish_recycle(unit_id);
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        self.work_cv.notify_all();
+        true
+    }
+
+    /// DeltaLog recycle: combine per stripe (Eq. 5), forward parity deltas.
+    fn recycle_delta_once(&self) -> bool {
+        let taken = {
+            let mut log = self.delta_log.lock();
+            log.take_recyclable_any()
+        };
+        let Some((pool_idx, taken)) = taken else {
+            return false;
+        };
+        let unit_id = taken.id;
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        let m = self.cfg.code.m();
+        for job in group_delta_jobs(taken.contents) {
+            // For each parity block: one combined delta per union range.
+            for p in 0..m as u16 {
+                for (off, len) in crate::layers::union_ranges(&job.deltas) {
+                    let mut acc = vec![0u8; len as usize];
+                    for (block_idx, doff, delta) in &job.deltas {
+                        let dlen = delta.len();
+                        // Overlap of [doff, doff+dlen) with [off, off+len).
+                        let lo = (*doff).max(off);
+                        let hi = (doff + dlen).min(off + len);
+                        if lo >= hi {
+                            continue;
+                        }
+                        let coeff = self.rs.coefficient(p as usize, *block_idx as usize);
+                        let piece = delta.slice(lo - doff, hi - doff);
+                        gf256::slice::mul_acc(
+                            &mut acc[(lo - off) as usize..(hi - off) as usize],
+                            piece.as_slice(),
+                            coeff.value(),
+                        );
+                    }
+                    let key = ParityKey {
+                        stripe: job.stripe,
+                        parity_idx: p,
+                    };
+                    let payload = Data::copy_from(&acc);
+                    self.append_with_backpressure(Layer::Parity, move |sh| {
+                        let mut log = sh.parity_log.lock();
+                        log.append(key, off, payload.clone(), 0).1
+                    });
+                }
+            }
+        }
+        self.delta_log.lock().pool_mut(pool_idx).finish_recycle(unit_id);
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        self.work_cv.notify_all();
+        true
+    }
+
+    /// ParityLog recycle: XOR parity deltas into parity blocks (terminal).
+    fn recycle_parity_once(&self) -> bool {
+        let taken = {
+            let mut log = self.parity_log.lock();
+            log.take_recyclable_any()
+        };
+        let Some((pool_idx, taken)) = taken else {
+            return false;
+        };
+        let unit_id = taken.id;
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        for job in group_parity_jobs(taken.contents) {
+            let slot = self.block_slot(
+                job.parity.stripe,
+                self.cfg.code.k() + job.parity.parity_idx as usize,
+            );
+            let mut block = self.blocks[slot].write();
+            for (off, delta) in &job.ranges {
+                let start = *off as usize;
+                gf256::slice::xor(
+                    &mut block[start..start + delta.len() as usize],
+                    delta.as_slice(),
+                );
+            }
+        }
+        self.parity_log.lock().pool_mut(pool_idx).finish_recycle(unit_id);
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        self.work_cv.notify_all();
+        true
+    }
+
+    /// Appends via `try_append`, handling [`AppendOutcome::Stalled`] by
+    /// inline-recycling downstream layers (guaranteed progress: the parity
+    /// layer is terminal).
+    fn append_with_backpressure<F>(&self, layer: Layer, try_append: F)
+    where
+        F: Fn(&Shared) -> AppendOutcome,
+    {
+        loop {
+            match try_append(self) {
+                AppendOutcome::Appended | AppendOutcome::AppendedAndSealed(_) => {
+                    self.work_cv.notify_all();
+                    return;
+                }
+                AppendOutcome::Stalled => {
+                    // Free space in this layer by recycling it (and, for the
+                    // delta layer, its downstream parity layer) inline.
+                    let progressed = match layer {
+                        Layer::Delta => self.recycle_delta_once() || self.recycle_parity_once(),
+                        Layer::Parity => self.recycle_parity_once(),
+                    };
+                    if !progressed {
+                        // Another thread holds the unit: wait for it.
+                        let mut guard = self.work_mx.lock();
+                        self.work_cv
+                            .wait_for(&mut guard, std::time::Duration::from_millis(1));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Internal marker for downstream layers (data-layer appends come from the
+/// public API and handle back-pressure separately).
+#[derive(Clone, Copy)]
+enum Layer {
+    Delta,
+    Parity,
+}
+
+/// The public engine handle. Dropping it stops the recycler threads.
+pub struct TsueEngine {
+    shared: Arc<Shared>,
+    recyclers: Vec<JoinHandle<()>>,
+}
+
+impl TsueEngine {
+    /// Builds the engine and starts its recycler threads. All blocks start
+    /// zeroed (a valid codeword: parity of zeros is zeros).
+    pub fn new(cfg: EngineConfig) -> TsueEngine {
+        let rs = ReedSolomon::new(cfg.code);
+        let total_blocks = cfg.stripes as usize * cfg.code.total();
+        let pool_cfg = |mode| PoolConfig {
+            unit_bytes: cfg.unit_bytes,
+            min_units: 2,
+            max_units: cfg.max_units,
+            mode,
+        };
+        let shared = Arc::new(Shared {
+            rs,
+            blocks: (0..total_blocks)
+                .map(|_| RwLock::new(vec![0u8; cfg.block_len as usize]))
+                .collect(),
+            data_log: Mutex::new(LogPoolSet::new(
+                cfg.pools_per_layer,
+                pool_cfg(MergeMode::Overwrite),
+            )),
+            delta_log: Mutex::new(LogPoolSet::new(
+                cfg.pools_per_layer,
+                pool_cfg(MergeMode::Xor),
+            )),
+            parity_log: Mutex::new(LogPoolSet::new(
+                cfg.pools_per_layer,
+                pool_cfg(MergeMode::Xor),
+            )),
+            work_cv: Condvar::new(),
+            work_mx: Mutex::new(()),
+            in_flight: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            acked: AtomicU64::new(0),
+            applied_ranges: AtomicU64::new(0),
+            cfg,
+        });
+        let recyclers = (0..shared.cfg.recycler_threads)
+            .map(|_| {
+                let sh = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    while !sh.shutdown.load(Ordering::SeqCst) {
+                        if !sh.recycle_once() {
+                            let mut guard = sh.work_mx.lock();
+                            sh.work_cv
+                                .wait_for(&mut guard, std::time::Duration::from_millis(1));
+                        }
+                    }
+                })
+            })
+            .collect();
+        TsueEngine { shared, recyclers }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.shared.cfg
+    }
+
+    /// Front-end update: appends `bytes` at `offset` of data block
+    /// `(stripe, block_idx)` to the DataLog and returns once logged — the
+    /// two-stage ack point. Blocks (briefly) under log back-pressure.
+    ///
+    /// # Panics
+    /// Panics on out-of-range stripe/block/offset.
+    pub fn update(&self, stripe: u64, block_idx: u16, offset: u32, bytes: &[u8]) {
+        let cfg = &self.shared.cfg;
+        assert!(stripe < cfg.stripes, "stripe out of range");
+        assert!((block_idx as usize) < cfg.code.k(), "not a data block");
+        assert!(
+            offset as usize + bytes.len() <= cfg.block_len as usize,
+            "update beyond block"
+        );
+        assert!(!bytes.is_empty(), "empty update");
+        let id = self.shared.data_block_id(stripe, block_idx);
+        let payload = Data::copy_from(bytes);
+        loop {
+            let outcome = {
+                let mut log = self.shared.data_log.lock();
+                log.append(id, offset, payload.clone(), 0).1
+            };
+            match outcome {
+                AppendOutcome::Appended | AppendOutcome::AppendedAndSealed(_) => {
+                    self.shared.acked.fetch_add(1, Ordering::Relaxed);
+                    self.shared.work_cv.notify_all();
+                    return;
+                }
+                AppendOutcome::Stalled => {
+                    // Help out rather than spin.
+                    if !self.shared.recycle_once() {
+                        let mut guard = self.shared.work_mx.lock();
+                        self.shared
+                            .work_cv
+                            .wait_for(&mut guard, std::time::Duration::from_millis(1));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reads `len` bytes at `offset` of a data block through the log cache:
+    /// log pieces overlay the block content, newest last (§3.3.3's
+    /// read-your-writes guarantee).
+    pub fn read(&self, stripe: u64, block_idx: u16, offset: u32, len: u32) -> Vec<u8> {
+        let cfg = &self.shared.cfg;
+        assert!(stripe < cfg.stripes, "stripe out of range");
+        assert!((block_idx as usize) < cfg.code.k(), "not a data block");
+        assert!(offset + len <= cfg.block_len, "read beyond block");
+        let slot = self.shared.block_slot(stripe, block_idx as usize);
+        let mut out = {
+            let block = self.shared.blocks[slot].read();
+            block[offset as usize..(offset + len) as usize].to_vec()
+        };
+        let id = self.shared.data_block_id(stripe, block_idx);
+        let pieces = {
+            let mut log = self.shared.data_log.lock();
+            log.lookup(&id, offset, len)
+        };
+        for (o, p) in pieces {
+            let rel = (o - offset) as usize;
+            out[rel..rel + p.len() as usize].copy_from_slice(p.as_slice());
+        }
+        out
+    }
+
+    /// Drains every layer: seals active units and recycles until all three
+    /// logs are empty and no unit is in flight. Afterwards all acknowledged
+    /// updates are folded into data *and* parity blocks.
+    ///
+    /// Callers must quiesce their own writers first: updates racing with
+    /// `flush` are durable but may not be folded when it returns.
+    pub fn flush(&self) {
+        loop {
+            {
+                self.shared.data_log.lock().seal_all_active(0);
+                self.shared.delta_log.lock().seal_all_active(0);
+                self.shared.parity_log.lock().seal_all_active(0);
+            }
+            // Help recycle inline.
+            while self.shared.recycle_once() {}
+            let quiet = {
+                let data = self.shared.data_log.lock();
+                let delta = self.shared.delta_log.lock();
+                let parity = self.shared.parity_log.lock();
+                data.is_fully_drained()
+                    && delta.is_fully_drained()
+                    && parity.is_fully_drained()
+                    && data.active_bytes() == 0
+                    && delta.active_bytes() == 0
+                    && parity.active_bytes() == 0
+            };
+            if quiet && self.shared.in_flight.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Verifies that every stripe's parity equals a fresh re-encode of its
+    /// data blocks. Call after [`Self::flush`].
+    pub fn verify_parity(&self) -> bool {
+        let cfg = &self.shared.cfg;
+        let (k, m) = (cfg.code.k(), cfg.code.m());
+        for stripe in 0..cfg.stripes {
+            let data: Vec<Vec<u8>> = (0..k)
+                .map(|j| {
+                    self.shared.blocks[self.shared.block_slot(stripe, j)]
+                        .read()
+                        .clone()
+                })
+                .collect();
+            let data_refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
+            let mut expect: Vec<Vec<u8>> = vec![vec![0u8; cfg.block_len as usize]; m];
+            let mut expect_refs: Vec<&mut [u8]> =
+                expect.iter_mut().map(|v| v.as_mut_slice()).collect();
+            self.shared
+                .rs
+                .encode(&data_refs, &mut expect_refs)
+                .expect("encode");
+            for (p, exp) in expect.iter().enumerate() {
+                let actual = self.shared.blocks[self.shared.block_slot(stripe, k + p)].read();
+                if *actual != *exp {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Number of acknowledged updates.
+    pub fn acked_updates(&self) -> u64 {
+        self.shared.acked.load(Ordering::Relaxed)
+    }
+
+    /// Number of merged ranges applied to data blocks so far.
+    pub fn applied_ranges(&self) -> u64 {
+        self.shared.applied_ranges.load(Ordering::Relaxed)
+    }
+
+    /// A raw copy of a block (data or parity) for test oracles.
+    pub fn raw_block(&self, stripe: u64, idx: usize) -> Vec<u8> {
+        self.shared.blocks[self.shared.block_slot(stripe, idx)]
+            .read()
+            .clone()
+    }
+}
+
+impl Drop for TsueEngine {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.work_cv.notify_all();
+        for h in self.recyclers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> TsueEngine {
+        TsueEngine::new(EngineConfig {
+            code: CodeParams::new(4, 2).unwrap(),
+            block_len: 16 << 10,
+            stripes: 3,
+            unit_bytes: 8 << 10,
+            max_units: 4,
+            pools_per_layer: 2,
+            recycler_threads: 2,
+        })
+    }
+
+    #[test]
+    fn single_update_reaches_parity() {
+        let e = engine();
+        e.update(0, 1, 100, &[0xab; 64]);
+        e.flush();
+        assert!(e.verify_parity());
+        assert_eq!(e.read(0, 1, 100, 64), vec![0xab; 64]);
+        assert_eq!(e.acked_updates(), 1);
+    }
+
+    #[test]
+    fn read_your_writes_before_recycle() {
+        let e = engine();
+        e.update(1, 0, 0, &[7; 32]);
+        // No flush: the data may still be only in the log.
+        assert_eq!(e.read(1, 0, 0, 32), vec![7; 32]);
+        // Unwritten parts read as zero.
+        assert_eq!(e.read(1, 0, 32, 8), vec![0; 8]);
+    }
+
+    #[test]
+    fn overlapping_updates_newest_wins() {
+        let e = engine();
+        e.update(0, 0, 0, &[1; 100]);
+        e.update(0, 0, 50, &[2; 100]);
+        e.update(0, 0, 75, &[3; 10]);
+        e.flush();
+        let got = e.read(0, 0, 0, 150);
+        assert_eq!(&got[..50], &[1; 50][..]);
+        assert_eq!(&got[50..75], &[2; 25][..]);
+        assert_eq!(&got[75..85], &[3; 10][..]);
+        assert_eq!(&got[85..150], &[2; 65][..]);
+        assert!(e.verify_parity());
+    }
+
+    #[test]
+    fn heavy_single_thread_churn_stays_consistent() {
+        let e = engine();
+        let mut x = 99u64;
+        for i in 0..3000u32 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let stripe = (x >> 10) % 3;
+            let block = ((x >> 20) % 4) as u16;
+            let off = ((x >> 30) % ((16 << 10) - 512)) as u32;
+            let len = 1 + ((x >> 40) % 511) as usize;
+            let byte = (i % 251) as u8;
+            e.update(stripe, block, off, &vec![byte; len]);
+        }
+        e.flush();
+        assert!(e.verify_parity());
+        assert_eq!(e.acked_updates(), 3000);
+    }
+
+    #[test]
+    fn concurrent_writers_stay_consistent() {
+        let e = Arc::new(engine());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let e = Arc::clone(&e);
+                std::thread::spawn(move || {
+                    let mut x = 7 + t as u64;
+                    for _ in 0..800 {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(t as u64);
+                        let stripe = (x >> 9) % 3;
+                        // Each thread owns one block per stripe: no
+                        // cross-thread write races on the same range.
+                        let block = t as u16;
+                        let off = ((x >> 33) % ((16 << 10) - 256)) as u32;
+                        let len = 1 + ((x >> 45) % 255) as usize;
+                        e.update(stripe, block, off, &vec![(x % 256) as u8; len]);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        e.flush();
+        assert!(e.verify_parity());
+        assert_eq!(e.acked_updates(), 3200);
+    }
+
+    #[test]
+    fn flush_is_idempotent() {
+        let e = engine();
+        e.update(0, 0, 0, &[5; 10]);
+        e.flush();
+        e.flush();
+        assert!(e.verify_parity());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a data block")]
+    fn updating_parity_block_panics() {
+        let e = engine();
+        e.update(0, 4, 0, &[1]);
+    }
+}

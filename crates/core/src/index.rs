@@ -1,0 +1,528 @@
+//! The two-level index (§3.3.1): block hash map on top, offset-sorted
+//! non-overlapping ranges below, with a bitmap accelerator per block.
+//!
+//! All spatio-temporal merging happens at insert time, so a log unit's index
+//! always holds the *minimal* set of ranges needed to recycle it:
+//!
+//! * **same-position** records collapse — newest-wins for data
+//!   ([`MergeMode::Overwrite`]), XOR-fold for deltas ([`MergeMode::Xor`],
+//!   Eq. 3 of the paper);
+//! * **adjacent** records concatenate into one larger range, turning many
+//!   small random I/Os into few large ones;
+//! * a per-block bitmap gives O(1) "definitely not present" answers so read
+//!   lookups skip blocks that never saw an update.
+
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+use crate::payload::Payload;
+
+/// Bitmap chunk granularity (bytes per presence bit).
+const SUB_GRAIN: u32 = 4096;
+
+/// How same-position content resolves when records collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeMode {
+    /// Newest record wins (DataLog semantics: Eq. 4 — only the latest value
+    /// of an address matters).
+    Overwrite,
+    /// Records XOR together (DeltaLog/ParityLog semantics: Eq. 3 — deltas
+    /// for one address fold into their net effect).
+    Xor,
+}
+
+/// Per-block second level: offset-sorted, non-overlapping, non-adjacent
+/// ranges plus the presence bitmap.
+#[derive(Debug, Clone)]
+pub struct BlockIndex<P> {
+    entries: BTreeMap<u32, P>,
+    bitmap: Vec<u64>,
+    live_bytes: u64,
+}
+
+impl<P: Payload> Default for BlockIndex<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Payload> BlockIndex<P> {
+    /// Empty block index.
+    pub fn new() -> BlockIndex<P> {
+        BlockIndex {
+            entries: BTreeMap::new(),
+            bitmap: Vec::new(),
+            live_bytes: 0,
+        }
+    }
+
+    /// Number of live (merged) ranges.
+    pub fn range_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Bytes held across live ranges.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    fn mark_bitmap(&mut self, start: u32, end: u32) {
+        let first = (start / SUB_GRAIN) as usize;
+        let last = ((end - 1) / SUB_GRAIN) as usize;
+        if last / 64 >= self.bitmap.len() {
+            self.bitmap.resize(last / 64 + 1, 0);
+        }
+        for chunk in first..=last {
+            self.bitmap[chunk / 64] |= 1 << (chunk % 64);
+        }
+    }
+
+    /// Definite-miss test: `true` means no byte of `[off, off+len)` can be
+    /// present (the fast path that spares the tree walk).
+    pub fn definitely_absent(&self, off: u32, len: u32) -> bool {
+        if len == 0 {
+            return true;
+        }
+        let first = (off / SUB_GRAIN) as usize;
+        let last = ((off + len - 1) / SUB_GRAIN) as usize;
+        for chunk in first..=last {
+            if let Some(word) = self.bitmap.get(chunk / 64) {
+                if word >> (chunk % 64) & 1 == 1 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Inserts a record at `off`, merging with everything it overlaps or
+    /// touches.
+    ///
+    /// # Panics
+    /// Panics on empty payloads or offset overflow.
+    pub fn insert(&mut self, off: u32, payload: P, mode: MergeMode) {
+        let len = payload.len();
+        assert!(len > 0, "empty payload");
+        let end = off.checked_add(len).expect("offset overflow");
+
+        // Gather every entry overlapping or exactly touching [off, end].
+        // Entries are non-overlapping and non-adjacent, so at most one can
+        // start before `off` and still reach it.
+        let mut collected: Vec<(u32, P)> = Vec::new();
+        if let Some((&s, e)) = self.entries.range(..off).next_back() {
+            if s + e.len() >= off {
+                collected.push((s, self.entries.remove(&s).unwrap()));
+            }
+        }
+        let overlapping: Vec<u32> = self
+            .entries
+            .range(off..=end)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in overlapping {
+            let e = self.entries.remove(&s).unwrap();
+            collected.push((s, e));
+        }
+
+        let removed_bytes: u64 = collected.iter().map(|(_, e)| e.len() as u64).sum();
+        let merged = Self::sweep_merge(off, payload, &collected, mode);
+        let (span_start, merged_payload) = merged;
+        let added_bytes = merged_payload.len() as u64;
+        let span_end = span_start + merged_payload.len();
+        self.entries.insert(span_start, merged_payload);
+        self.live_bytes = self.live_bytes - removed_bytes + added_bytes;
+        self.mark_bitmap(span_start, span_end);
+    }
+
+    /// Segment sweep producing the single merged range covering the new
+    /// record and everything it collided with.
+    fn sweep_merge(off: u32, new: P, old: &[(u32, P)], mode: MergeMode) -> (u32, P) {
+        let end = off + new.len();
+        if old.is_empty() {
+            return (off, new);
+        }
+        let span_start = off.min(old[0].0);
+        let span_end = end.max(old.last().map(|(s, e)| s + e.len()).unwrap());
+
+        // Boundary points: span edges, new edges, old edges.
+        let mut points: Vec<u32> = Vec::with_capacity(old.len() * 2 + 4);
+        points.push(span_start);
+        points.push(span_end);
+        points.push(off.clamp(span_start, span_end));
+        points.push(end.clamp(span_start, span_end));
+        for &(s, ref e) in old {
+            points.push(s);
+            points.push(s + e.len());
+        }
+        points.sort_unstable();
+        points.dedup();
+
+        let mut result: Option<P> = None;
+        for w in points.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if a == b {
+                continue;
+            }
+            let in_new = a >= off && b <= end;
+            // Old entries are sorted and disjoint: binary-search the one
+            // containing `a`, if any.
+            let old_piece = old
+                .iter()
+                .find(|(s, e)| *s <= a && a < s + e.len())
+                .map(|(s, e)| e.slice(a - s, b - s));
+            let piece = match (old_piece, in_new) {
+                (Some(op), true) => match mode {
+                    MergeMode::Overwrite => new.slice(a - off, b - off),
+                    MergeMode::Xor => {
+                        let mut x = op;
+                        x.xor_with(&new.slice(a - off, b - off));
+                        x
+                    }
+                },
+                (Some(op), false) => op,
+                (None, true) => new.slice(a - off, b - off),
+                (None, false) => {
+                    debug_assert!(false, "uncovered segment [{a}, {b})");
+                    continue;
+                }
+            };
+            result = Some(match result {
+                None => piece,
+                Some(acc) => acc.concat(piece),
+            });
+        }
+        (span_start, result.expect("at least one segment"))
+    }
+
+    /// Pieces of `[off, off+len)` that are present, clipped to the query,
+    /// as `(piece_offset, payload)` sorted by offset.
+    pub fn lookup(&self, off: u32, len: u32) -> Vec<(u32, P)> {
+        if len == 0 || self.definitely_absent(off, len) {
+            return Vec::new();
+        }
+        let end = off + len;
+        let mut out = Vec::new();
+        if let Some((&s, e)) = self.entries.range(..off).next_back() {
+            let e_end = s + e.len();
+            if e_end > off {
+                out.push((off, e.slice(off - s, e_end.min(end) - s)));
+            }
+        }
+        for (&s, e) in self.entries.range(off..end) {
+            let e_end = s + e.len();
+            out.push((s, e.slice(0, e_end.min(end) - s)));
+        }
+        out
+    }
+
+    /// Whether `[off, off+len)` is fully covered by live ranges.
+    pub fn covers(&self, off: u32, len: u32) -> bool {
+        let mut cursor = off;
+        let end = off + len;
+        for (s, p) in self.lookup(off, len) {
+            if s > cursor {
+                return false;
+            }
+            cursor = cursor.max(s + p.len());
+            if cursor >= end {
+                return true;
+            }
+        }
+        cursor >= end
+    }
+
+    /// Consumes the index, yielding sorted `(offset, payload)` ranges.
+    pub fn into_sorted_ranges(self) -> Vec<(u32, P)> {
+        self.entries.into_iter().collect()
+    }
+
+    /// Iterates live ranges in offset order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &P)> {
+        self.entries.iter().map(|(&o, p)| (o, p))
+    }
+}
+
+/// Cumulative merge statistics for one index.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Records inserted.
+    pub records_in: u64,
+    /// Bytes inserted.
+    pub bytes_in: u64,
+}
+
+/// The two-level index: block hash map over [`BlockIndex`]es.
+#[derive(Debug, Clone)]
+pub struct TwoLevelIndex<K, P> {
+    blocks: HashMap<K, BlockIndex<P>>,
+    mode: MergeMode,
+    stats: IndexStats,
+}
+
+impl<K: Hash + Eq + Clone, P: Payload> TwoLevelIndex<K, P> {
+    /// Empty index with the given merge mode.
+    pub fn new(mode: MergeMode) -> TwoLevelIndex<K, P> {
+        TwoLevelIndex {
+            blocks: HashMap::new(),
+            mode,
+            stats: IndexStats::default(),
+        }
+    }
+
+    /// The merge mode in force.
+    pub fn mode(&self) -> MergeMode {
+        self.mode
+    }
+
+    /// Inserts one record.
+    pub fn insert(&mut self, key: K, off: u32, payload: P) {
+        self.stats.records_in += 1;
+        self.stats.bytes_in += payload.len() as u64;
+        match self.blocks.entry(key) {
+            Entry::Occupied(mut e) => e.get_mut().insert(off, payload, self.mode),
+            Entry::Vacant(v) => {
+                v.insert(BlockIndex::new()).insert(off, payload, self.mode);
+            }
+        }
+    }
+
+    /// Looks up present pieces of a range under `key`.
+    pub fn lookup(&self, key: &K, off: u32, len: u32) -> Vec<(u32, P)> {
+        self.blocks
+            .get(key)
+            .map(|b| b.lookup(off, len))
+            .unwrap_or_default()
+    }
+
+    /// Whether a range is fully covered.
+    pub fn covers(&self, key: &K, off: u32, len: u32) -> bool {
+        self.blocks
+            .get(key)
+            .map(|b| b.covers(off, len))
+            .unwrap_or(false)
+    }
+
+    /// Fast definite-miss test.
+    pub fn definitely_absent(&self, key: &K, off: u32, len: u32) -> bool {
+        self.blocks
+            .get(key)
+            .map(|b| b.definitely_absent(off, len))
+            .unwrap_or(true)
+    }
+
+    /// Removes one block's ranges (sorted) from the index.
+    pub fn remove_block(&mut self, key: &K) -> Option<Vec<(u32, P)>> {
+        self.blocks.remove(key).map(|b| b.into_sorted_ranges())
+    }
+
+    /// Drains the whole index as `(key, sorted ranges)` pairs.
+    pub fn drain_all(&mut self) -> Vec<(K, Vec<(u32, P)>)> {
+        self.blocks
+            .drain()
+            .map(|(k, b)| (k, b.into_sorted_ranges()))
+            .collect()
+    }
+
+    /// Keys with live ranges.
+    pub fn block_keys(&self) -> impl Iterator<Item = &K> {
+        self.blocks.keys()
+    }
+
+    /// Number of blocks with live ranges.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Live (merged) ranges across all blocks.
+    pub fn range_count(&self) -> usize {
+        self.blocks.values().map(|b| b.range_count()).sum()
+    }
+
+    /// Live bytes across all blocks.
+    pub fn live_bytes(&self) -> u64 {
+        self.blocks.values().map(|b| b.live_bytes()).sum()
+    }
+
+    /// Insert-side statistics.
+    pub fn stats(&self) -> IndexStats {
+        self.stats
+    }
+
+    /// Records-in over ranges-out: how much the index shrank the workload
+    /// (≥ 1; higher is better for recycle efficiency).
+    pub fn merge_ratio(&self) -> f64 {
+        let live = self.range_count().max(1) as f64;
+        self.stats.records_in as f64 / live
+    }
+
+    /// Clears everything (unit reuse), keeping allocation capacity.
+    pub fn clear(&mut self) {
+        self.blocks.clear();
+        self.stats = IndexStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::{Data, Ghost};
+
+    #[test]
+    fn duplicate_records_merge_to_one() {
+        let mut b: BlockIndex<Ghost> = BlockIndex::new();
+        for _ in 0..10 {
+            b.insert(100, Ghost(50), MergeMode::Overwrite);
+        }
+        assert_eq!(b.range_count(), 1);
+        assert_eq!(b.live_bytes(), 50);
+    }
+
+    #[test]
+    fn adjacent_records_concatenate() {
+        let mut b: BlockIndex<Ghost> = BlockIndex::new();
+        b.insert(0, Ghost(10), MergeMode::Overwrite);
+        b.insert(10, Ghost(10), MergeMode::Overwrite);
+        b.insert(20, Ghost(10), MergeMode::Overwrite);
+        assert_eq!(b.range_count(), 1);
+        assert_eq!(b.into_sorted_ranges(), vec![(0, Ghost(30))]);
+    }
+
+    #[test]
+    fn disjoint_records_stay_separate() {
+        let mut b: BlockIndex<Ghost> = BlockIndex::new();
+        b.insert(0, Ghost(10), MergeMode::Overwrite);
+        b.insert(100, Ghost(10), MergeMode::Overwrite);
+        assert_eq!(b.range_count(), 2);
+    }
+
+    #[test]
+    fn overwrite_newest_wins_bytes() {
+        let mut b: BlockIndex<Data> = BlockIndex::new();
+        b.insert(0, Data::copy_from(&[1, 1, 1, 1]), MergeMode::Overwrite);
+        b.insert(1, Data::copy_from(&[2, 2]), MergeMode::Overwrite);
+        let ranges = b.into_sorted_ranges();
+        assert_eq!(ranges.len(), 1);
+        assert_eq!(ranges[0].0, 0);
+        assert_eq!(ranges[0].1.as_slice(), &[1, 2, 2, 1]);
+    }
+
+    #[test]
+    fn xor_mode_folds_overlap() {
+        let mut b: BlockIndex<Data> = BlockIndex::new();
+        b.insert(0, Data::copy_from(&[0xf0, 0xf0]), MergeMode::Xor);
+        b.insert(1, Data::copy_from(&[0x0f, 0x0f]), MergeMode::Xor);
+        let ranges = b.into_sorted_ranges();
+        assert_eq!(ranges.len(), 1);
+        assert_eq!(ranges[0].1.as_slice(), &[0xf0, 0xff, 0x0f]);
+    }
+
+    #[test]
+    fn bridge_merge_spans_gap() {
+        // [0,4) and [8,12) bridged by [2,10): one range [0,12).
+        let mut b: BlockIndex<Ghost> = BlockIndex::new();
+        b.insert(0, Ghost(4), MergeMode::Overwrite);
+        b.insert(8, Ghost(4), MergeMode::Overwrite);
+        b.insert(2, Ghost(8), MergeMode::Overwrite);
+        assert_eq!(b.into_sorted_ranges(), vec![(0, Ghost(12))]);
+    }
+
+    #[test]
+    fn lookup_clips_to_query() {
+        let mut b: BlockIndex<Data> = BlockIndex::new();
+        b.insert(10, Data::copy_from(&[1, 2, 3, 4, 5, 6]), MergeMode::Overwrite);
+        let hits = b.lookup(12, 2);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 12);
+        assert_eq!(hits[0].1.as_slice(), &[3, 4]);
+    }
+
+    #[test]
+    fn covers_detects_gaps() {
+        let mut b: BlockIndex<Ghost> = BlockIndex::new();
+        b.insert(0, Ghost(10), MergeMode::Overwrite);
+        b.insert(20, Ghost(10), MergeMode::Overwrite);
+        assert!(b.covers(0, 10));
+        assert!(b.covers(22, 5));
+        assert!(!b.covers(5, 10));
+        assert!(!b.covers(0, 30));
+    }
+
+    #[test]
+    fn bitmap_definite_absent() {
+        let mut b: BlockIndex<Ghost> = BlockIndex::new();
+        b.insert(0, Ghost(100), MergeMode::Overwrite);
+        assert!(!b.definitely_absent(0, 10));
+        assert!(!b.definitely_absent(200, 10)); // same 4 KiB chunk: maybe
+        assert!(b.definitely_absent(1 << 20, 10)); // far away: definitely not
+    }
+
+    #[test]
+    fn two_level_insert_lookup_remove() {
+        let mut idx: TwoLevelIndex<u64, Ghost> = TwoLevelIndex::new(MergeMode::Overwrite);
+        idx.insert(1, 0, Ghost(10));
+        idx.insert(2, 0, Ghost(20));
+        idx.insert(1, 10, Ghost(10));
+        assert_eq!(idx.block_count(), 2);
+        assert_eq!(idx.range_count(), 2);
+        assert_eq!(idx.live_bytes(), 40);
+        assert_eq!(idx.lookup(&1, 0, 100), vec![(0, Ghost(20))]);
+        assert!(idx.covers(&1, 5, 10));
+        assert!(!idx.covers(&3, 0, 1));
+        assert_eq!(idx.remove_block(&1), Some(vec![(0, Ghost(20))]));
+        assert_eq!(idx.remove_block(&1), None);
+        assert_eq!(idx.block_count(), 1);
+    }
+
+    #[test]
+    fn merge_ratio_reflects_consolidation() {
+        let mut idx: TwoLevelIndex<u64, Ghost> = TwoLevelIndex::new(MergeMode::Overwrite);
+        for _ in 0..100 {
+            idx.insert(1, 0, Ghost(4096));
+        }
+        assert_eq!(idx.stats().records_in, 100);
+        assert_eq!(idx.range_count(), 1);
+        assert!((idx.merge_ratio() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut idx: TwoLevelIndex<u64, Ghost> = TwoLevelIndex::new(MergeMode::Xor);
+        idx.insert(1, 0, Ghost(10));
+        idx.clear();
+        assert_eq!(idx.block_count(), 0);
+        assert_eq!(idx.stats(), IndexStats::default());
+    }
+
+    #[test]
+    fn drain_all_returns_everything_sorted() {
+        let mut idx: TwoLevelIndex<u64, Ghost> = TwoLevelIndex::new(MergeMode::Overwrite);
+        idx.insert(5, 40, Ghost(8));
+        idx.insert(5, 0, Ghost(8));
+        idx.insert(9, 16, Ghost(8));
+        let mut all = idx.drain_all();
+        all.sort_by_key(|(k, _)| *k);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].1, vec![(0, Ghost(8)), (40, Ghost(8))]);
+        assert_eq!(idx.block_count(), 0);
+    }
+
+    #[test]
+    fn many_interleaved_inserts_maintain_invariants() {
+        // Non-overlap + non-adjacency invariant after arbitrary churn.
+        let mut b: BlockIndex<Ghost> = BlockIndex::new();
+        let mut x = 12345u64;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let off = ((x >> 20) % 100_000) as u32;
+            let len = ((x >> 8) % 512 + 1) as u32;
+            b.insert(off, Ghost(len), MergeMode::Overwrite);
+        }
+        let ranges = b.into_sorted_ranges();
+        for w in ranges.windows(2) {
+            let (s1, ref p1) = w[0];
+            let (s2, _) = w[1];
+            assert!(s1 + p1.len() < s2, "ranges overlap or touch: {w:?}");
+        }
+    }
+}

@@ -1,0 +1,427 @@
+//! The three-layer log schema (§3.1.2): layer keys, multi-pool sets, and
+//! per-layer recycle grouping.
+//!
+//! * **DataLog** — keyed by global data-block id; holds update *data*
+//!   (newest-wins merge). Recycled per block.
+//! * **DeltaLog** — keyed by (stripe, data-block index); holds data
+//!   *deltas* (XOR merge, Eq. 3). Recycled per stripe so that same-offset
+//!   deltas from different blocks combine into one parity delta (Eq. 5).
+//! * **ParityLog** — keyed by (stripe, parity index); holds parity
+//!   *deltas* (XOR merge). Recycled per parity block.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use crate::payload::Payload;
+use crate::pool::{AppendOutcome, LogPool, PoolConfig, PoolStats, TakenUnit};
+
+/// Global data-block identifier (the hash input the paper derives from
+/// inode, stripe and block numbers).
+pub type BlockId = u64;
+
+/// DeltaLog key: one data block within one stripe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StripeBlock {
+    /// Stripe identifier.
+    pub stripe: u64,
+    /// Data block index within the stripe (`0..k`).
+    pub block_idx: u16,
+}
+
+/// ParityLog key: one parity block within one stripe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParityKey {
+    /// Stripe identifier.
+    pub stripe: u64,
+    /// Parity block index within the stripe (`0..m`).
+    pub parity_idx: u16,
+}
+
+/// A set of 1–N pools for one log layer on one device, selected by key hash
+/// (§4.1: "four log pools are configured for each log structure").
+#[derive(Debug, Clone)]
+pub struct LogPoolSet<K, P> {
+    pools: Vec<LogPool<K, P>>,
+}
+
+impl<K: Hash + Eq + Clone, P: Payload> LogPoolSet<K, P> {
+    /// Builds `n_pools` pools with identical configuration.
+    ///
+    /// # Panics
+    /// Panics if `n_pools == 0` or the config is invalid.
+    pub fn new(n_pools: usize, cfg: PoolConfig) -> LogPoolSet<K, P> {
+        assert!(n_pools > 0, "need at least one pool");
+        LogPoolSet {
+            pools: (0..n_pools).map(|_| LogPool::new(cfg.clone())).collect(),
+        }
+    }
+
+    /// Number of pools.
+    pub fn pool_count(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// The pool index a key routes to.
+    pub fn pool_for(&self, key: &K) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % self.pools.len() as u64) as usize
+    }
+
+    /// Appends a record to the key's pool.
+    pub fn append(&mut self, key: K, off: u32, payload: P, now: u64) -> (usize, AppendOutcome) {
+        let idx = self.pool_for(&key);
+        let out = self.pools[idx].append(key, off, payload, now);
+        (idx, out)
+    }
+
+    /// Non-stalling append (see [`LogPool::append_overflow`]).
+    pub fn append_overflow(
+        &mut self,
+        key: K,
+        off: u32,
+        payload: P,
+        now: u64,
+    ) -> (usize, AppendOutcome) {
+        let idx = self.pool_for(&key);
+        let out = self.pools[idx].append_overflow(key, off, payload, now);
+        (idx, out)
+    }
+
+    /// Direct access to a pool.
+    pub fn pool(&self, idx: usize) -> &LogPool<K, P> {
+        &self.pools[idx]
+    }
+
+    /// Direct mutable access to a pool.
+    pub fn pool_mut(&mut self, idx: usize) -> &mut LogPool<K, P> {
+        &mut self.pools[idx]
+    }
+
+    /// Takes a recyclable unit from any pool (scanning over pools),
+    /// returning `(pool_idx, taken_unit)`.
+    pub fn take_recyclable_any(&mut self) -> Option<(usize, TakenUnit<K, P>)> {
+        for (i, pool) in self.pools.iter_mut().enumerate() {
+            if let Some(taken) = pool.take_recyclable() {
+                return Some((i, taken));
+            }
+        }
+        None
+    }
+
+    /// Ordered variant of [`Self::take_recyclable_any`]: only takes from
+    /// pools with no unit currently RECYCLING (newest-wins layers).
+    pub fn take_recyclable_ordered(&mut self) -> Option<(usize, TakenUnit<K, P>)> {
+        for (i, pool) in self.pools.iter_mut().enumerate() {
+            if let Some(taken) = pool.take_recyclable_exclusive() {
+                return Some((i, taken));
+            }
+        }
+        None
+    }
+
+    /// Force-seals every non-empty active unit (end-of-run drain).
+    pub fn seal_all_active(&mut self, now: u64) -> usize {
+        self.pools
+            .iter_mut()
+            .filter_map(|p| p.seal_active(now))
+            .count()
+    }
+
+    /// Read-cache lookup in the key's pool.
+    pub fn lookup(&mut self, key: &K, off: u32, len: u32) -> Vec<(u32, P)> {
+        let idx = self.pool_for(key);
+        self.pools[idx].lookup(key, off, len)
+    }
+
+    /// Total memory footprint across pools.
+    pub fn memory_bytes(&self) -> u64 {
+        self.pools.iter().map(|p| p.memory_bytes()).sum()
+    }
+
+    /// Bytes sitting in active (unsealed) units across pools.
+    pub fn active_bytes(&self) -> u64 {
+        self.pools.iter().map(|p| p.active_bytes()).sum()
+    }
+
+    /// Aggregated statistics across pools.
+    pub fn stats(&self) -> PoolStats {
+        let mut agg = PoolStats::default();
+        for p in &self.pools {
+            let s = p.stats();
+            agg.appends += s.appends;
+            agg.bytes += s.bytes;
+            agg.seals += s.seals;
+            agg.stalls += s.stalls;
+            agg.overflows += s.overflows;
+            agg.units_recycled += s.units_recycled;
+            agg.cache_hits += s.cache_hits;
+            agg.cache_misses += s.cache_misses;
+        }
+        agg
+    }
+
+    /// Whether every pool is drained: nothing RECYCLABLE or RECYCLING.
+    /// Unsealed active data is not covered — call [`Self::seal_all_active`]
+    /// first when draining at end of run.
+    pub fn is_fully_drained(&self) -> bool {
+        self.pools.iter().all(|p| {
+            p.count_state(crate::unit::UnitState::Recyclable) == 0
+                && p.count_state(crate::unit::UnitState::Recycling) == 0
+        })
+    }
+
+    /// Shrinks idle pools (releases RECYCLED units above the minimum).
+    pub fn shrink_idle(&mut self) {
+        for p in &mut self.pools {
+            p.shrink_idle();
+        }
+    }
+}
+
+/// DataLog recycle job: the merged ranges to fold into one data block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataRecycleJob<P> {
+    /// The data block being recycled into.
+    pub block: BlockId,
+    /// Merged, offset-sorted ranges of newest data.
+    pub ranges: Vec<(u32, P)>,
+}
+
+/// Groups a drained DataLog unit into per-block jobs, sorted by block so
+/// that records for one block always land on one recycle thread (§3.2.1).
+pub fn group_data_jobs<P: Payload>(
+    contents: Vec<(BlockId, Vec<(u32, P)>)>,
+) -> Vec<DataRecycleJob<P>> {
+    let mut jobs: Vec<DataRecycleJob<P>> = contents
+        .into_iter()
+        .map(|(block, ranges)| DataRecycleJob { block, ranges })
+        .collect();
+    jobs.sort_by_key(|j| j.block);
+    jobs
+}
+
+/// DeltaLog recycle job: all merged deltas of one stripe, ready for the
+/// Eq. 5 cross-block combination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StripeDeltaJob<P> {
+    /// The stripe.
+    pub stripe: u64,
+    /// `(data block idx, offset, delta)` sorted by (block, offset).
+    pub deltas: Vec<(u16, u32, P)>,
+}
+
+/// Groups a drained DeltaLog unit by stripe.
+pub fn group_delta_jobs<P: Payload>(
+    contents: Vec<(StripeBlock, Vec<(u32, P)>)>,
+) -> Vec<StripeDeltaJob<P>> {
+    let mut by_stripe: HashMap<u64, Vec<(u16, u32, P)>> = HashMap::new();
+    for (key, ranges) in contents {
+        let entry = by_stripe.entry(key.stripe).or_default();
+        for (off, p) in ranges {
+            entry.push((key.block_idx, off, p));
+        }
+    }
+    let mut jobs: Vec<StripeDeltaJob<P>> = by_stripe
+        .into_iter()
+        .map(|(stripe, mut deltas)| {
+            deltas.sort_by_key(|&(b, o, _)| (b, o));
+            StripeDeltaJob { stripe, deltas }
+        })
+        .collect();
+    jobs.sort_by_key(|j| j.stripe);
+    jobs
+}
+
+/// ParityLog recycle job: merged parity-delta ranges for one parity block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParityRecycleJob<P> {
+    /// The parity block.
+    pub parity: ParityKey,
+    /// Merged, offset-sorted parity-delta ranges.
+    pub ranges: Vec<(u32, P)>,
+}
+
+/// Groups a drained ParityLog unit into per-parity-block jobs.
+pub fn group_parity_jobs<P: Payload>(
+    contents: Vec<(ParityKey, Vec<(u32, P)>)>,
+) -> Vec<ParityRecycleJob<P>> {
+    let mut jobs: Vec<ParityRecycleJob<P>> = contents
+        .into_iter()
+        .map(|(parity, ranges)| ParityRecycleJob { parity, ranges })
+        .collect();
+    jobs.sort_by_key(|j| j.parity);
+    jobs
+}
+
+/// Interval union of a stripe job's deltas: the distinct `(offset, len)`
+/// ranges that need one parity delta each per parity block (Eq. 5 — deltas
+/// at the same offset across blocks collapse into a single parity delta).
+pub fn union_ranges<P: Payload>(deltas: &[(u16, u32, P)]) -> Vec<(u32, u32)> {
+    let mut spans: Vec<(u32, u32)> = deltas
+        .iter()
+        .map(|&(_, off, ref p)| (off, p.len()))
+        .collect();
+    spans.sort_unstable();
+    let mut out: Vec<(u32, u32)> = Vec::new();
+    for (off, len) in spans {
+        match out.last_mut() {
+            Some((lo, ll)) if *lo + *ll >= off => {
+                let end = (off + len).max(*lo + *ll);
+                *ll = end - *lo;
+            }
+            _ => out.push((off, len)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::MergeMode;
+    use crate::payload::Ghost;
+
+    #[test]
+    fn pool_set_routes_consistently() {
+        let set: LogPoolSet<BlockId, Ghost> =
+            LogPoolSet::new(4, PoolConfig::paper_default(MergeMode::Overwrite));
+        for key in 0..100u64 {
+            assert_eq!(set.pool_for(&key), set.pool_for(&key));
+            assert!(set.pool_for(&key) < 4);
+        }
+    }
+
+    #[test]
+    fn pool_set_spreads_keys() {
+        let set: LogPoolSet<BlockId, Ghost> =
+            LogPoolSet::new(4, PoolConfig::paper_default(MergeMode::Overwrite));
+        let mut used = [false; 4];
+        for key in 0..64u64 {
+            used[set.pool_for(&key)] = true;
+        }
+        assert!(used.iter().all(|&u| u), "64 keys must touch all 4 pools");
+    }
+
+    #[test]
+    fn append_and_recycle_through_set() {
+        let mut set: LogPoolSet<BlockId, Ghost> = LogPoolSet::new(
+            2,
+            PoolConfig {
+                unit_bytes: 500,
+                min_units: 2,
+                max_units: 4,
+                mode: MergeMode::Overwrite,
+            },
+        );
+        for i in 0..40u64 {
+            let (_, out) = set.append(i % 8, (i as u32) * 100, Ghost(100), i);
+            assert_ne!(out, AppendOutcome::Stalled);
+        }
+        let sealed = set.seal_all_active(100);
+        assert!(sealed > 0);
+        let mut recycled = 0;
+        while let Some((pool, taken)) = set.take_recyclable_any() {
+            assert!(!taken.contents.is_empty());
+            set.pool_mut(pool).finish_recycle(taken.id);
+            recycled += 1;
+        }
+        assert!(recycled > 0);
+        assert_eq!(set.stats().appends, 40);
+    }
+
+    #[test]
+    fn data_jobs_sorted_by_block() {
+        let jobs = group_data_jobs(vec![
+            (9u64, vec![(0, Ghost(10))]),
+            (3, vec![(5, Ghost(5))]),
+        ]);
+        assert_eq!(jobs[0].block, 3);
+        assert_eq!(jobs[1].block, 9);
+    }
+
+    #[test]
+    fn delta_jobs_group_by_stripe() {
+        let contents = vec![
+            (
+                StripeBlock {
+                    stripe: 1,
+                    block_idx: 2,
+                },
+                vec![(100, Ghost(10))],
+            ),
+            (
+                StripeBlock {
+                    stripe: 1,
+                    block_idx: 0,
+                },
+                vec![(100, Ghost(10)), (500, Ghost(20))],
+            ),
+            (
+                StripeBlock {
+                    stripe: 2,
+                    block_idx: 1,
+                },
+                vec![(0, Ghost(4))],
+            ),
+        ];
+        let jobs = group_delta_jobs(contents);
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].stripe, 1);
+        assert_eq!(
+            jobs[0].deltas,
+            vec![
+                (0, 100, Ghost(10)),
+                (0, 500, Ghost(20)),
+                (2, 100, Ghost(10)),
+            ]
+        );
+        assert_eq!(jobs[1].stripe, 2);
+    }
+
+    #[test]
+    fn union_ranges_collapses_same_offset_across_blocks() {
+        // Two blocks updated at the same stripe offset: Eq. 5 says one
+        // parity delta covers both.
+        let deltas = vec![
+            (0u16, 100u32, Ghost(50)),
+            (3u16, 100u32, Ghost(50)),
+            (5u16, 100u32, Ghost(50)),
+        ];
+        assert_eq!(union_ranges(&deltas), vec![(100, 50)]);
+    }
+
+    #[test]
+    fn union_ranges_merges_overlap_and_keeps_gaps() {
+        let deltas = vec![
+            (0u16, 0u32, Ghost(10)),
+            (1u16, 5u32, Ghost(10)),  // overlaps
+            (2u16, 15u32, Ghost(5)),  // touches
+            (3u16, 100u32, Ghost(1)), // distinct
+        ];
+        assert_eq!(union_ranges(&deltas), vec![(0, 20), (100, 1)]);
+    }
+
+    #[test]
+    fn parity_jobs_sorted() {
+        let jobs = group_parity_jobs(vec![
+            (
+                ParityKey {
+                    stripe: 2,
+                    parity_idx: 1,
+                },
+                vec![(0, Ghost(4))],
+            ),
+            (
+                ParityKey {
+                    stripe: 1,
+                    parity_idx: 0,
+                },
+                vec![(8, Ghost(4))],
+            ),
+        ]);
+        assert_eq!(jobs[0].parity.stripe, 1);
+        assert_eq!(jobs[1].parity.stripe, 2);
+    }
+}

@@ -1,0 +1,642 @@
+//! The FIFO log pool (§3.2): a queue of fixed-size units supporting
+//! concurrent append and recycle, bounded memory, dynamic sizing, and
+//! read-cache retention.
+
+use std::collections::VecDeque;
+use std::hash::Hash;
+
+use crate::index::MergeMode;
+use crate::payload::Payload;
+use crate::unit::{LogUnit, UnitState};
+
+/// Pool sizing and behaviour.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Bytes per log unit (the paper uses 16 MiB).
+    pub unit_bytes: u64,
+    /// Units kept allocated even when idle.
+    pub min_units: usize,
+    /// Hard quota on units (the paper's memory-limit knob; Fig. 6b sweeps
+    /// this from 2 to 20).
+    pub max_units: usize,
+    /// Merge semantics of the layer this pool serves.
+    pub mode: MergeMode,
+}
+
+impl PoolConfig {
+    /// The paper's default: 16 MiB units, 2–4 units.
+    pub fn paper_default(mode: MergeMode) -> PoolConfig {
+        PoolConfig {
+            unit_bytes: 16 << 20,
+            min_units: 2,
+            max_units: 4,
+            mode,
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.unit_bytes == 0 {
+            return Err("unit_bytes must be positive".into());
+        }
+        if self.min_units == 0 || self.max_units < self.min_units {
+            return Err(format!(
+                "bad unit bounds: min {} max {}",
+                self.min_units, self.max_units
+            ));
+        }
+        if self.max_units < 2 {
+            return Err("need at least 2 units (one active, one recycling)".into());
+        }
+        Ok(())
+    }
+}
+
+/// A unit handed to a recycler: identity, pre-merge footprint (for the
+/// locality-ablation accounting), residency timestamps, and the merged
+/// contents.
+#[derive(Debug, Clone)]
+pub struct TakenUnit<K, P> {
+    /// Unit id within its pool.
+    pub id: u64,
+    /// Raw records appended (pre-merge).
+    pub records: u64,
+    /// Raw bytes appended (pre-merge).
+    pub bytes: u64,
+    /// Time of the first append.
+    pub first_append_at: Option<u64>,
+    /// Time the unit was sealed.
+    pub sealed_at: Option<u64>,
+    /// Merged contents: per key, offset-sorted ranges.
+    pub contents: Vec<(K, Vec<(u32, P)>)>,
+}
+
+/// Result of an append attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppendOutcome {
+    /// Record accepted into the active unit.
+    Appended,
+    /// Record accepted; the previously active unit sealed (its id returned)
+    /// and is now RECYCLABLE.
+    AppendedAndSealed(u64),
+    /// Pool is at quota with nothing reusable: the caller must wait for a
+    /// recycle to finish and retry (back-pressure; this is what throttles
+    /// TSUE when `max_units` is too small — paper Fig. 6a/6b).
+    Stalled,
+}
+
+/// Cumulative pool statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolStats {
+    /// Records appended.
+    pub appends: u64,
+    /// Bytes appended.
+    pub bytes: u64,
+    /// Units sealed.
+    pub seals: u64,
+    /// Appends rejected with [`AppendOutcome::Stalled`].
+    pub stalls: u64,
+    /// Emergency beyond-quota allocations by [`LogPool::append_overflow`].
+    pub overflows: u64,
+    /// Units fully recycled.
+    pub units_recycled: u64,
+    /// Read-cache lookups that found at least one byte.
+    pub cache_hits: u64,
+    /// Read-cache lookups that found nothing.
+    pub cache_misses: u64,
+}
+
+/// A FIFO pool of log units for one (device, layer, pool-index) triple.
+#[derive(Debug, Clone)]
+pub struct LogPool<K, P> {
+    cfg: PoolConfig,
+    units: Vec<LogUnit<K, P>>,
+    /// FIFO of unit slots in age order (oldest first); the active unit is
+    /// the last element.
+    order: VecDeque<usize>,
+    /// Slot of the unit accepting appends; `None` after a forced seal
+    /// exhausted the quota (the next append re-claims or stalls).
+    active: Option<usize>,
+    next_id: u64,
+    stats: PoolStats,
+}
+
+impl<K: Hash + Eq + Clone, P: Payload> LogPool<K, P> {
+    /// Builds a pool with `min_units` pre-allocated.
+    ///
+    /// # Panics
+    /// Panics on invalid configuration.
+    pub fn new(cfg: PoolConfig) -> LogPool<K, P> {
+        cfg.validate().expect("invalid pool config");
+        let mut pool = LogPool {
+            units: Vec::with_capacity(cfg.max_units),
+            order: VecDeque::with_capacity(cfg.max_units),
+            active: None,
+            next_id: 0,
+            stats: PoolStats::default(),
+            cfg,
+        };
+        for _ in 0..pool.cfg.min_units {
+            pool.alloc_unit();
+        }
+        pool.active = Some(*pool.order.front().expect("min_units >= 1"));
+        pool
+    }
+
+    fn alloc_unit(&mut self) -> usize {
+        let id = self.next_id;
+        self.next_id += 1;
+        let slot = self.units.len();
+        self.units
+            .push(LogUnit::new(id, self.cfg.unit_bytes, self.cfg.mode));
+        self.order.push_back(slot);
+        slot
+    }
+
+    /// The pool configuration.
+    pub fn config(&self) -> &PoolConfig {
+        &self.cfg
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &PoolStats {
+        &self.stats
+    }
+
+    /// Number of allocated units.
+    pub fn unit_count(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Memory footprint: allocated units times unit size (the quota-based
+    /// accounting of §5.3.2).
+    pub fn memory_bytes(&self) -> u64 {
+        self.units.len() as u64 * self.cfg.unit_bytes
+    }
+
+    /// Units currently in the given state.
+    pub fn count_state(&self, state: UnitState) -> usize {
+        self.units.iter().filter(|u| u.state() == state).count()
+    }
+
+    /// Bytes sitting in the active (unsealed) unit.
+    pub fn active_bytes(&self) -> u64 {
+        self.active.map_or(0, |a| self.units[a].used())
+    }
+
+    /// Whether an append of `len` bytes would currently succeed.
+    pub fn can_append(&self, len: u32) -> bool {
+        self.active.is_some_and(|a| self.units[a].fits(len))
+            || self.find_reusable().is_some()
+            || self.units.len() < self.cfg.max_units
+    }
+
+    fn find_reusable(&self) -> Option<usize> {
+        // Idle pre-allocated EMPTY units first (fresh pool), then the
+        // oldest RECYCLED unit (FIFO reuse keeps the cache fresh).
+        self.order
+            .iter()
+            .copied()
+            .find(|&i| Some(i) != self.active && self.units[i].state() == UnitState::Empty)
+            .or_else(|| {
+                self.order
+                    .iter()
+                    .copied()
+                    .find(|&i| self.units[i].state() == UnitState::Recycled)
+            })
+    }
+
+    /// Appends a record, rotating/allocating units as needed.
+    ///
+    /// # Panics
+    /// Panics if a single record exceeds the unit capacity.
+    pub fn append(&mut self, key: K, off: u32, payload: P, now: u64) -> AppendOutcome {
+        let len = payload.len();
+        assert!(
+            (len as u64) <= self.cfg.unit_bytes,
+            "record larger than a log unit"
+        );
+        if let Some(a) = self.active {
+            if self.units[a].fits(len) {
+                self.units[a].append(key, off, payload, now);
+                self.stats.appends += 1;
+                self.stats.bytes += len as u64;
+                return AppendOutcome::Appended;
+            }
+        }
+        // No active unit, or it is full: rotate.
+        match self.claim_replacement() {
+            Some(slot) => {
+                let sealed_id = self.active.map(|a| {
+                    let id = self.units[a].id();
+                    self.units[a].seal(now);
+                    self.stats.seals += 1;
+                    id
+                });
+                self.active = Some(slot);
+                self.units[slot].append(key, off, payload, now);
+                self.stats.appends += 1;
+                self.stats.bytes += len as u64;
+                match sealed_id {
+                    Some(id) => AppendOutcome::AppendedAndSealed(id),
+                    None => AppendOutcome::Appended,
+                }
+            }
+            None => {
+                self.stats.stalls += 1;
+                AppendOutcome::Stalled
+            }
+        }
+    }
+
+    /// Like [`Self::append`], but never stalls: when the quota is exhausted
+    /// it allocates an emergency unit beyond `max_units` and counts an
+    /// overflow. Intended for *internal* pipeline appends whose caller
+    /// cannot park (client-facing appends should use [`Self::append`] and
+    /// honour back-pressure). The emergency unit is released again by
+    /// [`Self::shrink_idle`] once recycled.
+    pub fn append_overflow(&mut self, key: K, off: u32, payload: P, now: u64) -> AppendOutcome {
+        match self.append(key.clone(), off, payload.clone(), now) {
+            AppendOutcome::Stalled => {
+                self.stats.overflows += 1;
+                let slot = self.alloc_unit();
+                let sealed = self.active.map(|a| {
+                    let id = self.units[a].id();
+                    self.units[a].seal(now);
+                    self.stats.seals += 1;
+                    id
+                });
+                self.active = Some(slot);
+                let len = payload.len();
+                self.units[slot].append(key, off, payload, now);
+                self.stats.appends += 1;
+                self.stats.bytes += len as u64;
+                match sealed {
+                    Some(id) => AppendOutcome::AppendedAndSealed(id),
+                    None => AppendOutcome::Appended,
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Claims a replacement active unit: an idle EMPTY spare, a RECYCLED
+    /// unit (cleared for reuse), or a fresh allocation under quota. The
+    /// claimed unit moves to the FIFO tail.
+    fn claim_replacement(&mut self) -> Option<usize> {
+        if let Some(slot) = self.find_reusable() {
+            let pos = self
+                .order
+                .iter()
+                .position(|&i| i == slot)
+                .expect("slot in order");
+            self.order.remove(pos);
+            self.order.push_back(slot);
+            if self.units[slot].state() == UnitState::Recycled {
+                self.units[slot].reuse();
+            }
+            Some(slot)
+        } else if self.units.len() < self.cfg.max_units {
+            Some(self.alloc_unit())
+        } else {
+            None
+        }
+    }
+
+    /// Force-seals the active unit (e.g. timed flush or end-of-run drain)
+    /// if it holds data. Returns the sealed unit's id.
+    ///
+    /// Unlike the rotation inside [`Self::append`], sealing here does not
+    /// require a replacement: the pool may be left without an active unit,
+    /// and the next append claims or allocates one (or stalls at quota).
+    pub fn seal_active(&mut self, now: u64) -> Option<u64> {
+        let a = self.active?;
+        if self.units[a].used() == 0 {
+            return None;
+        }
+        let id = self.units[a].id();
+        self.units[a].seal(now);
+        self.stats.seals += 1;
+        self.active = self.claim_replacement();
+        Some(id)
+    }
+
+    /// Takes the oldest RECYCLABLE unit for recycling. The unit transitions
+    /// to RECYCLING.
+    pub fn take_recyclable(&mut self) -> Option<TakenUnit<K, P>> {
+        let slot = self
+            .order
+            .iter()
+            .copied()
+            .find(|&i| self.units[i].state() == UnitState::Recyclable)?;
+        let contents = self.units[slot].start_recycle();
+        let u = &self.units[slot];
+        Some(TakenUnit {
+            id: u.id(),
+            records: u.records(),
+            bytes: u.used(),
+            first_append_at: u.first_append_at,
+            sealed_at: u.sealed_at,
+            contents,
+        })
+    }
+
+    /// Like [`Self::take_recyclable`], but refuses while another unit of
+    /// this pool is still RECYCLING.
+    ///
+    /// Newest-wins layers (the DataLog) need per-block recycle ordering;
+    /// since a block's records always hash to one pool, serialising recycles
+    /// *within* a pool is exactly the paper's "log records for the same
+    /// block are assigned to the same recycle thread" rule, while distinct
+    /// pools still recycle in parallel.
+    pub fn take_recyclable_exclusive(&mut self) -> Option<TakenUnit<K, P>> {
+        if self.count_state(UnitState::Recycling) > 0 {
+            return None;
+        }
+        self.take_recyclable()
+    }
+
+    /// Marks a RECYCLING unit as done (RECYCLED). Returns residency info
+    /// `(first_append_at, sealed_at)` for Table 2 accounting.
+    ///
+    /// # Panics
+    /// Panics if no RECYCLING unit has this id.
+    pub fn finish_recycle(&mut self, unit_id: u64) -> (Option<u64>, Option<u64>) {
+        let unit = self
+            .units
+            .iter_mut()
+            .find(|u| u.id() == unit_id && u.state() == UnitState::Recycling)
+            .expect("no such recycling unit");
+        unit.finish_recycle();
+        self.stats.units_recycled += 1;
+        (unit.first_append_at, unit.sealed_at)
+    }
+
+    /// Read-cache lookup across all units in **overlay order**: pieces from
+    /// older units come first, so a reader reconstructs the newest view by
+    /// applying the returned pieces in order (later pieces overwrite earlier
+    /// ones where they overlap).
+    pub fn lookup(&mut self, key: &K, off: u32, len: u32) -> Vec<(u32, P)> {
+        let mut out: Vec<(u32, P)> = Vec::new();
+        for &slot in self.order.iter() {
+            out.extend(self.units[slot].lookup(key, off, len));
+        }
+        if out.is_empty() {
+            self.stats.cache_misses += 1;
+        } else {
+            self.stats.cache_hits += 1;
+        }
+        out
+    }
+
+    /// Releases idle RECYCLED units above `min_units` (the shrink half of
+    /// §3.2.2's elasticity).
+    pub fn shrink_idle(&mut self) {
+        while self.units.len() > self.cfg.min_units {
+            // Find the oldest recycled unit that is not active.
+            let Some(pos) = self.order.iter().position(|&i| {
+                self.units[i].state() == UnitState::Recycled && Some(i) != self.active
+            }) else {
+                break;
+            };
+            let slot = self.order[pos];
+            self.order.remove(pos);
+            // Swap-remove from the unit vector; fix up indices in `order`.
+            let last = self.units.len() - 1;
+            self.units.swap_remove(slot);
+            if slot != last {
+                for idx in self.order.iter_mut() {
+                    if *idx == last {
+                        *idx = slot;
+                    }
+                }
+                if self.active == Some(last) {
+                    self.active = Some(slot);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::Ghost;
+
+    fn cfg(max_units: usize) -> PoolConfig {
+        PoolConfig {
+            unit_bytes: 1000,
+            min_units: 2,
+            max_units,
+            mode: MergeMode::Overwrite,
+        }
+    }
+
+    fn pool(max_units: usize) -> LogPool<u64, Ghost> {
+        LogPool::new(cfg(max_units))
+    }
+
+    #[test]
+    fn appends_fill_and_seal_units() {
+        let mut p = pool(4);
+        for i in 0..9 {
+            let out = p.append(1, i * 100, Ghost(100), i as u64);
+            assert_eq!(out, AppendOutcome::Appended, "i = {i}");
+        }
+        // The 10th record fits exactly; the 11th seals.
+        assert_eq!(p.append(1, 900, Ghost(100), 9), AppendOutcome::Appended);
+        match p.append(1, 1000, Ghost(100), 10) {
+            AppendOutcome::AppendedAndSealed(id) => assert_eq!(id, 0),
+            other => panic!("expected seal, got {other:?}"),
+        }
+        assert_eq!(p.count_state(UnitState::Recyclable), 1);
+        assert_eq!(p.stats().appends, 11);
+    }
+
+    #[test]
+    fn quota_exhaustion_stalls() {
+        let mut p = pool(2);
+        // Fill both units without recycling anything.
+        for i in 0..20 {
+            let _ = p.append(1, i * 100, Ghost(100), 0);
+        }
+        assert_eq!(p.append(1, 5000, Ghost(100), 0), AppendOutcome::Stalled);
+        assert!(p.stats().stalls >= 1);
+        assert!(!p.can_append(100));
+    }
+
+    #[test]
+    fn recycle_unblocks_stalled_pool() {
+        let mut p = pool(2);
+        for i in 0..20 {
+            let _ = p.append(1, i * 100, Ghost(100), 0);
+        }
+        assert_eq!(p.append(1, 9000, Ghost(100), 0), AppendOutcome::Stalled);
+
+        let taken = p.take_recyclable().expect("a sealed unit exists");
+        assert!(!taken.contents.is_empty());
+        let id = taken.id;
+        p.finish_recycle(id);
+        assert!(p.can_append(100));
+        assert!(matches!(
+            p.append(1, 9000, Ghost(100), 1),
+            AppendOutcome::AppendedAndSealed(_)
+        ));
+        assert_eq!(p.stats().units_recycled, 1);
+    }
+
+    #[test]
+    fn pool_grows_to_quota_then_reuses() {
+        let mut p = pool(3);
+        assert_eq!(p.unit_count(), 2);
+        for i in 0..25 {
+            let out = p.append(1, i * 100, Ghost(100), 0);
+            if out == AppendOutcome::Stalled {
+                let id = p.take_recyclable().unwrap().id;
+                p.finish_recycle(id);
+                let retry = p.append(1, i * 100, Ghost(100), 0);
+                assert_ne!(retry, AppendOutcome::Stalled);
+            }
+        }
+        assert_eq!(p.unit_count(), 3, "grew to quota and stopped");
+        assert_eq!(p.memory_bytes(), 3000);
+    }
+
+    #[test]
+    fn take_recyclable_is_fifo_oldest_first() {
+        let mut p = pool(4);
+        for i in 0..35 {
+            let _ = p.append(1, i * 100, Ghost(100), 0);
+        }
+        // Units 0, 1, 2 sealed by now (active is 3).
+        let id1 = p.take_recyclable().unwrap().id;
+        let id2 = p.take_recyclable().unwrap().id;
+        assert!(id1 < id2, "oldest unit recycles first");
+    }
+
+    #[test]
+    fn lookup_returns_overlay_order_oldest_first() {
+        let mut p = pool(4);
+        // Fill unit 0 with version A of range [0, 100).
+        for i in 0..10 {
+            let _ = p.append(7, i * 100, Ghost(100), 0);
+        }
+        // This rolls to unit 1 and writes a fresh record for [0, 100).
+        let _ = p.append(7, 0, Ghost(100), 1);
+        let hits = p.lookup(&7, 0, 100);
+        // Two pieces: unit 0's (older) first, unit 1's (newer) last, so an
+        // overlay reader ends with the newest bytes.
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0], (0, Ghost(100)));
+        assert_eq!(hits[1], (0, Ghost(100)));
+        assert_eq!(p.stats().cache_hits, 1);
+        let miss = p.lookup(&99, 0, 10);
+        assert!(miss.is_empty());
+        assert_eq!(p.stats().cache_misses, 1);
+    }
+
+    #[test]
+    fn recycled_units_serve_reads_until_reused() {
+        let mut p = pool(2);
+        for i in 0..20 {
+            let _ = p.append(3, i * 100, Ghost(100), 0);
+        }
+        let id = p.take_recyclable().unwrap().id;
+        p.finish_recycle(id);
+        // The recycled unit still answers reads for its old contents.
+        assert!(!p.lookup(&3, 0, 100).is_empty());
+        // Reuse it via new appends; its old contents vanish.
+        for i in 0..20 {
+            let _ = p.append(4, i * 100, Ghost(100), 1);
+            if let Some(taken) = p.take_recyclable() {
+                p.finish_recycle(taken.id);
+            }
+        }
+        let hits = p.lookup(&3, 0, 100);
+        assert!(hits.is_empty(), "old key evicted after unit reuse: {hits:?}");
+    }
+
+    #[test]
+    fn seal_active_flushes_partial_unit() {
+        let mut p = pool(4);
+        assert_eq!(p.seal_active(0), None, "empty active unit: nothing to seal");
+        let _ = p.append(1, 0, Ghost(50), 0);
+        let id = p.seal_active(5).expect("sealed");
+        assert_eq!(id, 0);
+        assert_eq!(p.count_state(UnitState::Recyclable), 1);
+        let taken = p.take_recyclable().unwrap();
+        assert_eq!(taken.id, id);
+        assert_eq!(taken.contents[0].1, vec![(0, Ghost(50))]);
+        assert_eq!(taken.records, 1);
+        assert_eq!(taken.bytes, 50);
+    }
+
+    #[test]
+    fn shrink_idle_releases_units() {
+        let mut p = pool(6);
+        for i in 0..55 {
+            let _ = p.append(1, i * 100, Ghost(100), 0);
+        }
+        while let Some(taken) = p.take_recyclable() {
+            p.finish_recycle(taken.id);
+        }
+        assert_eq!(p.unit_count(), 6);
+        p.shrink_idle();
+        assert_eq!(p.unit_count(), 2, "shrank to min_units");
+        // Pool still functional after shrink.
+        for i in 0..30 {
+            let out = p.append(2, i * 100, Ghost(100), 1);
+            if out == AppendOutcome::Stalled {
+                let id = p.take_recyclable().unwrap().id;
+                p.finish_recycle(id);
+                let _ = p.append(2, i * 100, Ghost(100), 1);
+            }
+        }
+        assert!(p.stats().appends >= 80);
+    }
+
+    #[test]
+    fn residency_times_flow_through() {
+        let mut p = pool(2);
+        for i in 0..11 {
+            let _ = p.append(1, i * 100, Ghost(100), 100 + i as u64);
+        }
+        let taken = p.take_recyclable().unwrap();
+        let (first, sealed) = p.finish_recycle(taken.id);
+        assert_eq!(first, Some(100));
+        assert_eq!(sealed, Some(110));
+    }
+
+    #[test]
+    #[should_panic(expected = "record larger than a log unit")]
+    fn oversized_record_panics() {
+        let mut p = pool(2);
+        let _ = p.append(1, 0, Ghost(2000), 0);
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(cfg(4).validate().is_ok());
+        assert!(PoolConfig {
+            unit_bytes: 0,
+            ..cfg(4)
+        }
+        .validate()
+        .is_err());
+        assert!(PoolConfig {
+            min_units: 3,
+            max_units: 2,
+            ..cfg(4)
+        }
+        .validate()
+        .is_err());
+        assert!(PoolConfig {
+            min_units: 1,
+            max_units: 1,
+            ..cfg(4)
+        }
+        .validate()
+        .is_err());
+        assert!(PoolConfig::paper_default(MergeMode::Xor).validate().is_ok());
+    }
+}

@@ -1,0 +1,446 @@
+//! The simulated cluster: OSD nodes, network, metrics, and the consistency
+//! oracle shared by every update-method driver.
+
+use simdes::stats::{Histogram, TimeSeries};
+use simdes::{Sim, SimTime};
+use simdisk::{Disk, Hdd, IoOp, Ssd};
+use simnet::{NetConfig, Network};
+
+use rscode::ReedSolomon;
+
+use crate::config::{ClusterConfig, DiskKind};
+use crate::layout::{BlockAddr, Layout};
+use crate::methods::NodeState;
+
+/// A half-open byte interval set with merging — the consistency oracle's
+/// bookkeeping unit.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalSet {
+    /// Sorted, disjoint `(start, end)` intervals.
+    spans: Vec<(u64, u64)>,
+}
+
+impl IntervalSet {
+    /// Inserts `[start, end)`, merging overlaps.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        assert!(start < end, "empty interval");
+        let idx = self.spans.partition_point(|&(_, e)| e < start);
+        let mut new = (start, end);
+        let mut remove_to = idx;
+        while remove_to < self.spans.len() && self.spans[remove_to].0 <= new.1 {
+            new.0 = new.0.min(self.spans[remove_to].0);
+            new.1 = new.1.max(self.spans[remove_to].1);
+            remove_to += 1;
+        }
+        self.spans.splice(idx..remove_to, [new]);
+    }
+
+    /// Whether `[start, end)` is fully covered.
+    pub fn covers(&self, start: u64, end: u64) -> bool {
+        let idx = self.spans.partition_point(|&(_, e)| e < end);
+        // The covering interval, if any, is the one whose end >= end.
+        self.spans
+            .get(idx)
+            .is_some_and(|&(s, e)| s <= start && end <= e)
+            || idx
+                .checked_sub(0)
+                .and_then(|_| self.spans.get(idx))
+                .is_some_and(|&(s, e)| s <= start && end <= e)
+    }
+
+    /// Whether this set covers every interval of `other`.
+    pub fn covers_all(&self, other: &IntervalSet) -> bool {
+        other.spans.iter().all(|&(s, e)| self.covers(s, e))
+    }
+
+    /// Total bytes covered.
+    pub fn total(&self) -> u64 {
+        self.spans.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// Number of disjoint spans.
+    pub fn span_count(&self) -> usize {
+        self.spans.len()
+    }
+}
+
+/// Residency timing per log layer (paper Table 2).
+#[derive(Debug, Clone, Default)]
+pub struct LayerResidency {
+    /// Append service time (µs-scale).
+    pub append: Histogram,
+    /// Time between a unit's first append and its recycle start.
+    pub buffer: Histogram,
+    /// Recycle processing time.
+    pub recycle: Histogram,
+}
+
+/// Cluster-wide measurement state.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    /// Updates acknowledged to clients.
+    pub completed_updates: u64,
+    /// Fresh writes completed.
+    pub completed_writes: u64,
+    /// Reads completed.
+    pub completed_reads: u64,
+    /// Client-observed update latency.
+    pub update_latency: Histogram,
+    /// Update completions over time (Fig. 6a's series).
+    pub completions: TimeSeries,
+    /// Appends that hit log back-pressure.
+    pub stall_waits: u64,
+    /// Exact time of the latest client-visible completion.
+    pub last_completion: SimTime,
+    /// Reads served from a log read-cache.
+    pub cache_read_hits: u64,
+    /// DataLog residency (TSUE).
+    pub data_residency: LayerResidency,
+    /// DeltaLog residency (TSUE).
+    pub delta_residency: LayerResidency,
+    /// ParityLog residency (TSUE / PL-family logs).
+    pub parity_residency: LayerResidency,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            completed_updates: 0,
+            completed_writes: 0,
+            completed_reads: 0,
+            update_latency: Histogram::new(),
+            completions: TimeSeries::new(simdes::units::SECS),
+            stall_waits: 0,
+            last_completion: 0,
+            cache_read_hits: 0,
+            data_residency: LayerResidency::default(),
+            delta_residency: LayerResidency::default(),
+            parity_residency: LayerResidency::default(),
+        }
+    }
+}
+
+/// A parked continuation awaiting log-recycle progress.
+pub type Waiter = Box<dyn FnOnce(&mut Sim<Cluster>, &mut Cluster)>;
+
+/// One OSD node: a disk, method-specific log state, and stalled waiters.
+pub struct Osd {
+    /// Node id.
+    pub id: usize,
+    /// The device.
+    pub disk: Disk,
+    /// Method-specific log structures.
+    pub state: NodeState,
+    /// Continuations blocked on log back-pressure.
+    pub waiters: Vec<Waiter>,
+    /// Whether the node is failed (recovery experiments).
+    pub failed: bool,
+    /// Append cursor within the device's log region (top quarter).
+    pub log_cursor: u64,
+    /// The node's recycle thread pool (per-record CPU during recycling).
+    pub recycle_cpu: simdes::Resource,
+}
+
+/// The consistency oracle: acked vs applied coverage.
+#[derive(Debug, Clone, Default)]
+pub struct Oracle {
+    /// Per data block: byte ranges acknowledged to clients.
+    pub acked: std::collections::HashMap<BlockAddr, IntervalSet>,
+    /// Per data block: byte ranges folded into the block on disk.
+    pub applied_data: std::collections::HashMap<BlockAddr, IntervalSet>,
+    /// Per parity block: byte ranges whose parity effect has been applied.
+    pub applied_parity: std::collections::HashMap<BlockAddr, IntervalSet>,
+}
+
+impl Oracle {
+    /// Verifies that every acked range is applied to its data block and to
+    /// all `m` parity blocks of its stripe. Returns the list of violations.
+    pub fn violations(&self, layout: &Layout) -> Vec<String> {
+        let mut out = Vec::new();
+        for (addr, acked) in &self.acked {
+            match self.applied_data.get(addr) {
+                Some(applied) if applied.covers_all(acked) => {}
+                _ => out.push(format!("data block {addr:?} missing applied ranges")),
+            }
+            for p in layout.parity_addrs(addr.volume, addr.stripe) {
+                match self.applied_parity.get(&p) {
+                    Some(applied) if applied.covers_all(acked) => {}
+                    _ => out.push(format!(
+                        "parity block {p:?} missing effect of updates to {addr:?}"
+                    )),
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The DES world: everything the event handlers touch.
+pub struct Cluster {
+    /// Configuration.
+    pub cfg: ClusterConfig,
+    /// The codec (coefficients for delta math; sizes only here).
+    pub rs: ReedSolomon,
+    /// Placement and allocation.
+    pub layout: Layout,
+    /// The network fabric.
+    pub net: Network,
+    /// The OSD nodes.
+    pub nodes: Vec<Osd>,
+    /// Measurements.
+    pub metrics: Metrics,
+    /// Consistency oracle.
+    pub oracle: Oracle,
+    /// Client driver installed by the replay engine: called to issue the
+    /// client's next op after a completion.
+    pub client_driver: Option<fn(&mut Sim<Cluster>, &mut Cluster, usize)>,
+    /// Reverse map from compact stripe keys to `(volume, stripe)`.
+    pub stripe_names: std::collections::HashMap<u64, (u32, u64)>,
+    /// Per-client op queues installed by the replay engine.
+    pub client_ops: Vec<std::collections::VecDeque<(u64, u32, traces::OpKind)>>,
+    /// Scheduled-but-not-yet-executed log-forwarding events (drain guard).
+    pub forwards_in_flight: u64,
+}
+
+impl Cluster {
+    /// Builds the cluster.
+    ///
+    /// # Panics
+    /// Panics on invalid configuration.
+    pub fn new(cfg: ClusterConfig) -> Cluster {
+        cfg.validate().expect("invalid cluster config");
+        let rs = ReedSolomon::new(cfg.code);
+        let parity_extra = if cfg.method == crate::config::MethodKind::Plr {
+            cfg.plr_reserved_bytes
+        } else {
+            0
+        };
+        let layout =
+            Layout::with_parity_extra(cfg.code, cfg.block_bytes, cfg.nodes, parity_extra);
+        let net = Network::new(NetConfig {
+            endpoints: cfg.endpoints(),
+            bandwidth: cfg.net_bandwidth,
+            rpc_overhead: cfg.net_rpc_overhead,
+        });
+        let nodes = (0..cfg.nodes)
+            .map(|id| Osd {
+                id,
+                disk: match &cfg.disk {
+                    DiskKind::Ssd(c) => Disk::Ssd(Ssd::new(c.clone())),
+                    DiskKind::Hdd(c) => Disk::Hdd(Hdd::new(c.clone())),
+                },
+                state: NodeState::new(&cfg),
+                waiters: Vec::new(),
+                failed: false,
+                log_cursor: 0,
+                recycle_cpu: simdes::Resource::new(2),
+            })
+            .collect();
+        Cluster {
+            rs,
+            layout,
+            net,
+            nodes,
+            metrics: Metrics::default(),
+            oracle: Oracle::default(),
+            client_driver: None,
+            stripe_names: std::collections::HashMap::new(),
+            client_ops: Vec::new(),
+            forwards_in_flight: 0,
+            cfg,
+        }
+    }
+
+    /// Allocates `len` bytes in `node`'s log region (the top quarter of the
+    /// device), wrapping when exhausted — log space is recycled, so reuse
+    /// (and the overwrite accounting it triggers) is intentional.
+    pub fn log_offset(&mut self, node: usize, len: u64) -> u64 {
+        let cap = self.nodes[node].disk.capacity();
+        let base = cap / 4 * 3;
+        let osd = &mut self.nodes[node];
+        if osd.log_cursor < base || osd.log_cursor + len > cap {
+            osd.log_cursor = base;
+        }
+        let off = osd.log_cursor;
+        osd.log_cursor += len;
+        off
+    }
+
+    /// Registers (and returns) the compact key of `(volume, stripe)`.
+    pub fn stripe_id(&mut self, volume: u32, stripe: u64) -> u64 {
+        let key = crate::layout::stripe_key(volume, stripe);
+        self.stripe_names.insert(key, (volume, stripe));
+        key
+    }
+
+    /// Books a disk op on `node`, returning its completion time.
+    pub fn disk_io(&mut self, node: usize, now: SimTime, op: IoOp) -> SimTime {
+        self.nodes[node].disk.submit(now, op)
+    }
+
+    /// Sends `bytes` between endpoints, returning the delivery time.
+    pub fn send(&mut self, now: SimTime, src: usize, dst: usize, bytes: u64) -> SimTime {
+        self.net.send(now, src, dst, bytes)
+    }
+
+    /// Small control message (ack) between endpoints.
+    pub fn ack(&mut self, now: SimTime, src: usize, dst: usize) -> SimTime {
+        self.net.rpc(now, src, dst)
+    }
+
+    /// Records an update completion and drives the client's next op.
+    pub fn finish_update(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        client: usize,
+        issued_at: SimTime,
+        done_at: SimTime,
+    ) {
+        self.metrics.completed_updates += 1;
+        self.metrics
+            .update_latency
+            .record(done_at.saturating_sub(issued_at));
+        self.metrics.completions.record(done_at, 1);
+        self.metrics.last_completion = self.metrics.last_completion.max(done_at);
+        if let Some(driver) = self.client_driver {
+            sim.schedule_at(done_at.max(sim.now()), move |sim, cl: &mut Cluster| {
+                driver(sim, cl, client);
+            });
+        }
+    }
+
+    /// Records a non-update completion and drives the client's next op.
+    pub fn finish_other(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        client: usize,
+        is_read: bool,
+        done_at: SimTime,
+    ) {
+        if is_read {
+            self.metrics.completed_reads += 1;
+        } else {
+            self.metrics.completed_writes += 1;
+        }
+        self.metrics.last_completion = self.metrics.last_completion.max(done_at);
+        if let Some(driver) = self.client_driver {
+            sim.schedule_at(done_at.max(sim.now()), move |sim, cl: &mut Cluster| {
+                driver(sim, cl, client);
+            });
+        }
+    }
+
+    /// Parks a continuation on `node` until its logs make progress.
+    pub fn park_on(&mut self, node: usize, cont: Waiter) {
+        self.metrics.stall_waits += 1;
+        self.nodes[node].waiters.push(cont);
+    }
+
+    /// Wakes all parked continuations on `node`.
+    pub fn wake_waiters(&mut self, sim: &mut Sim<Cluster>, node: usize) {
+        for cont in self.nodes[node].waiters.drain(..) {
+            sim.schedule(0, move |sim, cl: &mut Cluster| cont(sim, cl));
+        }
+    }
+
+    /// Aggregated device statistics over all nodes.
+    pub fn disk_stats(&self) -> simdisk::DeviceStats {
+        let mut agg = simdisk::DeviceStats::default();
+        for n in &self.nodes {
+            agg.merge(n.disk.stats());
+        }
+        agg
+    }
+
+    /// Total erase operations across the cluster (SSD lifespan currency).
+    pub fn total_erases(&self) -> u64 {
+        self.nodes.iter().map(|n| n.disk.stats().erases).sum()
+    }
+
+    /// Oracle helpers: record an ack on a data-block range.
+    pub fn oracle_ack(&mut self, addr: BlockAddr, offset: u32, len: u32) {
+        self.oracle
+            .acked
+            .entry(addr)
+            .or_default()
+            .insert(offset as u64, offset as u64 + len as u64);
+    }
+
+    /// Oracle helpers: record data applied in place.
+    pub fn oracle_apply_data(&mut self, addr: BlockAddr, offset: u32, len: u32) {
+        self.oracle
+            .applied_data
+            .entry(addr)
+            .or_default()
+            .insert(offset as u64, offset as u64 + len as u64);
+    }
+
+    /// Oracle helpers: record parity effect applied for a stripe range.
+    pub fn oracle_apply_parity(&mut self, addr: BlockAddr, offset: u32, len: u32) {
+        self.oracle
+            .applied_parity
+            .entry(addr)
+            .or_default()
+            .insert(offset as u64, offset as u64 + len as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_set_merges() {
+        let mut s = IntervalSet::default();
+        s.insert(0, 10);
+        s.insert(20, 30);
+        assert_eq!(s.span_count(), 2);
+        assert_eq!(s.total(), 20);
+        s.insert(5, 25); // bridges
+        assert_eq!(s.span_count(), 1);
+        assert_eq!(s.total(), 30);
+        assert!(s.covers(0, 30));
+        assert!(!s.covers(0, 31));
+    }
+
+    #[test]
+    fn interval_set_adjacent_merge() {
+        let mut s = IntervalSet::default();
+        s.insert(0, 10);
+        s.insert(10, 20);
+        assert_eq!(s.span_count(), 1);
+        assert!(s.covers(0, 20));
+    }
+
+    #[test]
+    fn interval_covers_all() {
+        let mut a = IntervalSet::default();
+        a.insert(0, 100);
+        let mut b = IntervalSet::default();
+        b.insert(10, 20);
+        b.insert(50, 60);
+        assert!(a.covers_all(&b));
+        assert!(!b.covers_all(&a));
+    }
+
+    #[test]
+    fn interval_set_many_random() {
+        let mut s = IntervalSet::default();
+        let mut x = 7u64;
+        let mut naive = vec![false; 10_000];
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let start = (x >> 20) % 9_000;
+            let len = (x >> 50) % 100 + 1;
+            s.insert(start, start + len);
+            for i in start..start + len {
+                naive[i as usize] = true;
+            }
+        }
+        let total: u64 = naive.iter().filter(|&&b| b).count() as u64;
+        assert_eq!(s.total(), total);
+        for w in s.spans.windows(2) {
+            assert!(w[0].1 < w[1].0, "overlapping spans");
+        }
+    }
+}

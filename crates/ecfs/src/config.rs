@@ -1,0 +1,319 @@
+//! Cluster and method configuration.
+
+use rscode::CodeParams;
+use simdisk::{HddConfig, SsdConfig};
+use tsue::pool::PoolConfig;
+use tsue::MergeMode;
+
+/// Which device model every OSD carries.
+#[derive(Debug, Clone)]
+pub enum DiskKind {
+    /// NAND SSD (the paper's primary testbed).
+    Ssd(SsdConfig),
+    /// Mechanical HDD (the §5.4 cluster).
+    Hdd(HddConfig),
+}
+
+/// The update method under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MethodKind {
+    /// Full overwrite: in-place data and parity.
+    Fo,
+    /// Full logging: log data and parity deltas, threshold recycle.
+    Fl,
+    /// Parity logging.
+    Pl,
+    /// Parity logging with reserved space.
+    Plr,
+    /// Speculative partial writes.
+    Parix,
+    /// Collector-aggregated deltas through a single buffer log.
+    Cord,
+    /// The paper's two-stage method.
+    Tsue,
+}
+
+impl MethodKind {
+    /// All methods in the paper's Fig. 5 order.
+    pub const ALL: [MethodKind; 7] = [
+        MethodKind::Fo,
+        MethodKind::Fl,
+        MethodKind::Pl,
+        MethodKind::Plr,
+        MethodKind::Parix,
+        MethodKind::Cord,
+        MethodKind::Tsue,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MethodKind::Fo => "FO",
+            MethodKind::Fl => "FL",
+            MethodKind::Pl => "PL",
+            MethodKind::Plr => "PLR",
+            MethodKind::Parix => "PARIX",
+            MethodKind::Cord => "CoRD",
+            MethodKind::Tsue => "TSUE",
+        }
+    }
+}
+
+/// TSUE's optimisation toggles, matching the Fig. 7 breakdown points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TsueFeatures {
+    /// O1: exploit spatio-temporal locality in the DataLog (merge records).
+    pub data_locality: bool,
+    /// O2: exploit locality in the ParityLog.
+    pub parity_locality: bool,
+    /// O3: the FIFO log-pool structure (without it, a single log unit makes
+    /// append and recycle mutually exclusive).
+    pub log_pool: bool,
+    /// O4: multiple log pools per device (4 instead of 1).
+    pub multi_pool: bool,
+    /// O5: the DeltaLog middle layer (Eq. 5 cross-block merging).
+    pub delta_log: bool,
+}
+
+impl TsueFeatures {
+    /// Everything on — the full TSUE of Fig. 5.
+    pub fn full() -> TsueFeatures {
+        TsueFeatures {
+            data_locality: true,
+            parity_locality: true,
+            log_pool: true,
+            multi_pool: true,
+            delta_log: true,
+        }
+    }
+
+    /// The Fig. 7 baseline: DataLog + ParityLog in memory, nothing else.
+    pub fn baseline() -> TsueFeatures {
+        TsueFeatures {
+            data_locality: false,
+            parity_locality: false,
+            log_pool: false,
+            multi_pool: false,
+            delta_log: false,
+        }
+    }
+
+    /// The cumulative Fig. 7 ladder: Baseline, +O1, +O2, +O3, +O4, +O5.
+    pub fn ladder() -> [(&'static str, TsueFeatures); 6] {
+        let mut f = Self::baseline();
+        let base = f;
+        f.data_locality = true;
+        let o1 = f;
+        f.parity_locality = true;
+        let o2 = f;
+        f.log_pool = true;
+        let o3 = f;
+        f.multi_pool = true;
+        let o4 = f;
+        f.delta_log = true;
+        let o5 = f;
+        [
+            ("Baseline", base),
+            ("O1", o1),
+            ("O2", o2),
+            ("O3", o3),
+            ("O4", o4),
+            ("O5", o5),
+        ]
+    }
+}
+
+/// Full cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of OSD nodes.
+    pub nodes: usize,
+    /// Number of closed-loop client streams.
+    pub clients: usize,
+    /// RS(k, m) shape.
+    pub code: CodeParams,
+    /// Bytes per EC block.
+    pub block_bytes: u64,
+    /// Device model per OSD.
+    pub disk: DiskKind,
+    /// Network fabric (endpoints are sized automatically).
+    pub net_bandwidth: u64,
+    /// Per-RPC network overhead in nanoseconds.
+    pub net_rpc_overhead: u64,
+    /// Update method under test.
+    pub method: MethodKind,
+    /// TSUE feature toggles (ignored by other methods).
+    pub tsue: TsueFeatures,
+    /// Log-unit size for TSUE layers.
+    pub tsue_unit_bytes: u64,
+    /// Unit quota per TSUE pool (Fig. 6b sweeps this).
+    pub tsue_max_units: usize,
+    /// PLR reserved-space bytes per parity block.
+    pub plr_reserved_bytes: u64,
+    /// CoRD collector buffer bytes.
+    pub cord_buffer_bytes: u64,
+    /// PARIX parity-log recycle threshold per node (epoch length; each
+    /// epoch reset re-exposes the first-touch network round).
+    pub parix_threshold_bytes: u64,
+    /// FL log-recycle threshold in bytes per node.
+    pub fl_threshold_bytes: u64,
+    /// Per-record CPU time (ns) spent by TSUE's recycle threads (index
+    /// walk, memcpy, checksum) — the thread-pool cost of §3.2.1.
+    pub tsue_recycle_cpu_per_record: u64,
+}
+
+impl ClusterConfig {
+    /// The paper's SSD testbed: 16 nodes, 25 Gb/s, one SSD each.
+    pub fn ssd_testbed(code: CodeParams, method: MethodKind) -> ClusterConfig {
+        ClusterConfig {
+            nodes: 16,
+            clients: 16,
+            code,
+            block_bytes: 4 << 20,
+            disk: DiskKind::Ssd(SsdConfig::default()),
+            net_bandwidth: 25_000_000_000 / 8,
+            net_rpc_overhead: 100_000,
+            method,
+            tsue: TsueFeatures::full(),
+            tsue_unit_bytes: 16 << 20,
+            tsue_max_units: 4,
+            plr_reserved_bytes: 256 << 10,
+            cord_buffer_bytes: 12 << 20,
+            parix_threshold_bytes: 4 << 20,
+            fl_threshold_bytes: 256 << 20,
+            tsue_recycle_cpu_per_record: 25_000,
+        }
+    }
+
+    /// The paper's HDD testbed: 16 nodes, 40 Gb/s InfiniBand. The paper
+    /// disables the DeltaLog on HDDs (§5.4).
+    pub fn hdd_testbed(code: CodeParams, method: MethodKind) -> ClusterConfig {
+        let mut cfg = Self::ssd_testbed(code, method);
+        cfg.disk = DiskKind::Hdd(HddConfig::default());
+        cfg.net_bandwidth = 40_000_000_000 / 8;
+        cfg.net_rpc_overhead = 30_000;
+        cfg.tsue.delta_log = false;
+        cfg
+    }
+
+    /// Pool configuration for one TSUE layer under the current toggles.
+    pub fn tsue_pool_cfg(&self, mode: MergeMode) -> PoolConfig {
+        if self.tsue.log_pool {
+            PoolConfig {
+                unit_bytes: self.tsue_unit_bytes,
+                min_units: 2.min(self.tsue_max_units),
+                max_units: self.tsue_max_units.max(2),
+                mode,
+            }
+        } else {
+            // O3 off: a single log (two tiny units so the pool type still
+            // works, but append and recycle contend — see the TSUE driver).
+            PoolConfig {
+                unit_bytes: self.tsue_unit_bytes,
+                min_units: 2,
+                max_units: 2,
+                mode,
+            }
+        }
+    }
+
+    /// CoRD's collector buffer, budgeted per parity block (scales with m).
+    pub fn cord_buffer_for(&self) -> u64 {
+        self.cord_buffer_bytes * self.code.m() as u64 / 2
+    }
+
+    /// PARIX's per-node log-epoch length. A stripe's first-touch state
+    /// resets when *any* of its m parity nodes rolls an epoch, so the
+    /// per-node budget scales with m² to keep the per-stripe reset rate
+    /// comparable across code shapes.
+    pub fn parix_threshold_for(&self) -> u64 {
+        let m = self.code.m() as u64;
+        self.parix_threshold_bytes * m * m / 4
+    }
+
+    /// Pools per device per layer under the current toggles.
+    pub fn tsue_pools_per_layer(&self) -> usize {
+        if self.tsue.multi_pool {
+            4
+        } else {
+            1
+        }
+    }
+
+    /// Network endpoint ids: OSDs are `0..nodes`, clients follow.
+    pub fn endpoints(&self) -> usize {
+        self.nodes + self.clients
+    }
+
+    /// Endpoint id of client `c`.
+    pub fn client_endpoint(&self, c: usize) -> usize {
+        self.nodes + c
+    }
+
+    /// Validates cross-field invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes < self.code.total() {
+            return Err(format!(
+                "{} nodes cannot hold RS({},{}) stripes",
+                self.nodes,
+                self.code.k(),
+                self.code.m()
+            ));
+        }
+        if self.clients == 0 {
+            return Err("need at least one client".into());
+        }
+        if self.block_bytes == 0 || self.block_bytes % 4096 != 0 {
+            return Err("block_bytes must be a positive multiple of 4 KiB".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_configs_validate() {
+        let code = CodeParams::new(6, 4).unwrap();
+        assert!(ClusterConfig::ssd_testbed(code, MethodKind::Tsue)
+            .validate()
+            .is_ok());
+        assert!(ClusterConfig::hdd_testbed(code, MethodKind::Pl)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn too_few_nodes_rejected() {
+        let code = CodeParams::new(12, 4).unwrap();
+        let mut cfg = ClusterConfig::ssd_testbed(code, MethodKind::Fo);
+        cfg.nodes = 10;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn feature_ladder_is_cumulative() {
+        let ladder = TsueFeatures::ladder();
+        assert_eq!(ladder[0].1, TsueFeatures::baseline());
+        assert_eq!(ladder[5].1, TsueFeatures::full());
+        assert!(ladder[1].1.data_locality && !ladder[1].1.parity_locality);
+        assert!(ladder[3].1.log_pool && !ladder[3].1.multi_pool);
+    }
+
+    #[test]
+    fn hdd_testbed_disables_delta_log() {
+        let code = CodeParams::new(6, 4).unwrap();
+        let cfg = ClusterConfig::hdd_testbed(code, MethodKind::Tsue);
+        assert!(!cfg.tsue.delta_log);
+        assert!(matches!(cfg.disk, DiskKind::Hdd(_)));
+    }
+
+    #[test]
+    fn method_names_match_paper() {
+        assert_eq!(MethodKind::Tsue.name(), "TSUE");
+        assert_eq!(MethodKind::Cord.name(), "CoRD");
+        assert_eq!(MethodKind::ALL.len(), 7);
+    }
+}

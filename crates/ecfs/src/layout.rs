@@ -1,0 +1,336 @@
+//! Volume-to-stripe layout and block placement — the MDS's job (§4).
+//!
+//! Each client owns one logical volume (one large file). A volume is
+//! striped: stripe `s` covers bytes `[s·kB, (s+1)·kB)` in `k` blocks of `B`
+//! bytes, followed by `m` parity blocks. The `k + m` blocks of a stripe are
+//! placed on distinct OSDs by rotating a per-stripe hash, and each OSD
+//! allocates device space for its blocks with a bump allocator.
+
+use std::collections::HashMap;
+
+use rscode::CodeParams;
+
+/// Globally unique block id: `(volume, stripe, index within stripe)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockAddr {
+    /// Volume (client/file) id.
+    pub volume: u32,
+    /// Stripe index within the volume.
+    pub stripe: u64,
+    /// Block index within the stripe: `0..k` data, `k..k+m` parity.
+    pub index: u16,
+}
+
+impl BlockAddr {
+    /// A compact u64 key (for log-pool hashing).
+    pub fn key(&self) -> u64 {
+        (self.volume as u64) << 48 ^ self.stripe << 8 ^ self.index as u64
+    }
+
+    /// Whether this is a data block under the given code.
+    pub fn is_data(&self, code: CodeParams) -> bool {
+        (self.index as usize) < code.k()
+    }
+}
+
+/// A stripe-global identifier (volume + stripe) used by delta/parity keys.
+pub fn stripe_key(volume: u32, stripe: u64) -> u64 {
+    (volume as u64) << 40 ^ stripe
+}
+
+/// One sub-update after splitting a volume-offset range on block
+/// boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSlice {
+    /// The data block touched.
+    pub addr: BlockAddr,
+    /// Offset within the block.
+    pub offset: u32,
+    /// Length in bytes.
+    pub len: u32,
+}
+
+/// The layout/placement service.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    code: CodeParams,
+    block_bytes: u64,
+    nodes: usize,
+    /// Extra device bytes reserved after each parity block (PLR's reserved
+    /// log space; zero for every other method).
+    parity_extra: u64,
+    /// Device-offset allocation per node.
+    cursors: Vec<u64>,
+    /// Block → (node, device offset).
+    table: HashMap<BlockAddr, (usize, u64)>,
+}
+
+impl Layout {
+    /// New layout over `nodes` OSDs.
+    pub fn new(code: CodeParams, block_bytes: u64, nodes: usize) -> Layout {
+        Self::with_parity_extra(code, block_bytes, nodes, 0)
+    }
+
+    /// Layout reserving `parity_extra` bytes adjacent to each parity block.
+    pub fn with_parity_extra(
+        code: CodeParams,
+        block_bytes: u64,
+        nodes: usize,
+        parity_extra: u64,
+    ) -> Layout {
+        assert!(nodes >= code.total(), "not enough nodes for a stripe");
+        Layout {
+            code,
+            block_bytes,
+            nodes,
+            parity_extra,
+            cursors: vec![0; nodes],
+            table: HashMap::new(),
+        }
+    }
+
+    /// The code shape.
+    pub fn code(&self) -> CodeParams {
+        self.code
+    }
+
+    /// Block size in bytes.
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    /// Splits a volume byte range into per-data-block slices.
+    pub fn slices(&self, volume: u32, offset: u64, len: u32) -> Vec<BlockSlice> {
+        let k = self.code.k() as u64;
+        let b = self.block_bytes;
+        let stripe_span = k * b;
+        let mut out = Vec::new();
+        let mut cur = offset;
+        let end = offset + len as u64;
+        while cur < end {
+            let stripe = cur / stripe_span;
+            let within = cur % stripe_span;
+            let index = (within / b) as u16;
+            let block_off = within % b;
+            let take = (b - block_off).min(end - cur);
+            out.push(BlockSlice {
+                addr: BlockAddr {
+                    volume,
+                    stripe,
+                    index,
+                },
+                offset: block_off as u32,
+                len: take as u32,
+            });
+            cur += take;
+        }
+        out
+    }
+
+    /// The OSD hosting a block: stripes rotate around the ring so load
+    /// spreads evenly; the `k + m` blocks of one stripe always land on
+    /// distinct nodes.
+    pub fn node_of(&self, addr: BlockAddr) -> usize {
+        let base = (addr.volume as u64)
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add(addr.stripe.wrapping_mul(0xd1b54a32d192ed03));
+        ((base as usize) + addr.index as usize) % self.nodes
+    }
+
+    /// Node and device offset of a block, allocating on first touch.
+    /// Parity blocks also reserve `parity_extra` adjacent bytes.
+    pub fn locate(&mut self, addr: BlockAddr) -> (usize, u64) {
+        if let Some(&loc) = self.table.get(&addr) {
+            return loc;
+        }
+        let node = self.node_of(addr);
+        let dev_off = self.cursors[node];
+        let span = if addr.is_data(self.code) {
+            self.block_bytes
+        } else {
+            self.block_bytes + self.parity_extra
+        };
+        self.cursors[node] += span;
+        self.table.insert(addr, (node, dev_off));
+        (node, dev_off)
+    }
+
+    /// Device bytes allocated on `node` so far.
+    pub fn allocated(&self, node: usize) -> u64 {
+        self.cursors[node]
+    }
+
+    /// All placed blocks on a node (for recovery enumeration).
+    pub fn blocks_on(&self, node: usize) -> Vec<(BlockAddr, u64)> {
+        let mut v: Vec<(BlockAddr, u64)> = self
+            .table
+            .iter()
+            .filter(|(_, &(n, _))| n == node)
+            .map(|(&a, &(_, off))| (a, off))
+            .collect();
+        v.sort_by_key(|&(_, off)| off);
+        v
+    }
+
+    /// The parity block addresses of a stripe.
+    pub fn parity_addrs(&self, volume: u32, stripe: u64) -> Vec<BlockAddr> {
+        (0..self.code.m() as u16)
+            .map(|p| BlockAddr {
+                volume,
+                stripe,
+                index: self.code.k() as u16 + p,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> Layout {
+        Layout::new(CodeParams::new(6, 3).unwrap(), 1 << 20, 16)
+    }
+
+    #[test]
+    fn slices_within_one_block() {
+        let l = layout();
+        let s = l.slices(0, 100, 4096);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].addr.stripe, 0);
+        assert_eq!(s[0].addr.index, 0);
+        assert_eq!(s[0].offset, 100);
+        assert_eq!(s[0].len, 4096);
+    }
+
+    #[test]
+    fn slices_split_on_block_boundary() {
+        let l = layout();
+        let b = 1u64 << 20;
+        let s = l.slices(3, b - 1000, 4096);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].addr.index, 0);
+        assert_eq!(s[0].offset as u64, b - 1000);
+        assert_eq!(s[0].len, 1000);
+        assert_eq!(s[1].addr.index, 1);
+        assert_eq!(s[1].offset, 0);
+        assert_eq!(s[1].len, 3096);
+    }
+
+    #[test]
+    fn slices_cross_stripe_boundary() {
+        let l = layout();
+        let stripe_span = 6 * (1u64 << 20);
+        let s = l.slices(0, stripe_span - 100, 200);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].addr.stripe, 0);
+        assert_eq!(s[0].addr.index, 5);
+        assert_eq!(s[1].addr.stripe, 1);
+        assert_eq!(s[1].addr.index, 0);
+    }
+
+    #[test]
+    fn stripe_blocks_on_distinct_nodes() {
+        let l = layout();
+        for stripe in 0..50 {
+            let nodes: Vec<usize> = (0..9u16)
+                .map(|i| {
+                    l.node_of(BlockAddr {
+                        volume: 1,
+                        stripe,
+                        index: i,
+                    })
+                })
+                .collect();
+            let mut sorted = nodes.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 9, "stripe {stripe}: {nodes:?}");
+        }
+    }
+
+    #[test]
+    fn placement_spreads_over_all_nodes() {
+        let mut l = layout();
+        let mut hit = vec![0u32; 16];
+        for v in 0..4u32 {
+            for s in 0..40u64 {
+                for i in 0..9u16 {
+                    let (n, _) = l.locate(BlockAddr {
+                        volume: v,
+                        stripe: s,
+                        index: i,
+                    });
+                    hit[n] += 1;
+                }
+            }
+        }
+        let min = *hit.iter().min().unwrap();
+        let max = *hit.iter().max().unwrap();
+        assert!(min > 0, "some node unused: {hit:?}");
+        assert!(max < min * 3, "placement too skewed: {hit:?}");
+    }
+
+    #[test]
+    fn locate_is_stable_and_bumps() {
+        let mut l = layout();
+        let a = BlockAddr {
+            volume: 0,
+            stripe: 0,
+            index: 0,
+        };
+        let first = l.locate(a);
+        assert_eq!(l.locate(a), first);
+        // Another block on the same node gets the next slot.
+        let mut other = None;
+        for s in 1..100 {
+            let addr = BlockAddr {
+                volume: 0,
+                stripe: s,
+                index: 0,
+            };
+            if l.node_of(addr) == first.0 {
+                other = Some(l.locate(addr));
+                break;
+            }
+        }
+        let other = other.expect("some stripe lands on the same node");
+        assert_eq!(other.1, first.1 + (1 << 20));
+        assert_eq!(l.allocated(first.0), 2 << 20);
+    }
+
+    #[test]
+    fn blocks_on_lists_node_blocks() {
+        let mut l = layout();
+        for s in 0..20u64 {
+            for i in 0..9u16 {
+                l.locate(BlockAddr {
+                    volume: 0,
+                    stripe: s,
+                    index: i,
+                });
+            }
+        }
+        let total: usize = (0..16).map(|n| l.blocks_on(n).len()).sum();
+        assert_eq!(total, 180);
+    }
+
+    #[test]
+    fn block_key_unique_for_small_space() {
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..3u32 {
+            for s in 0..100u64 {
+                for i in 0..10u16 {
+                    assert!(seen.insert(
+                        BlockAddr {
+                            volume: v,
+                            stripe: s,
+                            index: i
+                        }
+                        .key()
+                    ));
+                }
+            }
+        }
+    }
+}

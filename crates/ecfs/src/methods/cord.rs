@@ -1,0 +1,166 @@
+//! CoRD (Zhou et al., SC '24): data deltas from all blocks of a stripe are
+//! aggregated at a *collector* node, which merges same-offset deltas
+//! (Eq. 5) to minimise network traffic before applying them to parity.
+//!
+//! The paper's critique, which this driver reproduces: the collector's
+//! single fixed-size buffer log ignores concurrency — while it flushes,
+//! every incoming delta for that collector *waits* ("the recycling process
+//! becomes a bottleneck that limits update performance"), and each update
+//! still pays the data-block write-after-read.
+
+use simdes::{Sim, SimTime};
+use simdisk::{IoOp, Pattern};
+
+use crate::cluster::Cluster;
+use crate::config::ClusterConfig;
+use crate::methods::{NodeState, UpdateCtx};
+use tsue::index::{MergeMode, TwoLevelIndex};
+use tsue::payload::Ghost;
+
+/// Per-node collector state (only populated on nodes that collect for some
+/// stripe — every node, in general, since collectors rotate with stripes).
+pub struct CordState {
+    /// Same-offset deltas across the stripe's blocks XOR-merge here —
+    /// keyed by stripe, so Eq. 5's cross-block collapse happens at insert.
+    pub buffer: TwoLevelIndex<u64, Ghost>,
+    /// Raw bytes appended since the last flush.
+    pub buffered: u64,
+    /// Buffer capacity before a foreground flush.
+    pub capacity: u64,
+    /// Whether a flush is in progress (appends must wait).
+    pub flushing: bool,
+}
+
+impl CordState {
+    /// Fresh collector state.
+    pub fn new(cfg: &ClusterConfig) -> CordState {
+        CordState {
+            buffer: TwoLevelIndex::new(MergeMode::Xor),
+            buffered: 0,
+            capacity: cfg.cord_buffer_for(),
+            flushing: false,
+        }
+    }
+
+    /// Bytes awaiting flush.
+    pub fn pending_bytes(&self) -> u64 {
+        self.buffered
+    }
+}
+
+/// The collector for a stripe: the node hosting its first parity block.
+fn collector_of(cl: &mut Cluster, volume: u32, stripe: u64) -> usize {
+    let paddr = cl.layout.parity_addrs(volume, stripe)[0];
+    cl.layout.locate(paddr).0
+}
+
+/// Flushes a collector's buffer: per merged stripe-range, ship one combined
+/// delta to each parity node and RMW the parity block. Returns completion.
+fn flush_collector(cl: &mut Cluster, node: usize, from: SimTime) -> SimTime {
+    let contents = match &mut cl.nodes[node].state {
+        NodeState::Cord(state) => {
+            state.buffered = 0;
+            state.buffer.drain_all()
+        }
+        _ => return from,
+    };
+    let mut t_done = from;
+    for (skey, ranges) in contents {
+        let (volume, stripe) = cl.stripe_names[&skey];
+        for paddr in cl.layout.parity_addrs(volume, stripe) {
+            let (pnode, pdev) = cl.layout.locate(paddr);
+            let mut t = from;
+            for (off, g) in &ranges {
+                let len = g.0 as u64;
+                let t_send = cl.send(t, node, pnode, len);
+                let poff = pdev + *off as u64;
+                let t_pr = cl.disk_io(pnode, t_send, IoOp::read(poff, len, Pattern::Random));
+                t = cl.disk_io(pnode, t_pr, IoOp::write(poff, len, Pattern::Random));
+                cl.oracle_apply_parity(paddr, *off, g.0);
+            }
+            t_done = t_done.max(t);
+        }
+    }
+    t_done
+}
+
+/// Runs one CoRD update.
+pub fn begin_update(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
+    let slice = ctx.slice;
+    let len = slice.len as u64;
+    let (dnode, ddev) = cl.layout.locate(slice.addr);
+    let client_ep = cl.cfg.client_endpoint(ctx.client);
+
+    let t_arrive = cl.send(ctx.issued_at, client_ep, dnode, len);
+    // Write-after-read on the data block (CoRD keeps the delta path).
+    let off = ddev + slice.offset as u64;
+    let t_read = cl.disk_io(dnode, t_arrive, IoOp::read(off, len, Pattern::Random));
+    let t_write = cl.disk_io(dnode, t_read, IoOp::write(off, len, Pattern::Random));
+    cl.oracle_apply_data(slice.addr, slice.offset, slice.len);
+
+    // Ship the delta to the stripe's collector.
+    let collector = collector_of(cl, slice.addr.volume, slice.addr.stripe);
+    let t_delta = cl.send(t_write, dnode, collector, len);
+
+    // The collector's single buffer: if it is flushing, the append (and the
+    // client's ack) waits for the whole flush. The flush is triggered in
+    // the foreground when the buffer fills.
+    let flushing = matches!(
+        &cl.nodes[collector].state,
+        NodeState::Cord(s) if s.flushing
+    );
+    if flushing {
+        // Park and retry when the flush completes.
+        cl.park_on(
+            collector,
+            Box::new(move |sim, cl| begin_update(sim, cl, ctx)),
+        );
+        return;
+    }
+
+    let skey = cl.stripe_id(slice.addr.volume, slice.addr.stripe);
+    let must_flush = match &mut cl.nodes[collector].state {
+        NodeState::Cord(state) => {
+            state.buffer.insert(skey, slice.offset, Ghost(slice.len));
+            state.buffered += len;
+            state.buffered >= state.capacity
+        }
+        _ => false,
+    };
+    // Persist the buffered delta (sequential log write on the collector).
+    let log_off = cl.log_offset(collector, len);
+    let mut t_logged = cl.disk_io(
+        collector,
+        t_delta,
+        IoOp::write(log_off, len, Pattern::Sequential),
+    );
+
+    if must_flush {
+        if let NodeState::Cord(state) = &mut cl.nodes[collector].state {
+            state.flushing = true;
+        }
+        let t_flush = flush_collector(cl, collector, t_logged);
+        t_logged = t_flush;
+        // Unblock parked updates once the flush finishes.
+        sim.schedule_at(t_flush, move |sim, cl: &mut Cluster| {
+            if let NodeState::Cord(state) = &mut cl.nodes[collector].state {
+                state.flushing = false;
+            }
+            cl.wake_waiters(sim, collector);
+        });
+    }
+
+    let t_ack = cl.ack(t_logged, collector, client_ep);
+    cl.oracle_ack(slice.addr, slice.offset, slice.len);
+    cl.finish_update(sim, ctx.client, ctx.issued_at, t_ack);
+}
+
+/// Drains every collector buffer.
+pub fn drain(sim: &mut Sim<Cluster>, cl: &mut Cluster) {
+    let now = sim.now();
+    let mut t_end = now;
+    for node in 0..cl.cfg.nodes {
+        t_end = t_end.max(flush_collector(cl, node, now));
+    }
+    sim.schedule_at(t_end, |_, _| {});
+}

@@ -1,0 +1,161 @@
+//! FL — Full Logging (Azure/GFS style, §2.2): append *everything* — the
+//! new data at the data node and a copy at every parity node — to a single
+//! large log per device; merge only when space runs out.
+//!
+//! FL's flaws per the paper: reads must merge log contents (read penalty),
+//! log space is huge (defeating erasure coding's storage savings), and the
+//! single log structure makes append and recycle mutually exclusive — while
+//! a node recycles, its appends stall.
+
+use simdes::{Sim, SimTime};
+use simdisk::{IoOp, Pattern};
+
+use crate::cluster::Cluster;
+use crate::config::ClusterConfig;
+use crate::layout::BlockAddr;
+use crate::methods::{NodeState, UpdateCtx};
+use tsue::index::{MergeMode, TwoLevelIndex};
+use tsue::payload::Ghost;
+
+/// Per-node FL state: one big log with a merged view for recycle/reads.
+pub struct FlState {
+    /// Merged view of logged data (data node) / deltas (parity node).
+    pub log: TwoLevelIndex<u64, Ghost>,
+    /// Block addr per key.
+    pub addr_of: std::collections::HashMap<u64, BlockAddr>,
+    /// Raw logged bytes.
+    pub bytes: u64,
+    /// Recycle threshold.
+    pub threshold: u64,
+    /// Whether a recycle is in progress (appends stall — single log).
+    pub recycling: bool,
+}
+
+impl FlState {
+    /// Fresh FL state.
+    pub fn new(cfg: &ClusterConfig) -> FlState {
+        FlState {
+            log: TwoLevelIndex::new(MergeMode::Overwrite),
+            addr_of: std::collections::HashMap::new(),
+            bytes: 0,
+            threshold: cfg.fl_threshold_bytes,
+            recycling: false,
+        }
+    }
+
+    /// Bytes awaiting recycle.
+    pub fn pending_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Read-cache coverage check.
+    pub fn covers(&self, addr: BlockAddr, off: u32, len: u32) -> bool {
+        self.log.covers(&addr.key(), off, len)
+    }
+}
+
+/// Recycles one node's FL log: fold logged data into blocks (data node
+/// role) and logged deltas into parity (parity node role). Returns
+/// completion time.
+fn recycle_node(cl: &mut Cluster, node: usize, from: SimTime) -> SimTime {
+    let (contents, addr_of) = match &mut cl.nodes[node].state {
+        NodeState::Fl(state) => {
+            state.bytes = 0;
+            let a = state.addr_of.clone();
+            (state.log.drain_all(), a)
+        }
+        _ => return from,
+    };
+    let mut t = from;
+    let code = cl.cfg.code;
+    for (key, ranges) in contents {
+        let addr = addr_of[&key];
+        let (bnode, bdev) = cl.layout.locate(addr);
+        debug_assert_eq!(bnode, node);
+        for (off, g) in ranges {
+            let len = g.0 as u64;
+            let boff = bdev + off as u64;
+            // Data blocks: read old + write new. Parity blocks: RMW too.
+            t = cl.disk_io(node, t, IoOp::read(boff, len, Pattern::Random));
+            t = cl.disk_io(node, t, IoOp::write(boff, len, Pattern::Random));
+            if addr.is_data(code) {
+                cl.oracle_apply_data(addr, off, g.0);
+            } else {
+                cl.oracle_apply_parity(addr, off, g.0);
+            }
+        }
+    }
+    t
+}
+
+/// Runs one FL update.
+pub fn begin_update(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
+    let slice = ctx.slice;
+    let len = slice.len as u64;
+    let (dnode, _) = cl.layout.locate(slice.addr);
+    let client_ep = cl.cfg.client_endpoint(ctx.client);
+
+    // Single-log exclusivity: a recycling node cannot accept appends.
+    if matches!(&cl.nodes[dnode].state, NodeState::Fl(s) if s.recycling) {
+        cl.park_on(dnode, Box::new(move |sim, cl| begin_update(sim, cl, ctx)));
+        return;
+    }
+
+    let t_arrive = cl.send(ctx.issued_at, client_ep, dnode, len);
+    // Append new data to the local log (sequential).
+    let log_off = cl.log_offset(dnode, len);
+    let t_local = cl.disk_io(dnode, t_arrive, IoOp::write(log_off, len, Pattern::Sequential));
+    let mut must_recycle_data = false;
+    if let NodeState::Fl(state) = &mut cl.nodes[dnode].state {
+        let key = slice.addr.key();
+        state.log.insert(key, slice.offset, Ghost(slice.len));
+        state.addr_of.insert(key, slice.addr);
+        state.bytes += len;
+        must_recycle_data = state.bytes >= state.threshold;
+    }
+
+    // Forward the new data to every parity node's log. Note: the parity
+    // *delta* cannot be computed without the old data, so FL logs the data
+    // itself — the storage-overhead critique of §2.2.
+    let mut t_done = t_local;
+    for paddr in cl.layout.parity_addrs(slice.addr.volume, slice.addr.stripe) {
+        let (pnode, _) = cl.layout.locate(paddr);
+        let t_send = cl.send(t_local, dnode, pnode, len);
+        let plog = cl.log_offset(pnode, len);
+        let t_append = cl.disk_io(pnode, t_send, IoOp::write(plog, len, Pattern::Sequential));
+        if let NodeState::Fl(state) = &mut cl.nodes[pnode].state {
+            let key = paddr.key();
+            state.log.insert(key, slice.offset, Ghost(slice.len));
+            state.addr_of.insert(key, paddr);
+            state.bytes += len;
+        }
+        t_done = t_done.max(t_append);
+    }
+
+    if must_recycle_data {
+        if let NodeState::Fl(state) = &mut cl.nodes[dnode].state {
+            state.recycling = true;
+        }
+        let t_rec = recycle_node(cl, dnode, t_done);
+        sim.schedule_at(t_rec, move |sim, cl: &mut Cluster| {
+            if let NodeState::Fl(state) = &mut cl.nodes[dnode].state {
+                state.recycling = false;
+            }
+            cl.wake_waiters(sim, dnode);
+        });
+    }
+
+    let t_ack = cl.ack(t_done, dnode, client_ep);
+    cl.oracle_ack(slice.addr, slice.offset, slice.len);
+    cl.finish_update(sim, ctx.client, ctx.issued_at, t_ack);
+}
+
+/// Drains every node's log.
+pub fn drain(sim: &mut Sim<Cluster>, cl: &mut Cluster) {
+    let now = sim.now();
+    let mut t_end = now;
+    for node in 0..cl.cfg.nodes {
+        t_end = t_end.max(recycle_node(cl, node, now));
+    }
+    sim.schedule_at(t_end, |_, _| {});
+}

@@ -1,0 +1,179 @@
+//! Update-method drivers: FO, FL, PL, PLR, PARIX, CoRD, TSUE.
+//!
+//! Every driver implements the same contract:
+//!
+//! * [`begin_update`] — runs the method's full front-end path for one
+//!   sub-block update (time-forwarding style: it books every disk op and
+//!   network hop on the shared resources, then reports the ack time via
+//!   [`crate::cluster::Cluster::finish_update`]);
+//! * [`begin_read`] / [`begin_write`] — the read and fresh-write paths
+//!   (identical across methods except for log read-caches);
+//! * [`drain`] — flushes all outstanding log state (end of run, and the
+//!   prerequisite for recovery — the paper's consistency argument in §2.3.2).
+
+pub mod cord;
+pub mod fl;
+pub mod fo;
+pub mod parix;
+pub mod pl;
+pub mod plr;
+pub mod tsue_drv;
+
+use simdes::{Sim, SimTime};
+use simdisk::{IoOp, Pattern};
+
+use crate::cluster::Cluster;
+use crate::config::{ClusterConfig, MethodKind};
+use crate::layout::BlockSlice;
+
+/// Per-node, method-specific log state.
+pub enum NodeState {
+    /// FO needs no log state.
+    Plain,
+    /// Full-logging state.
+    Fl(fl::FlState),
+    /// Parity-logging state.
+    Pl(pl::PlState),
+    /// Parity-logging-with-reserved-space state.
+    Plr(plr::PlrState),
+    /// PARIX speculative-log state.
+    Parix(parix::ParixState),
+    /// CoRD collector state.
+    Cord(cord::CordState),
+    /// TSUE three-layer log state.
+    Tsue(Box<tsue_drv::TsueState>),
+}
+
+impl NodeState {
+    /// Builds the state matching the configured method.
+    pub fn new(cfg: &ClusterConfig) -> NodeState {
+        match cfg.method {
+            MethodKind::Fo => NodeState::Plain,
+            MethodKind::Fl => NodeState::Fl(fl::FlState::new(cfg)),
+            MethodKind::Pl => NodeState::Pl(pl::PlState::default()),
+            MethodKind::Plr => NodeState::Plr(plr::PlrState::default()),
+            MethodKind::Parix => NodeState::Parix(parix::ParixState::default()),
+            MethodKind::Cord => NodeState::Cord(cord::CordState::new(cfg)),
+            MethodKind::Tsue => NodeState::Tsue(Box::new(tsue_drv::TsueState::new(cfg))),
+        }
+    }
+}
+
+/// One in-flight client update (a single block slice).
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateCtx {
+    /// Issuing client.
+    pub client: usize,
+    /// The block range being updated.
+    pub slice: BlockSlice,
+    /// Issue time.
+    pub issued_at: SimTime,
+}
+
+/// Dispatches an update to the configured method's driver.
+pub fn begin_update(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
+    match cl.cfg.method {
+        MethodKind::Fo => fo::begin_update(sim, cl, ctx),
+        MethodKind::Fl => fl::begin_update(sim, cl, ctx),
+        MethodKind::Pl => pl::begin_update(sim, cl, ctx),
+        MethodKind::Plr => plr::begin_update(sim, cl, ctx),
+        MethodKind::Parix => parix::begin_update(sim, cl, ctx),
+        MethodKind::Cord => cord::begin_update(sim, cl, ctx),
+        MethodKind::Tsue => tsue_drv::begin_update(sim, cl, ctx),
+    }
+}
+
+/// The fresh-write path, identical for all methods: the client has already
+/// encoded the stripe, so the data lands as a sequential write on the data
+/// node plus an amortised `m/k` share of sequential parity writes.
+pub fn begin_write(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
+    let (node, dev_off) = cl.layout.locate(ctx.slice.addr);
+    let len = ctx.slice.len as u64;
+    let now = ctx.issued_at;
+    let client_ep = cl.cfg.client_endpoint(ctx.client);
+    let t_arrive = cl.send(now, client_ep, node, len);
+    let t_data = cl.disk_io(
+        node,
+        t_arrive,
+        IoOp::write(dev_off + ctx.slice.offset as u64, len, Pattern::Sequential),
+    );
+    // Amortised parity share: the encoded parity written alongside.
+    let pshare = (len * cl.cfg.code.m() as u64 / cl.cfg.code.k() as u64).max(1);
+    let parity_addrs = cl.layout.parity_addrs(ctx.slice.addr.volume, ctx.slice.addr.stripe);
+    let p0 = parity_addrs[ctx.slice.addr.stripe as usize % parity_addrs.len()];
+    let (pnode, pdev) = cl.layout.locate(p0);
+    let t_psend = cl.send(now, client_ep, pnode, pshare);
+    let poff = pdev + (ctx.slice.offset as u64 % cl.cfg.block_bytes.saturating_sub(pshare).max(1));
+    let t_parity = cl.disk_io(pnode, t_psend, IoOp::write(poff, pshare, Pattern::Sequential));
+    let t_done = cl.ack(t_data.max(t_parity), node, client_ep);
+    cl.finish_other(sim, ctx.client, false, t_done);
+}
+
+/// The read path: a log read-cache hit (TSUE/FL) skips the disk.
+pub fn begin_read(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
+    let (node, dev_off) = cl.layout.locate(ctx.slice.addr);
+    let len = ctx.slice.len as u64;
+    let now = ctx.issued_at;
+    let client_ep = cl.cfg.client_endpoint(ctx.client);
+    let t_arrive = cl.ack(now, client_ep, node);
+
+    // Check the method's read cache.
+    let cache_hit = match &mut cl.nodes[node].state {
+        NodeState::Tsue(ts) => {
+            let key = ctx.slice.addr.key();
+            ts.data
+                .lookup(&key, ctx.slice.offset, ctx.slice.len)
+                .iter()
+                .map(|(_, g)| g.0 as u64)
+                .sum::<u64>()
+                >= len
+        }
+        NodeState::Fl(flst) => flst.covers(ctx.slice.addr, ctx.slice.offset, ctx.slice.len),
+        _ => false,
+    };
+    let t_read = if cache_hit {
+        cl.metrics.cache_read_hits += 1;
+        t_arrive // served from memory
+    } else {
+        cl.disk_io(
+            node,
+            t_arrive,
+            IoOp::read(dev_off + ctx.slice.offset as u64, len, Pattern::Random),
+        )
+    };
+    let t_done = cl.send(t_read, node, client_ep, len);
+    cl.finish_other(sim, ctx.client, true, t_done);
+}
+
+/// Drains all outstanding log state for the configured method; schedules
+/// the work and returns. Run the sim to completion afterwards.
+pub fn drain(sim: &mut Sim<Cluster>, cl: &mut Cluster) {
+    match cl.cfg.method {
+        MethodKind::Fo => {}
+        MethodKind::Fl => fl::drain(sim, cl),
+        MethodKind::Pl => pl::drain(sim, cl),
+        MethodKind::Plr => plr::drain(sim, cl),
+        MethodKind::Parix => parix::drain(sim, cl),
+        MethodKind::Cord => cord::drain(sim, cl),
+        MethodKind::Tsue => tsue_drv::drain(sim, cl),
+    }
+}
+
+/// Bytes of log state still pending across the cluster (drain progress).
+/// Includes a sentinel for forwarding events still in flight.
+pub fn pending_log_bytes(cl: &Cluster) -> u64 {
+    let node_bytes: u64 = cl
+        .nodes
+        .iter()
+        .map(|n| match &n.state {
+            NodeState::Plain => 0,
+            NodeState::Fl(s) => s.pending_bytes(),
+            NodeState::Pl(s) => s.pending_bytes(),
+            NodeState::Plr(s) => s.pending_bytes(),
+            NodeState::Parix(s) => s.pending_bytes(),
+            NodeState::Cord(s) => s.pending_bytes(),
+            NodeState::Tsue(s) => s.pending_bytes(),
+        })
+        .sum();
+    cl.forwards_in_flight + node_bytes
+}

@@ -1,0 +1,167 @@
+//! PLR — Parity Logging with Reserved space (Chan et al., FAST '14):
+//! parity deltas land in a small log region *adjacent to each parity
+//! block* (§2.2).
+//!
+//! The adjacency makes recycling cheap on HDDs (no long seek between log
+//! and parity), but it costs PLR dearly on SSDs: appends scatter across the
+//! per-parity-block reserved regions — "the distribution of log spaces
+//! adjacent to parity blocks across different locations of the storage
+//! device leads to random access during the appending operation" — and the
+//! small reserved space forces frequent *foreground* recycles that land on
+//! the update's critical path. This is why PLR is the slowest method on the
+//! paper's SSD cluster (Fig. 5).
+
+use simdes::{Sim, SimTime};
+use simdisk::{IoOp, Pattern};
+
+use std::collections::HashMap;
+
+use crate::cluster::Cluster;
+use crate::layout::BlockAddr;
+use crate::methods::UpdateCtx;
+use crate::methods::NodeState;
+
+/// Pending deltas in one parity block's reserved region.
+#[derive(Debug, Default, Clone)]
+pub struct Reserved {
+    /// Bytes used in the reserved region.
+    pub used: u64,
+    /// Logged `(offset, len)` deltas.
+    pub pending: Vec<(u32, u32)>,
+}
+
+/// Per-node PLR state.
+#[derive(Debug, Default)]
+pub struct PlrState {
+    /// Reserved-region occupancy per parity block hosted here.
+    pub reserved: HashMap<BlockAddr, Reserved>,
+}
+
+impl PlrState {
+    /// Bytes awaiting recycle.
+    pub fn pending_bytes(&self) -> u64 {
+        self.reserved.values().map(|r| r.used).sum()
+    }
+}
+
+/// Applies one parity block's reserved log: read deltas + RMW the parity
+/// block. Returns completion time.
+fn recycle_reserved(
+    cl: &mut Cluster,
+    node: usize,
+    paddr: BlockAddr,
+    pdev: u64,
+    from: SimTime,
+) -> SimTime {
+    let (used, pending) = match &mut cl.nodes[node].state {
+        NodeState::Plr(state) => {
+            let r = state.reserved.entry(paddr).or_default();
+            let used = r.used;
+            let pending = std::mem::take(&mut r.pending);
+            r.used = 0;
+            (used, pending)
+        }
+        _ => return from,
+    };
+    if pending.is_empty() {
+        return from;
+    }
+    let block = cl.cfg.block_bytes;
+    // The reserved region sits directly after the parity block, so reading
+    // it back is one access with a short seek (sequential-ish).
+    let mut t = cl.disk_io(
+        node,
+        from,
+        IoOp::read(pdev + block, used.max(1), Pattern::Sequential),
+    );
+    // Apply each logged delta: parity read-modify-write (random within the
+    // block; PLR has no merging index).
+    for (off, len) in pending {
+        let poff = pdev + off as u64;
+        t = cl.disk_io(node, t, IoOp::read(poff, len as u64, Pattern::Random));
+        t = cl.disk_io(node, t, IoOp::write(poff, len as u64, Pattern::Random));
+        cl.oracle_apply_parity(paddr, off, len);
+    }
+    // The reserved region is a *fixed* device extent: reusing it requires
+    // erasing its flash blocks (no FTL remapping for in-place log space).
+    // This is PLR's lifespan and latency killer on SSDs.
+    let reserved = cl.cfg.plr_reserved_bytes.max(1);
+    t = cl.nodes[node].disk.erase_region(t, pdev + block, reserved);
+    t
+}
+
+/// Runs one PLR update.
+pub fn begin_update(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
+    let slice = ctx.slice;
+    let len = slice.len as u64;
+    let (dnode, ddev) = cl.layout.locate(slice.addr);
+    let client_ep = cl.cfg.client_endpoint(ctx.client);
+
+    let t_arrive = cl.send(ctx.issued_at, client_ep, dnode, len);
+    let off = ddev + slice.offset as u64;
+    let t_read = cl.disk_io(dnode, t_arrive, IoOp::read(off, len, Pattern::Random));
+    let t_write = cl.disk_io(dnode, t_read, IoOp::write(off, len, Pattern::Random));
+    cl.oracle_apply_data(slice.addr, slice.offset, slice.len);
+
+    let reserved_cap = cl.cfg.plr_reserved_bytes;
+    let block = cl.cfg.block_bytes;
+    let mut t_done = t_write;
+    for paddr in cl.layout.parity_addrs(slice.addr.volume, slice.addr.stripe) {
+        let (pnode, pdev) = cl.layout.locate(paddr);
+        let t_delta = cl.send(t_write, dnode, pnode, len);
+
+        // Does the reserved region overflow? Then recycle it *first*, in
+        // the foreground — the PLR critical-path penalty.
+        let needs_recycle = match &mut cl.nodes[pnode].state {
+            NodeState::Plr(state) => {
+                let r = state.reserved.entry(paddr).or_default();
+                r.used + len > reserved_cap
+            }
+            _ => false,
+        };
+        let t_space = if needs_recycle {
+            recycle_reserved(cl, pnode, paddr, pdev, t_delta)
+        } else {
+            t_delta
+        };
+
+        // Append into the reserved region: a *random* write from the
+        // device's point of view (regions are scattered).
+        let append_off = match &mut cl.nodes[pnode].state {
+            NodeState::Plr(state) => {
+                let r = state.reserved.entry(paddr).or_default();
+                let o = pdev + block + r.used;
+                r.used += len;
+                r.pending.push((slice.offset, slice.len));
+                o
+            }
+            _ => pdev + block,
+        };
+        let t_append = cl.disk_io(pnode, t_space, IoOp::write(append_off, len, Pattern::Random));
+        t_done = t_done.max(t_append);
+    }
+
+    let t_ack = cl.ack(t_done, dnode, client_ep);
+    cl.oracle_ack(slice.addr, slice.offset, slice.len);
+    cl.finish_update(sim, ctx.client, ctx.issued_at, t_ack);
+}
+
+/// Drains every reserved region.
+pub fn drain(sim: &mut Sim<Cluster>, cl: &mut Cluster) {
+    let now = sim.now();
+    let mut t_end = now;
+    for node in 0..cl.cfg.nodes {
+        let addrs: Vec<BlockAddr> = match &cl.nodes[node].state {
+            NodeState::Plr(state) => state.reserved.keys().copied().collect(),
+            _ => continue,
+        };
+        let mut t = now;
+        for paddr in addrs {
+            let (pnode, pdev) = cl.layout.locate(paddr);
+            debug_assert_eq!(pnode, node);
+            t = recycle_reserved(cl, node, paddr, pdev, t);
+        }
+        t_end = t_end.max(t);
+    }
+    sim.schedule_at(t_end, |_, _| {});
+}

@@ -1,0 +1,273 @@
+//! Trace replay: closed-loop clients driving the cluster, and the
+//! measurement harvest every benchmark consumes.
+
+
+use simdes::Sim;
+use std::collections::VecDeque;
+
+use traces::{OpKind, TraceFamily, WorkloadGen, WorkloadParams};
+
+use crate::cluster::Cluster;
+use crate::config::{ClusterConfig, MethodKind};
+use crate::methods::{self, UpdateCtx};
+
+/// Replay parameters.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Cluster under test.
+    pub cluster: ClusterConfig,
+    /// Trace family to synthesise.
+    pub family: TraceFamily,
+    /// Operations each client issues.
+    pub ops_per_client: usize,
+    /// Logical volume size per client.
+    pub volume_bytes: u64,
+    /// Base RNG seed (client `c` uses `seed + c`).
+    pub seed: u64,
+}
+
+impl ReplayConfig {
+    /// Defaults matching the paper's scale, shrunk to simulation size.
+    pub fn new(cluster: ClusterConfig, family: TraceFamily) -> ReplayConfig {
+        ReplayConfig {
+            cluster,
+            family,
+            ops_per_client: 2_000,
+            volume_bytes: 256 << 20,
+            seed: 0x7565_7374,
+        }
+    }
+}
+
+/// Residency summary for one log layer (Table 2 row).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResidencySummary {
+    /// Mean append time (µs).
+    pub append_us: f64,
+    /// Mean buffered time (µs).
+    pub buffer_us: f64,
+    /// Mean recycle time (µs).
+    pub recycle_us: f64,
+}
+
+impl ResidencySummary {
+    fn from_layer(l: &crate::cluster::LayerResidency) -> ResidencySummary {
+        ResidencySummary {
+            append_us: l.append.mean() / 1_000.0,
+            buffer_us: l.buffer.mean() / 1_000.0,
+            recycle_us: l.recycle.mean() / 1_000.0,
+        }
+    }
+
+    /// Total mean residency (µs).
+    pub fn total_us(&self) -> f64 {
+        self.append_us + self.buffer_us + self.recycle_us
+    }
+}
+
+/// Everything a benchmark needs from one replay.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Method under test.
+    pub method: MethodKind,
+    /// Updates acknowledged.
+    pub completed_updates: u64,
+    /// Reads completed.
+    pub completed_reads: u64,
+    /// Fresh writes completed.
+    pub completed_writes: u64,
+    /// Simulated seconds from first issue to last client completion.
+    pub duration_s: f64,
+    /// Aggregate update throughput (client-acked updates per second).
+    pub update_iops: f64,
+    /// Mean client-observed update latency (µs).
+    pub latency_mean_us: f64,
+    /// p99 update latency (µs, bucket upper bound).
+    pub latency_p99_us: f64,
+    /// Cluster-aggregated device statistics.
+    pub disk: simdisk::DeviceStats,
+    /// Network traffic (GiB).
+    pub net_gib: f64,
+    /// Network messages.
+    pub net_msgs: u64,
+    /// Total NAND erases.
+    pub erases: u64,
+    /// Update completions per second over time (Fig. 6a series).
+    pub series: Vec<(f64, f64)>,
+    /// Log memory footprint at end of run (bytes).
+    pub log_memory_bytes: u64,
+    /// DataLog residency.
+    pub data_residency: ResidencySummary,
+    /// DeltaLog residency.
+    pub delta_residency: ResidencySummary,
+    /// ParityLog residency.
+    pub parity_residency: ResidencySummary,
+    /// Client ops that hit log back-pressure.
+    pub stalls: u64,
+    /// Reads served from log caches.
+    pub cache_read_hits: u64,
+    /// Seconds spent draining logs after the run.
+    pub drain_s: f64,
+    /// Consistency-oracle violations (must be 0).
+    pub oracle_violations: usize,
+}
+
+impl RunResult {
+    /// Lifespan multiplier vs a baseline erase count (paper §5.3.4).
+    pub fn lifespan_vs(&self, baseline_erases: u64) -> f64 {
+        if self.erases == 0 {
+            baseline_erases.max(1) as f64
+        } else {
+            baseline_erases as f64 / self.erases as f64
+        }
+    }
+}
+
+fn client_next(sim: &mut Sim<Cluster>, cl: &mut Cluster, client: usize) {
+    let Some((offset, len, kind)) = cl.client_ops[client].pop_front() else {
+        return; // this client is done
+    };
+    let now = sim.now();
+    let slices = cl.layout.slices(client as u32, offset, len);
+    // Multi-block ops are issued as their first slice only for latency
+    // accounting; the remaining slices are issued concurrently and complete
+    // in the background (rare: ops cross 4 MiB boundaries).
+    for (i, slice) in slices.into_iter().enumerate() {
+        let ctx = UpdateCtx {
+            client,
+            slice,
+            issued_at: now,
+        };
+        match kind {
+            OpKind::Update => {
+                if i == 0 {
+                    methods::begin_update(sim, cl, ctx);
+                } else {
+                    // Background remainder: no client-driver completion.
+                    let saved = cl.client_driver.take();
+                    methods::begin_update(sim, cl, ctx);
+                    cl.client_driver = saved;
+                    cl.metrics.completed_updates -= 1; // counted once per op
+                }
+            }
+            OpKind::Write => {
+                if i == 0 {
+                    methods::begin_write(sim, cl, ctx);
+                } else {
+                    let saved = cl.client_driver.take();
+                    methods::begin_write(sim, cl, ctx);
+                    cl.client_driver = saved;
+                    cl.metrics.completed_writes -= 1;
+                }
+            }
+            OpKind::Read => {
+                if i == 0 {
+                    methods::begin_read(sim, cl, ctx);
+                } else {
+                    let saved = cl.client_driver.take();
+                    methods::begin_read(sim, cl, ctx);
+                    cl.client_driver = saved;
+                    cl.metrics.completed_reads -= 1;
+                }
+            }
+        }
+    }
+}
+
+/// Runs only the update phase: builds the cluster, replays every client's
+/// trace closed-loop to completion, and returns the live `(sim, cluster)`
+/// pair *without draining logs* — the starting state for recovery
+/// experiments (Fig. 8b fails a node exactly here).
+pub fn run_update_phase(rcfg: &ReplayConfig) -> (Sim<Cluster>, Cluster) {
+    let mut cl = Cluster::new(rcfg.cluster.clone());
+    let mut sim: Sim<Cluster> = Sim::new();
+
+    // Generate each client's op stream up front (deterministic).
+    for c in 0..rcfg.cluster.clients {
+        let params = WorkloadParams::for_family(rcfg.family, rcfg.volume_bytes);
+        let mut gen = WorkloadGen::new(params, rcfg.seed + c as u64);
+        let ops: VecDeque<(u64, u32, OpKind)> = gen
+            .take_ops(rcfg.ops_per_client)
+            .into_iter()
+            .map(|op| (op.offset, op.len, op.kind))
+            .collect();
+        cl.client_ops.push(ops);
+    }
+    cl.client_driver = Some(client_next);
+
+    // Kick the clients with staggered start times. In a fully deterministic
+    // simulation, identical service times would otherwise keep all clients
+    // in lockstep convoys — synchronized arrival waves that queue behind
+    // each other at every hop while the fabric sits idle in between.
+    for c in 0..rcfg.cluster.clients {
+        let stagger = (c as u64).wrapping_mul(137) % 4096 * simdes::units::MICROS / 8;
+        sim.schedule(stagger, move |sim, cl: &mut Cluster| client_next(sim, cl, c));
+    }
+    sim.run(&mut cl);
+    (sim, cl)
+}
+
+/// Runs one full replay: build cluster, generate per-client traces, replay
+/// closed-loop, drain logs, verify the oracle, and harvest metrics.
+pub fn run_trace(rcfg: &ReplayConfig) -> RunResult {
+    let (mut sim, mut cl) = run_update_phase(rcfg);
+    let run_end = cl.metrics.last_completion;
+    let duration_s = simdes::units::as_secs_f64(run_end);
+
+    // Drain all logs (real-time for TSUE means little remains; deferred
+    // methods pay here).
+    let drain_start = sim.now();
+    methods::drain(&mut sim, &mut cl);
+    sim.run(&mut cl);
+    let mut guard = 0;
+    while methods::pending_log_bytes(&cl) > 0 {
+        methods::drain(&mut sim, &mut cl);
+        sim.run(&mut cl);
+        guard += 1;
+        assert!(guard < 1000, "drain did not converge");
+    }
+    let drain_s = simdes::units::as_secs_f64(sim.now().saturating_sub(drain_start));
+
+    let violations = cl.oracle.violations(&cl.layout);
+
+    let m = &cl.metrics;
+    let update_iops = if duration_s > 0.0 {
+        m.completed_updates as f64 / duration_s
+    } else {
+        0.0
+    };
+    RunResult {
+        method: rcfg.cluster.method,
+        completed_updates: m.completed_updates,
+        completed_reads: m.completed_reads,
+        completed_writes: m.completed_writes,
+        duration_s,
+        update_iops,
+        latency_mean_us: m.update_latency.mean() / 1_000.0,
+        latency_p99_us: m.update_latency.quantile(0.99) as f64 / 1_000.0,
+        disk: cl.disk_stats(),
+        net_gib: cl.net.traffic().total_gib(),
+        net_msgs: cl.net.traffic().total_messages(),
+        erases: cl.total_erases(),
+        series: m.completions.rates_per_sec(),
+        log_memory_bytes: log_memory(&cl),
+        data_residency: ResidencySummary::from_layer(&m.data_residency),
+        delta_residency: ResidencySummary::from_layer(&m.delta_residency),
+        parity_residency: ResidencySummary::from_layer(&m.parity_residency),
+        stalls: m.stall_waits,
+        cache_read_hits: m.cache_read_hits,
+        drain_s,
+        oracle_violations: violations.len(),
+    }
+}
+
+fn log_memory(cl: &Cluster) -> u64 {
+    cl.nodes
+        .iter()
+        .map(|n| match &n.state {
+            crate::methods::NodeState::Tsue(ts) => ts.memory_bytes(),
+            _ => 0,
+        })
+        .sum()
+}
+

@@ -1,0 +1,3 @@
+//! Carrier crate exposing the repository-root `examples/` and `tests/`
+//! directories as Cargo targets (Cargo requires targets to belong to a
+//! package; the workspace root is virtual).

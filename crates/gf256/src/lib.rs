@@ -1,0 +1,42 @@
+//! GF(2^8) finite-field arithmetic, slice kernels, and matrix algebra.
+//!
+//! This crate is the arithmetic substrate for the Reed-Solomon codec used by
+//! the TSUE reproduction. It implements, from scratch:
+//!
+//! * scalar field operations over GF(2^8) with the AES-adjacent reducing
+//!   polynomial `x^8 + x^4 + x^3 + x^2 + 1` (`0x11d`), the conventional
+//!   choice for storage Reed-Solomon codes ([`field`]);
+//! * compile-time generated log/exp and full multiplication tables
+//!   ([`tables`]);
+//! * cache-friendly slice kernels — bulk XOR and multiply-accumulate — that
+//!   the codec uses to stream whole blocks through the field ([`mod@slice`]);
+//! * dense matrices over the field with multiplication, Gaussian inversion,
+//!   and Vandermonde / Cauchy constructors ([`matrix`]).
+//!
+//! # Example
+//!
+//! ```
+//! use gf256::{Gf, matrix::Matrix};
+//!
+//! // Field arithmetic.
+//! let a = Gf(0x53);
+//! let b = Gf(0x8c);
+//! assert_eq!(a * b, Gf(0x01)); // 0x53 and 0x8c are inverses under 0x11d
+//!
+//! // Every square Cauchy matrix is invertible: the MDS property that makes
+//! // Reed-Solomon recovery work.
+//! let m = Matrix::cauchy(4, 4);
+//! let inv = m.inverted().expect("Cauchy matrices are non-singular");
+//! assert!(m.mul(&inv).is_identity());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod field;
+pub mod matrix;
+pub mod slice;
+pub mod tables;
+
+pub use field::Gf;
+pub use matrix::Matrix;

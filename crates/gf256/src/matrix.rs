@@ -1,0 +1,478 @@
+//! Dense matrices over GF(2^8): multiplication, Gaussian inversion, and the
+//! Vandermonde / Cauchy constructors used to build erasure-coding matrices
+//! (Eq. 1 of the paper).
+
+use core::fmt;
+
+use crate::field::Gf;
+
+/// A dense row-major matrix over GF(2^8).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl Matrix {
+    /// All-zero matrix of the given shape.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn zero(rows: usize, cols: usize) -> Matrix {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, Gf::ONE);
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major byte slice.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols` or a dimension is zero.
+    pub fn from_rows(rows: usize, cols: usize, data: &[u8]) -> Matrix {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        Matrix {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
+    }
+
+    /// `rows × cols` Vandermonde matrix: `a[i][j] = (i+1)^j`.
+    ///
+    /// Note: an *extended* Vandermonde matrix is not directly usable as the
+    /// parity part of a systematic code; see [`Matrix::rs_vandermonde`].
+    pub fn vandermonde(rows: usize, cols: usize) -> Matrix {
+        let mut m = Matrix::zero(rows, cols);
+        for i in 0..rows {
+            let x = Gf((i + 1) as u8);
+            for j in 0..cols {
+                m.set(i, j, x.pow(j as u32));
+            }
+        }
+        m
+    }
+
+    /// `rows × cols` Cauchy matrix: `a[i][j] = 1 / (x_i + y_j)` with
+    /// `x_i = i + cols` and `y_j = j`.
+    ///
+    /// Every square submatrix of a Cauchy matrix is invertible, which is the
+    /// MDS property required of the parity-generation matrix.
+    ///
+    /// # Panics
+    /// Panics if `rows + cols > 256` (the element sets must stay disjoint
+    /// within the field).
+    pub fn cauchy(rows: usize, cols: usize) -> Matrix {
+        assert!(
+            rows + cols <= 256,
+            "cauchy: rows + cols must fit in the field"
+        );
+        let mut m = Matrix::zero(rows, cols);
+        for i in 0..rows {
+            let xi = Gf((i + cols) as u8);
+            for j in 0..cols {
+                let yj = Gf(j as u8);
+                let denom = xi + yj;
+                m.set(i, j, denom.inverse().expect("x_i and y_j are disjoint"));
+            }
+        }
+        m
+    }
+
+    /// Parity-generation matrix for a systematic RS(k, m) code derived from
+    /// an extended Vandermonde matrix.
+    ///
+    /// Builds the `(k+m) × k` Vandermonde matrix, then column-reduces it so
+    /// the top `k × k` block becomes the identity; the bottom `m × k` block
+    /// is returned. Any `k` rows of `[I; B]` remain linearly independent, so
+    /// the code is MDS.
+    ///
+    /// # Panics
+    /// Panics if `k + m > 255` or `k == 0 || m == 0`.
+    pub fn rs_vandermonde(k: usize, m: usize) -> Matrix {
+        assert!(k > 0 && m > 0, "rs_vandermonde: k and m must be non-zero");
+        assert!(k + m <= 255, "rs_vandermonde: k + m must be <= 255");
+        let mut v = Matrix::vandermonde(k + m, k);
+        // Column-reduce so rows 0..k become the identity. Column operations
+        // preserve the "any k rows are independent" property.
+        for i in 0..k {
+            // Ensure pivot v[i][i] != 0 by swapping columns if needed.
+            if v.get(i, i).is_zero() {
+                let swap = (i + 1..k)
+                    .find(|&j| !v.get(i, j).is_zero())
+                    .expect("vandermonde rows are independent");
+                v.swap_cols(i, swap);
+            }
+            let pivot_inv = v.get(i, i).inverse().unwrap();
+            // Scale column i so the pivot is 1.
+            for r in 0..k + m {
+                v.set(r, i, v.get(r, i) * pivot_inv);
+            }
+            // Eliminate the rest of row i.
+            for j in 0..k {
+                if j == i {
+                    continue;
+                }
+                let factor = v.get(i, j);
+                if factor.is_zero() {
+                    continue;
+                }
+                for r in 0..k + m {
+                    let val = v.get(r, j) + v.get(r, i) * factor;
+                    v.set(r, j, val);
+                }
+            }
+        }
+        v.submatrix(k, k + m, 0, k)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds indices.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> Gf {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        Gf(self.data[r * self.cols + c])
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds indices.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: Gf) {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c] = v.0;
+    }
+
+    /// Borrow of row `r` as raw bytes (the coefficient row used by slice
+    /// kernels during encoding).
+    #[inline]
+    pub fn row(&self, r: usize) -> &[u8] {
+        assert!(r < self.rows, "matrix row out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "matrix shape mismatch in mul");
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for l in 0..self.cols {
+                let a = self.get(i, l);
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let cur = out.get(i, j);
+                    out.set(i, j, cur + a * rhs.get(l, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.cols`.
+    pub fn mul_vec(&self, v: &[Gf]) -> Vec<Gf> {
+        assert_eq!(v.len(), self.cols, "vector length mismatch in mul_vec");
+        (0..self.rows)
+            .map(|i| {
+                (0..self.cols)
+                    .map(|j| self.get(i, j) * v[j])
+                    .sum::<Gf>()
+            })
+            .collect()
+    }
+
+    /// Rectangular sub-block `[r0, r1) × [c0, c1)`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty or out of bounds.
+    pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Matrix {
+        assert!(r0 < r1 && r1 <= self.rows, "row range out of bounds");
+        assert!(c0 < c1 && c1 <= self.cols, "column range out of bounds");
+        let mut out = Matrix::zero(r1 - r0, c1 - c0);
+        for r in r0..r1 {
+            for c in c0..c1 {
+                out.set(r - r0, c - c0, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// New matrix made of the given rows of `self`, in order.
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty or any index is out of bounds.
+    pub fn select_rows(&self, rows: &[usize]) -> Matrix {
+        assert!(!rows.is_empty(), "select_rows: empty selection");
+        let mut out = Matrix::zero(rows.len(), self.cols);
+        for (i, &r) in rows.iter().enumerate() {
+            assert!(r < self.rows, "select_rows: row {r} out of bounds");
+            out.data[i * self.cols..(i + 1) * self.cols].copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// Swaps two rows in place.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        assert!(a < self.rows && b < self.rows, "row index out of bounds");
+        if a == b {
+            return;
+        }
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (head, tail) = self.data.split_at_mut(hi * self.cols);
+        head[lo * self.cols..(lo + 1) * self.cols].swap_with_slice(&mut tail[..self.cols]);
+    }
+
+    /// Swaps two columns in place.
+    pub fn swap_cols(&mut self, a: usize, b: usize) {
+        assert!(a < self.cols && b < self.cols, "column index out of bounds");
+        if a == b {
+            return;
+        }
+        for r in 0..self.rows {
+            self.data.swap(r * self.cols + a, r * self.cols + b);
+        }
+    }
+
+    /// Gauss-Jordan inverse. Returns `None` if the matrix is singular.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn inverted(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "only square matrices invert");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            // Find a pivot.
+            let pivot = (col..n).find(|&r| !a.get(r, col).is_zero())?;
+            a.swap_rows(col, pivot);
+            inv.swap_rows(col, pivot);
+            // Normalise the pivot row.
+            let scale = a.get(col, col).inverse().expect("pivot is non-zero");
+            for c in 0..n {
+                a.set(col, c, a.get(col, c) * scale);
+                inv.set(col, c, inv.get(col, c) * scale);
+            }
+            // Eliminate the column from every other row.
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = a.get(r, col);
+                if factor.is_zero() {
+                    continue;
+                }
+                for c in 0..n {
+                    let va = a.get(r, c) + factor * a.get(col, c);
+                    a.set(r, c, va);
+                    let vi = inv.get(r, c) + factor * inv.get(col, c);
+                    inv.set(r, c, vi);
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    /// Whether this is the identity matrix.
+    pub fn is_identity(&self) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let want = if r == c { Gf::ONE } else { Gf::ZERO };
+                if self.get(r, c) != want {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{:02x} ", self.get(r, c).0)?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_properties() {
+        let i = Matrix::identity(5);
+        assert!(i.is_identity());
+        let m = Matrix::cauchy(5, 5);
+        assert_eq!(i.mul(&m), m);
+        assert_eq!(m.mul(&i), m);
+    }
+
+    #[test]
+    fn cauchy_square_blocks_invert() {
+        for n in 1..=8 {
+            let m = Matrix::cauchy(n, n);
+            let inv = m.inverted().expect("cauchy must invert");
+            assert!(m.mul(&inv).is_identity(), "n = {n}");
+            assert!(inv.mul(&m).is_identity(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        // Two identical rows.
+        let m = Matrix::from_rows(2, 2, &[1, 2, 1, 2]);
+        assert!(m.inverted().is_none());
+    }
+
+    #[test]
+    fn rs_vandermonde_is_mds_for_small_codes() {
+        // For RS(k, m): appending the parity rows to the identity must keep
+        // every k-row subset invertible.
+        for (k, m) in [(2usize, 2usize), (3, 2), (4, 3), (6, 4)] {
+            let b = Matrix::rs_vandermonde(k, m);
+            assert_eq!(b.rows(), m);
+            assert_eq!(b.cols(), k);
+            let mut full = Matrix::zero(k + m, k);
+            for i in 0..k {
+                full.set(i, i, Gf::ONE);
+            }
+            for i in 0..m {
+                for j in 0..k {
+                    full.set(k + i, j, b.get(i, j));
+                }
+            }
+            // Exhaustively check all k-subsets of rows for invertibility.
+            let idx: Vec<usize> = (0..k + m).collect();
+            for combo in combinations(&idx, k) {
+                let sub = full.select_rows(&combo);
+                assert!(
+                    sub.inverted().is_some(),
+                    "rows {combo:?} singular for RS({k},{m})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cauchy_parity_is_mds_for_paper_codes() {
+        for (k, m) in [(6usize, 2usize), (6, 3), (6, 4), (12, 2), (12, 3), (12, 4)] {
+            let b = Matrix::cauchy(m, k);
+            let mut full = Matrix::zero(k + m, k);
+            for i in 0..k {
+                full.set(i, i, Gf::ONE);
+            }
+            for i in 0..m {
+                for j in 0..k {
+                    full.set(k + i, j, b.get(i, j));
+                }
+            }
+            // Check a structured sample of k-subsets (exhaustive for small m).
+            let idx: Vec<usize> = (0..k + m).collect();
+            for combo in combinations(&idx, k).into_iter().take(5000) {
+                let sub = full.select_rows(&combo);
+                assert!(
+                    sub.inverted().is_some(),
+                    "rows {combo:?} singular for Cauchy RS({k},{m})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mul_vec_matches_mul() {
+        let m = Matrix::cauchy(3, 4);
+        let v = [Gf(9), Gf(200), Gf(3), Gf(77)];
+        let as_col = Matrix::from_rows(4, 1, &[9, 200, 3, 77]);
+        let prod = m.mul(&as_col);
+        let prod_vec = m.mul_vec(&v);
+        for i in 0..3 {
+            assert_eq!(prod.get(i, 0), prod_vec[i]);
+        }
+    }
+
+    #[test]
+    fn submatrix_and_select_rows() {
+        let m = Matrix::vandermonde(4, 3);
+        let sub = m.submatrix(1, 3, 0, 2);
+        assert_eq!(sub.rows(), 2);
+        assert_eq!(sub.cols(), 2);
+        assert_eq!(sub.get(0, 0), m.get(1, 0));
+        assert_eq!(sub.get(1, 1), m.get(2, 1));
+
+        let sel = m.select_rows(&[3, 0]);
+        assert_eq!(sel.row(0), m.row(3));
+        assert_eq!(sel.row(1), m.row(0));
+    }
+
+    #[test]
+    fn swap_rows_and_cols() {
+        let mut m = Matrix::from_rows(2, 2, &[1, 2, 3, 4]);
+        m.swap_rows(0, 1);
+        assert_eq!(m.row(0), &[3, 4]);
+        m.swap_cols(0, 1);
+        assert_eq!(m.row(0), &[4, 3]);
+    }
+
+    /// All k-combinations of `items` (small inputs only; test helper).
+    fn combinations(items: &[usize], k: usize) -> Vec<Vec<usize>> {
+        if k == 0 {
+            return vec![vec![]];
+        }
+        if items.len() < k {
+            return vec![];
+        }
+        let mut out = Vec::new();
+        for (i, &first) in items.iter().enumerate() {
+            for mut rest in combinations(&items[i + 1..], k - 1) {
+                rest.insert(0, first);
+                out.push(rest);
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,200 @@
+//! Bulk slice kernels over GF(2^8).
+//!
+//! Erasure coding streams entire blocks (kilobytes to megabytes) through the
+//! field with a fixed coefficient per (data block, parity block) pair. These
+//! kernels are the hot path: `xor` runs at memory bandwidth by chunking
+//! through `u64` words, and the multiply kernels walk a single 256-byte
+//! table row that stays resident in L1.
+
+use crate::tables::MUL;
+
+/// `dst[i] ^= src[i]` for all `i`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn xor(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor: length mismatch");
+    // Process 8-byte lanes via explicit little-endian round-trips; the
+    // compiler turns this into wide vector XORs.
+    let mut d = dst.chunks_exact_mut(8);
+    let mut s = src.chunks_exact(8);
+    for (dc, sc) in (&mut d).zip(&mut s) {
+        let x = u64::from_le_bytes(dc.try_into().unwrap());
+        let y = u64::from_le_bytes(sc.try_into().unwrap());
+        dc.copy_from_slice(&(x ^ y).to_le_bytes());
+    }
+    for (db, sb) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *db ^= *sb;
+    }
+}
+
+/// `dst[i] = c * src[i]` for all `i`.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn mul(dst: &mut [u8], src: &[u8], c: u8) {
+    assert_eq!(dst.len(), src.len(), "mul: length mismatch");
+    match c {
+        0 => dst.fill(0),
+        1 => dst.copy_from_slice(src),
+        _ => {
+            let row = &MUL[c as usize];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = row[s as usize];
+            }
+        }
+    }
+}
+
+/// `dst[i] ^= c * src[i]` for all `i` — the fused multiply-accumulate at the
+/// heart of both full encoding (Eq. 1) and incremental parity updates
+/// (Eq. 2 of the paper: `P^n = P^{n-1} + a * (D^n - D^{n-1})`).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn mul_acc(dst: &mut [u8], src: &[u8], c: u8) {
+    assert_eq!(dst.len(), src.len(), "mul_acc: length mismatch");
+    match c {
+        0 => {}
+        1 => xor(dst, src),
+        _ => {
+            let row = &MUL[c as usize];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d ^= row[s as usize];
+            }
+        }
+    }
+}
+
+/// `dst[i] = c * dst[i]` in place.
+pub fn scale(dst: &mut [u8], c: u8) {
+    match c {
+        0 => dst.fill(0),
+        1 => {}
+        _ => {
+            let row = &MUL[c as usize];
+            for d in dst.iter_mut() {
+                *d = row[*d as usize];
+            }
+        }
+    }
+}
+
+/// Computes `out[i] = a[i] ^ b[i]` — the "data delta" `D^n - D^{n-1}` of the
+/// paper's Eq. (2) — without mutating either input.
+///
+/// # Panics
+/// Panics if any slice length differs.
+pub fn delta(out: &mut [u8], a: &[u8], b: &[u8]) {
+    assert_eq!(out.len(), a.len(), "delta: length mismatch");
+    assert_eq!(a.len(), b.len(), "delta: length mismatch");
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x ^ y;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gf;
+
+    fn ref_mul_acc(dst: &mut [u8], src: &[u8], c: u8) {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = (Gf(*d) + Gf(c) * Gf(s)).0;
+        }
+    }
+
+    #[test]
+    fn xor_various_lengths() {
+        for len in [0usize, 1, 7, 8, 9, 15, 16, 63, 64, 100, 4096] {
+            let a: Vec<u8> = (0..len).map(|i| (i * 7 + 13) as u8).collect();
+            let b: Vec<u8> = (0..len).map(|i| (i * 31 + 5) as u8).collect();
+            let mut d = a.clone();
+            xor(&mut d, &b);
+            for i in 0..len {
+                assert_eq!(d[i], a[i] ^ b[i], "len {len}, index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn xor_is_involutive() {
+        let a: Vec<u8> = (0..1000).map(|i| (i % 251) as u8).collect();
+        let b: Vec<u8> = (0..1000).map(|i| (i % 83) as u8).collect();
+        let mut d = a.clone();
+        xor(&mut d, &b);
+        xor(&mut d, &b);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn mul_matches_scalar() {
+        let src: Vec<u8> = (0..=255u8).collect();
+        for c in [0u8, 1, 2, 0x1d, 0x80, 0xff] {
+            let mut dst = vec![0u8; 256];
+            mul(&mut dst, &src, c);
+            for (i, &d) in dst.iter().enumerate() {
+                assert_eq!(Gf(d), Gf(c) * Gf(src[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_acc_matches_reference() {
+        let src: Vec<u8> = (0..512).map(|i| (i * 17 + 3) as u8).collect();
+        for c in [0u8, 1, 2, 7, 0x1d, 0xfe] {
+            let mut fast: Vec<u8> = (0..512).map(|i| (i * 5) as u8).collect();
+            let mut slow = fast.clone();
+            mul_acc(&mut fast, &src, c);
+            ref_mul_acc(&mut slow, &src, c);
+            assert_eq!(fast, slow, "c = {c}");
+        }
+    }
+
+    #[test]
+    fn scale_then_inverse_restores() {
+        let orig: Vec<u8> = (0..300).map(|i| (i * 11) as u8).collect();
+        for c in 1..=255u8 {
+            let mut v = orig.clone();
+            scale(&mut v, c);
+            scale(&mut v, Gf(c).inverse().unwrap().0);
+            assert_eq!(v, orig, "c = {c}");
+        }
+    }
+
+    #[test]
+    fn delta_is_xor_of_inputs() {
+        let a = [1u8, 2, 3, 4];
+        let b = [5u8, 6, 7, 0];
+        let mut out = [0u8; 4];
+        delta(&mut out, &a, &b);
+        assert_eq!(out, [4, 4, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut d = [0u8; 3];
+        xor(&mut d, &[0u8; 4]);
+    }
+
+    #[test]
+    fn distributivity_over_slices() {
+        // c*(a ^ b) == c*a ^ c*b, elementwise over slices.
+        let a: Vec<u8> = (0..256).map(|i| i as u8).collect();
+        let b: Vec<u8> = (0..256).map(|i| (i * 3 + 1) as u8).collect();
+        for c in [2u8, 0x1d, 0x7f] {
+            let mut lhs = a.clone();
+            xor(&mut lhs, &b);
+            scale(&mut lhs, c);
+
+            let mut ca = vec![0u8; 256];
+            mul(&mut ca, &a, c);
+            let mut cb = vec![0u8; 256];
+            mul(&mut cb, &b, c);
+            xor(&mut ca, &cb);
+
+            assert_eq!(lhs, ca, "c = {c}");
+        }
+    }
+}

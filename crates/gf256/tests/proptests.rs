@@ -1,0 +1,126 @@
+//! Property-based tests: field axioms and kernel/matrix equivalences.
+
+use gf256::{slice, Gf, Matrix};
+use proptest::prelude::*;
+
+fn gf() -> impl Strategy<Value = Gf> {
+    any::<u8>().prop_map(Gf)
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes(a in gf(), b in gf()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn addition_associates(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn additive_identity_and_inverse(a in gf()) {
+        prop_assert_eq!(a + Gf::ZERO, a);
+        prop_assert_eq!(a + a, Gf::ZERO); // every element is its own negation
+        prop_assert_eq!(-a, a);
+    }
+
+    #[test]
+    fn multiplication_commutes(a in gf(), b in gf()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn multiplication_associates(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn multiplicative_identity(a in gf()) {
+        prop_assert_eq!(a * Gf::ONE, a);
+    }
+
+    #[test]
+    fn distributivity(a in gf(), b in gf(), c in gf()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn inverse_cancels(a in gf()) {
+        if let Some(inv) = a.inverse() {
+            prop_assert_eq!(a * inv, Gf::ONE);
+        } else {
+            prop_assert_eq!(a, Gf::ZERO);
+        }
+    }
+
+    #[test]
+    fn pow_adds_exponents(a in gf(), m in 0u32..600, n in 0u32..600) {
+        if !a.is_zero() {
+            prop_assert_eq!(a.pow(m) * a.pow(n), a.pow(m + n));
+        }
+    }
+
+    #[test]
+    fn sub_is_add(a in gf(), b in gf()) {
+        prop_assert_eq!(a - b, a + b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn slice_mul_acc_matches_scalar(
+        src in proptest::collection::vec(any::<u8>(), 0..2048),
+        init in any::<u8>(),
+        c in any::<u8>(),
+    ) {
+        let mut dst = vec![init; src.len()];
+        let expect: Vec<u8> = dst
+            .iter()
+            .zip(&src)
+            .map(|(&d, &s)| (Gf(d) + Gf(c) * Gf(s)).0)
+            .collect();
+        slice::mul_acc(&mut dst, &src, c);
+        prop_assert_eq!(dst, expect);
+    }
+
+    #[test]
+    fn slice_xor_matches_scalar(
+        a in proptest::collection::vec(any::<u8>(), 0..2048),
+        seed in any::<u8>(),
+    ) {
+        let b: Vec<u8> = a.iter().map(|&x| x.wrapping_mul(31).wrapping_add(seed)).collect();
+        let mut dst = a.clone();
+        slice::xor(&mut dst, &b);
+        for i in 0..a.len() {
+            prop_assert_eq!(dst[i], a[i] ^ b[i]);
+        }
+    }
+
+    #[test]
+    fn random_invertible_matrices_roundtrip(
+        n in 1usize..9,
+        seed in proptest::collection::vec(any::<u8>(), 81),
+    ) {
+        let data: Vec<u8> = seed.into_iter().take(n * n).collect();
+        let m = Matrix::from_rows(n, n, &data);
+        if let Some(inv) = m.inverted() {
+            prop_assert!(m.mul(&inv).is_identity());
+            prop_assert!(inv.mul(&m).is_identity());
+        }
+    }
+
+    #[test]
+    fn matrix_mul_associates(
+        a_data in proptest::collection::vec(any::<u8>(), 9),
+        b_data in proptest::collection::vec(any::<u8>(), 9),
+        c_data in proptest::collection::vec(any::<u8>(), 9),
+    ) {
+        let a = Matrix::from_rows(3, 3, &a_data);
+        let b = Matrix::from_rows(3, 3, &b_data);
+        let c = Matrix::from_rows(3, 3, &c_data);
+        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+}

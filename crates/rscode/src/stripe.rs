@@ -1,0 +1,215 @@
+//! In-memory stripe: `k` data blocks plus `m` parity blocks kept
+//! consistent under sub-block updates.
+//!
+//! `Stripe` is the ground-truth model used by integration tests and by the
+//! cluster simulator's consistency oracle: every update path in the paper
+//! (FO, PL, PLR, PARIX, CoRD, TSUE) must converge to the state a `Stripe`
+//! reaches via direct incremental updates.
+
+use gf256::slice;
+
+use crate::codec::{CodeParams, ReedSolomon, RsError};
+use crate::delta;
+
+/// A fully materialised stripe with always-consistent parity.
+#[derive(Debug, Clone)]
+pub struct Stripe {
+    rs: ReedSolomon,
+    block_len: usize,
+    blocks: Vec<Vec<u8>>,
+}
+
+impl Stripe {
+    /// Creates a stripe of zeroed blocks.
+    pub fn zeroed(rs: ReedSolomon, block_len: usize) -> Stripe {
+        let total = rs.params().total();
+        Stripe {
+            rs,
+            block_len,
+            blocks: vec![vec![0u8; block_len]; total],
+        }
+    }
+
+    /// Creates a stripe from `k` data blocks, computing parity.
+    pub fn from_data(rs: ReedSolomon, data: Vec<Vec<u8>>) -> Result<Stripe, RsError> {
+        let params = rs.params();
+        if data.len() != params.k() {
+            return Err(RsError::WrongShardCount {
+                got: data.len(),
+                expected: params.k(),
+            });
+        }
+        let block_len = data[0].len();
+        let mut blocks = data;
+        blocks.resize(params.total(), vec![0u8; block_len]);
+        let mut s = Stripe {
+            rs,
+            block_len,
+            blocks,
+        };
+        s.reencode()?;
+        Ok(s)
+    }
+
+    /// The codec used by this stripe.
+    pub fn codec(&self) -> &ReedSolomon {
+        &self.rs
+    }
+
+    /// The code parameters.
+    pub fn params(&self) -> CodeParams {
+        self.rs.params()
+    }
+
+    /// Block length in bytes.
+    pub fn block_len(&self) -> usize {
+        self.block_len
+    }
+
+    /// Read-only view of block `idx` (data for `idx < k`, parity otherwise).
+    ///
+    /// # Panics
+    /// Panics if `idx >= k + m`.
+    pub fn block(&self, idx: usize) -> &[u8] {
+        &self.blocks[idx]
+    }
+
+    /// Reads `len` bytes at `offset` within data block `idx`.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the block or `idx` is not a data block.
+    pub fn read(&self, idx: usize, offset: usize, len: usize) -> &[u8] {
+        assert!(idx < self.params().k(), "read: not a data block");
+        &self.blocks[idx][offset..offset + len]
+    }
+
+    /// Applies a sub-block update to data block `idx` at `offset`,
+    /// incrementally folding the parity deltas into every parity block
+    /// (Eq. 2 applied at sub-block granularity).
+    ///
+    /// Returns the data delta for the updated byte range.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the block or `idx` is not a data block.
+    pub fn update(&mut self, idx: usize, offset: usize, new: &[u8]) -> Vec<u8> {
+        let k = self.params().k();
+        assert!(idx < k, "update: not a data block");
+        assert!(
+            offset + new.len() <= self.block_len,
+            "update: range out of bounds"
+        );
+        let old = &self.blocks[idx][offset..offset + new.len()];
+        let dd = delta::data_delta(old, new);
+        self.blocks[idx][offset..offset + new.len()].copy_from_slice(new);
+        for p in 0..self.params().m() {
+            let c = self.rs.coefficient(p, idx).value();
+            let parity = &mut self.blocks[k + p][offset..offset + new.len()];
+            slice::mul_acc(parity, &dd, c);
+        }
+        dd
+    }
+
+    /// Recomputes all parity from the data blocks (reference path).
+    pub fn reencode(&mut self) -> Result<(), RsError> {
+        self.rs.encode_shards(&mut self.blocks)
+    }
+
+    /// Checks parity consistency.
+    pub fn verify(&self) -> Result<bool, RsError> {
+        self.rs.verify(&self.blocks)
+    }
+
+    /// Simulates losing the given blocks and reconstructing them; returns an
+    /// error if reconstruction is impossible, otherwise verifies the rebuilt
+    /// stripe matches the original bytes.
+    pub fn drill_recovery(&self, lost: &[usize]) -> Result<bool, RsError> {
+        let mut holes: Vec<Option<Vec<u8>>> =
+            self.blocks.iter().cloned().map(Some).collect();
+        for &l in lost {
+            holes[l] = None;
+        }
+        self.rs.reconstruct(&mut holes)?;
+        Ok(holes
+            .iter()
+            .zip(&self.blocks)
+            .all(|(h, b)| h.as_deref() == Some(&b[..])))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stripe(k: usize, m: usize, len: usize) -> Stripe {
+        let rs = ReedSolomon::new(CodeParams::new(k, m).unwrap());
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|i| (0..len).map(|b| ((i + 1) * (b + 3) % 256) as u8).collect())
+            .collect();
+        Stripe::from_data(rs, data).unwrap()
+    }
+
+    #[test]
+    fn fresh_stripe_verifies() {
+        let s = stripe(6, 3, 256);
+        assert!(s.verify().unwrap());
+    }
+
+    #[test]
+    fn incremental_update_keeps_parity_consistent() {
+        let mut s = stripe(6, 3, 256);
+        s.update(0, 0, &[0xde, 0xad, 0xbe, 0xef]);
+        s.update(3, 100, &vec![0x42; 50]);
+        s.update(5, 252, &[1, 2, 3, 4]);
+        assert!(s.verify().unwrap());
+    }
+
+    #[test]
+    fn incremental_matches_reencode() {
+        let mut a = stripe(4, 2, 128);
+        let mut b = a.clone();
+        a.update(2, 17, &vec![0x99; 31]);
+        b.blocks[2][17..48].copy_from_slice(&vec![0x99; 31]);
+        b.reencode().unwrap();
+        assert_eq!(a.blocks, b.blocks);
+    }
+
+    #[test]
+    fn read_returns_updated_bytes() {
+        let mut s = stripe(4, 2, 64);
+        s.update(1, 10, &[7, 8, 9]);
+        assert_eq!(s.read(1, 10, 3), &[7, 8, 9]);
+    }
+
+    #[test]
+    fn recovery_drill_after_updates() {
+        let mut s = stripe(6, 4, 128);
+        for i in 0..6 {
+            s.update(i, i * 13, &vec![(0xa0 + i) as u8; 20]);
+        }
+        // Lose a mix of data and parity up to m blocks.
+        assert!(s.drill_recovery(&[0]).unwrap());
+        assert!(s.drill_recovery(&[0, 7]).unwrap());
+        assert!(s.drill_recovery(&[1, 3, 8]).unwrap());
+        assert!(s.drill_recovery(&[0, 2, 6, 9]).unwrap());
+        // m + 1 losses must fail.
+        assert!(s.drill_recovery(&[0, 1, 2, 3, 4]).is_err());
+    }
+
+    #[test]
+    fn update_returns_data_delta() {
+        let mut s = stripe(2, 2, 16);
+        let old = s.read(0, 4, 4).to_vec();
+        let new = [9u8, 9, 9, 9];
+        let dd = s.update(0, 4, &new);
+        for i in 0..4 {
+            assert_eq!(dd[i], old[i] ^ new[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a data block")]
+    fn updating_parity_panics() {
+        let mut s = stripe(2, 2, 16);
+        s.update(2, 0, &[1]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Queued service stations: the contention model for disks, NICs and CPUs.
+
+use std::collections::VecDeque;
+
+use crate::sim::SimTime;
+
+/// Busy intervals of the (bounded) future schedule of a single server.
+#[derive(Debug, Clone, Default)]
+struct GapBook {
+    /// Nothing can be scheduled before this time (old bookings collapsed).
+    horizon: SimTime,
+    /// Sorted, disjoint busy intervals at or after `horizon`.
+    intervals: VecDeque<(SimTime, SimTime)>,
+}
+
+const MAX_INTERVALS: usize = 128;
+
+impl GapBook {
+    /// Books `dur` at the earliest gap at or after `now`; returns the end.
+    fn reserve(&mut self, now: SimTime, dur: SimTime) -> SimTime {
+        let mut cur = now.max(self.horizon);
+        let mut idx = self.intervals.len();
+        for (i, &(s, e)) in self.intervals.iter().enumerate() {
+            if e <= cur {
+                continue;
+            }
+            if cur + dur <= s {
+                idx = i;
+                break;
+            }
+            cur = cur.max(e);
+        }
+        let start = cur;
+        let end = start + dur;
+        // Insert keeping order; merge with touching neighbours.
+        let mut insert_at = idx.min(self.intervals.len());
+        // idx from the scan may be one past intervals that end before cur.
+        while insert_at > 0 && self.intervals[insert_at - 1].0 > start {
+            insert_at -= 1;
+        }
+        while insert_at < self.intervals.len() && self.intervals[insert_at].0 < start {
+            insert_at += 1;
+        }
+        self.intervals.insert(insert_at, (start, end));
+        // Merge left and right if touching.
+        if insert_at + 1 < self.intervals.len()
+            && self.intervals[insert_at].1 == self.intervals[insert_at + 1].0
+        {
+            let (_, e2) = self.intervals.remove(insert_at + 1).unwrap();
+            self.intervals[insert_at].1 = e2;
+        }
+        if insert_at > 0 && self.intervals[insert_at - 1].1 == self.intervals[insert_at].0 {
+            let (_, e2) = self.intervals.remove(insert_at).unwrap();
+            self.intervals[insert_at - 1].1 = e2;
+        }
+        // Bound memory: collapse the oldest intervals into the horizon.
+        while self.intervals.len() > MAX_INTERVALS {
+            let (_, e) = self.intervals.pop_front().unwrap();
+            self.horizon = self.horizon.max(e);
+        }
+        end
+    }
+
+    fn earliest_free(&self) -> SimTime {
+        match self.intervals.front() {
+            Some(&(s, _)) if s > self.horizon => self.horizon,
+            Some(&(_, e)) => e, // busy right from the horizon
+            None => self.horizon,
+        }
+    }
+}
+
+/// A `c`-server FIFO station.
+///
+/// `reserve(now, duration)` books a server at or after `now` and returns the
+/// completion time; the caller then schedules its continuation at that time.
+/// This models a work-conserving queue (e.g. an SSD with internal
+/// parallelism `c`, or one direction of a NIC) without per-job event
+/// overhead.
+///
+/// The time-forwarding simulation books some work into the *future* (an
+/// update's later pipeline hops, a recycle chain's I/O). Naive earliest-free
+/// booking would let such future reservations falsely queue later-issued
+/// requests that arrive *earlier* in simulated time, so:
+///
+/// * **single-server** stations keep a bounded gap list and backfill idle
+///   holes between future bookings;
+/// * **multi-server** stations choose best-fit: a server already free at
+///   `now` if one exists (a serial chain keeps reusing its own lane),
+///   otherwise the earliest-free server.
+#[derive(Debug, Clone)]
+pub struct Resource {
+    /// Multi-server: earliest time each server becomes free.
+    free_at: Vec<SimTime>,
+    /// Single-server: gap-aware schedule.
+    book: Option<GapBook>,
+    busy: u64,
+    completed: u64,
+    last_end: SimTime,
+}
+
+impl Resource {
+    /// Station with `servers` parallel servers.
+    ///
+    /// # Panics
+    /// Panics if `servers == 0`.
+    pub fn new(servers: usize) -> Resource {
+        assert!(servers > 0, "resource needs at least one server");
+        Resource {
+            free_at: vec![0; servers],
+            book: (servers == 1).then(GapBook::default),
+            busy: 0,
+            completed: 0,
+            last_end: 0,
+        }
+    }
+
+    /// Number of servers.
+    #[inline]
+    pub fn servers(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Books `duration` of service starting no earlier than `now`; returns
+    /// the completion time.
+    pub fn reserve(&mut self, now: SimTime, duration: SimTime) -> SimTime {
+        self.busy += duration;
+        self.completed += 1;
+        let end = if let Some(book) = &mut self.book {
+            book.reserve(now, duration)
+        } else {
+            // Best fit: prefer the server free at or before `now` with the
+            // latest free time; otherwise the earliest-free server.
+            let mut best_fit: Option<usize> = None;
+            let mut earliest: usize = 0;
+            for (i, &f) in self.free_at.iter().enumerate() {
+                if f <= now && best_fit.is_none_or(|b| f > self.free_at[b]) {
+                    best_fit = Some(i);
+                }
+                if f < self.free_at[earliest] {
+                    earliest = i;
+                }
+            }
+            let chosen = best_fit.unwrap_or(earliest);
+            let start = now.max(self.free_at[chosen]);
+            let end = start + duration;
+            self.free_at[chosen] = end;
+            end
+        };
+        self.last_end = self.last_end.max(end);
+        end
+    }
+
+    /// Books service that must additionally wait for `ready` (e.g. data
+    /// arriving over the network) before it can start.
+    pub fn reserve_after(&mut self, now: SimTime, ready: SimTime, duration: SimTime) -> SimTime {
+        self.reserve(now.max(ready), duration)
+    }
+
+    /// Earliest time a server is free (without booking).
+    pub fn earliest_free(&self) -> SimTime {
+        match &self.book {
+            Some(b) => b.earliest_free(),
+            None => self.free_at.iter().copied().min().unwrap_or(0),
+        }
+    }
+
+    /// Total booked busy time across servers.
+    pub fn busy_time(&self) -> u64 {
+        self.busy
+    }
+
+    /// Jobs completed (booked) so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Completion time of the latest-finishing booking.
+    pub fn last_completion(&self) -> SimTime {
+        self.last_end
+    }
+
+    /// Utilisation of the station over `[0, horizon]`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == 0 {
+            return 0.0;
+        }
+        self.busy as f64 / (horizon as f64 * self.servers() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_server_serialises() {
+        let mut r = Resource::new(1);
+        assert_eq!(r.reserve(0, 10), 10);
+        assert_eq!(r.reserve(0, 10), 20); // queued behind the first
+        assert_eq!(r.reserve(25, 5), 30); // idle gap respected
+        assert_eq!(r.completed(), 3);
+        assert_eq!(r.busy_time(), 25);
+    }
+
+    #[test]
+    fn single_server_backfills_gaps() {
+        let mut r = Resource::new(1);
+        // A future booking at t = 1000 must not block earlier arrivals.
+        assert_eq!(r.reserve(1000, 50), 1050);
+        assert_eq!(r.reserve(0, 100), 100, "earlier op backfills the idle gap");
+        assert_eq!(r.reserve(0, 100), 200);
+        // A request that does not fit the remaining gap lands after the
+        // future booking.
+        assert_eq!(r.reserve(150, 900), 1050 + 900);
+    }
+
+    #[test]
+    fn single_server_gap_merging() {
+        let mut r = Resource::new(1);
+        assert_eq!(r.reserve(0, 10), 10);
+        assert_eq!(r.reserve(10, 10), 20); // touches: merges
+        assert_eq!(r.reserve(5, 10), 30); // no gap left before 20
+    }
+
+    #[test]
+    fn single_server_bounded_memory() {
+        let mut r = Resource::new(1);
+        // Thousands of scattered future bookings must not grow unboundedly
+        // or panic; early gaps eventually collapse into the horizon.
+        for i in 0..10_000u64 {
+            let t = (i * 7919) % 1_000_000;
+            r.reserve(t, 1);
+        }
+        assert_eq!(r.completed(), 10_000);
+    }
+
+    #[test]
+    fn multi_server_runs_in_parallel() {
+        let mut r = Resource::new(3);
+        assert_eq!(r.reserve(0, 10), 10);
+        assert_eq!(r.reserve(0, 10), 10);
+        assert_eq!(r.reserve(0, 10), 10);
+        assert_eq!(r.reserve(0, 10), 20); // fourth job waits
+    }
+
+    #[test]
+    fn multi_server_foreground_not_poisoned_by_future_chain() {
+        let mut r = Resource::new(4);
+        // A serial chain booking into the future reuses one lane...
+        let mut t = 1000;
+        for _ in 0..10 {
+            t = r.reserve(t, 100);
+        }
+        // ...so a foreground op at t=0 still starts immediately.
+        assert_eq!(r.reserve(0, 10), 10);
+    }
+
+    #[test]
+    fn reserve_after_waits_for_ready_time() {
+        let mut r = Resource::new(1);
+        assert_eq!(r.reserve_after(0, 100, 10), 110);
+        // The earlier-ready request backfills the gap before t = 100.
+        assert_eq!(r.reserve_after(0, 0, 10), 10);
+        // But a request that cannot fit before 100 queues after 110.
+        assert_eq!(r.reserve_after(0, 95, 10), 120);
+    }
+
+    #[test]
+    fn utilization_accounts_all_servers() {
+        let mut r = Resource::new(2);
+        r.reserve(0, 50);
+        r.reserve(0, 50);
+        assert!((r.utilization(100) - 0.5).abs() < 1e-12);
+        assert_eq!(r.last_completion(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        let _ = Resource::new(0);
+    }
+
+    #[test]
+    fn earliest_free_tracks_min() {
+        let mut r = Resource::new(2);
+        r.reserve(0, 10);
+        assert_eq!(r.earliest_free(), 0);
+        r.reserve(0, 20);
+        assert_eq!(r.earliest_free(), 10);
+    }
+}

@@ -1,0 +1,256 @@
+//! The event loop: a deterministic, continuation-passing scheduler.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation timestamp in nanoseconds since simulation start.
+pub type SimTime = u64;
+
+type Callback<W> = Box<dyn FnOnce(&mut Sim<W>, &mut W)>;
+
+struct Event<W> {
+    time: SimTime,
+    seq: u64,
+    cb: Callback<W>,
+}
+
+// Ordering is by (time, seq); seq breaks ties FIFO so same-time events run
+// in schedule order, which keeps runs reproducible.
+impl<W> PartialEq for Event<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<W> Eq for Event<W> {}
+impl<W> PartialOrd for Event<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Event<W> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A deterministic discrete-event scheduler over a world type `W`.
+///
+/// Events are closures receiving `(&mut Sim, &mut W)`; they may schedule
+/// further events. Two events at the same timestamp run in the order they
+/// were scheduled (stable FIFO tie-break), so identical inputs always
+/// produce identical traces.
+pub struct Sim<W> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Event<W>>>,
+    executed: u64,
+}
+
+impl<W> Default for Sim<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Sim<W> {
+    /// A scheduler starting at time zero with an empty queue.
+    pub fn new() -> Sim<W> {
+        Sim {
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[inline]
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `cb` to run `delay` nanoseconds from now.
+    pub fn schedule<F>(&mut self, delay: SimTime, cb: F)
+    where
+        F: FnOnce(&mut Sim<W>, &mut W) + 'static,
+    {
+        self.schedule_at(self.now.saturating_add(delay), cb);
+    }
+
+    /// Schedules `cb` at absolute time `t`.
+    ///
+    /// # Panics
+    /// Panics if `t` is in the simulated past — time travel would silently
+    /// corrupt causality, so it is rejected loudly.
+    pub fn schedule_at<F>(&mut self, t: SimTime, cb: F)
+    where
+        F: FnOnce(&mut Sim<W>, &mut W) + 'static,
+    {
+        assert!(
+            t >= self.now,
+            "cannot schedule event at {t} ns, already at {} ns",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event {
+            time: t,
+            seq,
+            cb: Box::new(cb),
+        }));
+    }
+
+    /// Runs until the event queue drains. Returns the final time.
+    pub fn run(&mut self, world: &mut W) -> SimTime {
+        self.run_until(world, SimTime::MAX)
+    }
+
+    /// Runs until the queue drains or the next event would be after
+    /// `deadline`; the clock never passes `deadline`. Returns current time.
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) -> SimTime {
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.time > deadline {
+                self.now = deadline.max(self.now);
+                return self.now;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            debug_assert!(ev.time >= self.now, "event queue went backwards");
+            self.now = ev.time;
+            self.executed += 1;
+            (ev.cb)(self, world);
+        }
+        self.now
+    }
+
+    /// Runs at most `n` further events. Returns how many actually ran.
+    pub fn step(&mut self, world: &mut W, n: u64) -> u64 {
+        let mut ran = 0;
+        while ran < n {
+            match self.queue.pop() {
+                Some(Reverse(ev)) => {
+                    self.now = ev.time;
+                    self.executed += 1;
+                    (ev.cb)(self, world);
+                    ran += 1;
+                }
+                None => break,
+            }
+        }
+        ran
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut world = Vec::new();
+        sim.schedule(30, |_, w: &mut Vec<u32>| w.push(3));
+        sim.schedule(10, |_, w| w.push(1));
+        sim.schedule(20, |_, w| w.push(2));
+        sim.run(&mut world);
+        assert_eq!(world, vec![1, 2, 3]);
+        assert_eq!(sim.now(), 30);
+        assert_eq!(sim.events_executed(), 3);
+    }
+
+    #[test]
+    fn same_time_events_run_fifo() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut world = Vec::new();
+        for i in 0..100 {
+            sim.schedule(5, move |_, w: &mut Vec<u32>| w.push(i));
+        }
+        sim.run(&mut world);
+        assert_eq!(world, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_chain() {
+        let mut sim: Sim<u64> = Sim::new();
+        let mut world = 0u64;
+        fn tick(sim: &mut Sim<u64>, w: &mut u64) {
+            *w += 1;
+            if *w < 5 {
+                sim.schedule(7, tick);
+            }
+        }
+        sim.schedule(0, tick);
+        sim.run(&mut world);
+        assert_eq!(world, 5);
+        assert_eq!(sim.now(), 4 * 7);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim: Sim<u32> = Sim::new();
+        let mut world = 0u32;
+        sim.schedule(10, |_, w: &mut u32| *w += 1);
+        sim.schedule(20, |_, w| *w += 1);
+        sim.schedule(30, |_, w| *w += 1);
+        sim.run_until(&mut world, 20);
+        assert_eq!(world, 2);
+        assert_eq!(sim.now(), 20);
+        assert_eq!(sim.pending(), 1);
+        sim.run(&mut world);
+        assert_eq!(world, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event")]
+    fn scheduling_in_past_panics() {
+        let mut sim: Sim<()> = Sim::new();
+        let mut world = ();
+        sim.schedule(10, |sim, _| {
+            sim.schedule_at(5, |_, _| {});
+        });
+        sim.run(&mut world);
+    }
+
+    #[test]
+    fn step_limits_execution() {
+        let mut sim: Sim<u32> = Sim::new();
+        let mut world = 0u32;
+        for i in 0..10 {
+            sim.schedule(i, |_, w: &mut u32| *w += 1);
+        }
+        assert_eq!(sim.step(&mut world, 4), 4);
+        assert_eq!(world, 4);
+        assert_eq!(sim.step(&mut world, 100), 6);
+        assert_eq!(world, 10);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        fn run_once() -> (u64, Vec<u64>) {
+            let mut sim: Sim<Vec<u64>> = Sim::new();
+            let mut world = Vec::new();
+            for i in 0..50u64 {
+                sim.schedule((i * 13) % 17, move |sim, w: &mut Vec<u64>| {
+                    w.push(i);
+                    if i % 3 == 0 {
+                        sim.schedule(i % 5, move |_, w: &mut Vec<u64>| w.push(1000 + i));
+                    }
+                });
+            }
+            sim.run(&mut world);
+            (sim.now(), world)
+        }
+        assert_eq!(run_once(), run_once());
+    }
+}

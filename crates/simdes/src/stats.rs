@@ -1,0 +1,272 @@
+//! Measurement utilities: counters, windowed time series, histograms.
+
+use crate::sim::SimTime;
+use crate::units;
+
+/// A monotonically increasing `(count, bytes)` pair — the unit of I/O and
+/// network accounting throughout the reproduction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounter {
+    /// Number of operations.
+    pub ops: u64,
+    /// Total bytes moved by those operations.
+    pub bytes: u64,
+}
+
+impl OpCounter {
+    /// Records one operation of `bytes` bytes.
+    #[inline]
+    pub fn record(&mut self, bytes: u64) {
+        self.ops += 1;
+        self.bytes += bytes;
+    }
+
+    /// Merges another counter into this one.
+    #[inline]
+    pub fn merge(&mut self, other: OpCounter) {
+        self.ops += other.ops;
+        self.bytes += other.bytes;
+    }
+
+    /// Bytes expressed in GiB.
+    pub fn gib(&self) -> f64 {
+        self.bytes as f64 / (1u64 << 30) as f64
+    }
+}
+
+/// Fixed-width time buckets accumulating a count per bucket — used for
+/// IOPS-over-time plots (paper Fig. 6a).
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    bucket_width: SimTime,
+    buckets: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// Series with buckets of `bucket_width` nanoseconds.
+    ///
+    /// # Panics
+    /// Panics if `bucket_width == 0`.
+    pub fn new(bucket_width: SimTime) -> TimeSeries {
+        assert!(bucket_width > 0, "bucket width must be positive");
+        TimeSeries {
+            bucket_width,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Adds `n` to the bucket containing time `t`.
+    pub fn record(&mut self, t: SimTime, n: u64) {
+        let idx = (t / self.bucket_width) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += n;
+    }
+
+    /// Bucket width in nanoseconds.
+    pub fn bucket_width(&self) -> SimTime {
+        self.bucket_width
+    }
+
+    /// `(bucket_start_seconds, events_per_second)` pairs.
+    pub fn rates_per_sec(&self) -> Vec<(f64, f64)> {
+        let w = units::as_secs_f64(self.bucket_width);
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as f64 * w, c as f64 / w))
+            .collect()
+    }
+
+    /// Raw bucket counts.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+/// Log2-bucketed histogram of durations, for latency/residency quantiles.
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))` nanoseconds (bucket 0 covers `[0,2)`),
+/// so the histogram spans nanoseconds to hours in 64 buckets with bounded
+/// error per bucket.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one duration (nanoseconds).
+    pub fn record(&mut self, v: u64) {
+        let idx = (64 - v.leading_zeros()).saturating_sub(1) as usize;
+        self.buckets[idx.min(63)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: returns the upper bound of the
+    /// bucket containing the q-th sample.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_counter_accumulates() {
+        let mut c = OpCounter::default();
+        c.record(4096);
+        c.record(8192);
+        assert_eq!(c.ops, 2);
+        assert_eq!(c.bytes, 12288);
+        let mut d = OpCounter::default();
+        d.record(100);
+        c.merge(d);
+        assert_eq!(c.ops, 3);
+        assert_eq!(c.bytes, 12388);
+    }
+
+    #[test]
+    fn op_counter_gib() {
+        let mut c = OpCounter::default();
+        c.record(1u64 << 30);
+        assert!((c.gib() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_series_buckets_and_rates() {
+        let mut ts = TimeSeries::new(units::SECS);
+        ts.record(0, 5);
+        ts.record(units::SECS - 1, 5);
+        ts.record(units::SECS, 7);
+        ts.record(3 * units::SECS + 1, 1);
+        assert_eq!(ts.buckets(), &[10, 7, 0, 1]);
+        let rates = ts.rates_per_sec();
+        assert_eq!(rates[0], (0.0, 10.0));
+        assert_eq!(rates[1], (1.0, 7.0));
+    }
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1_000_000);
+        assert!((h.mean() - 1_001_106.0 / 6.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_samples() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // p50 bucket upper bound must be >= the true median and within 2x.
+        let p50 = h.quantile(0.5);
+        assert!(p50 >= 500, "p50 = {p50}");
+        assert!(p50 <= 1024, "p50 = {p50}");
+        let p100 = h.quantile(1.0);
+        assert!(p100 >= 1000);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        a.record(10);
+        let mut b = Histogram::new();
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 1000);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+    }
+}

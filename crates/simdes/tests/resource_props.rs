@@ -1,0 +1,81 @@
+//! Property tests for the gap-aware resource scheduler: regardless of the
+//! booking order (the time-forwarding simulation books out of time order),
+//! the schedule must stay physically consistent.
+
+use proptest::prelude::*;
+use simdes::Resource;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Single-server: no two bookings may overlap in time, every booking
+    /// starts at or after its requested time, and total busy time is
+    /// conserved.
+    #[test]
+    fn single_server_schedule_is_physical(
+        reqs in proptest::collection::vec((0u64..100_000, 1u64..500), 1..300)
+    ) {
+        let mut r = Resource::new(1);
+        let mut bookings: Vec<(u64, u64)> = Vec::new();
+        let mut total = 0u64;
+        for &(now, dur) in &reqs {
+            let end = r.reserve(now, dur);
+            let start = end - dur;
+            prop_assert!(start >= now, "booking started before request time");
+            bookings.push((start, end));
+            total += dur;
+        }
+        prop_assert_eq!(r.busy_time(), total);
+        prop_assert_eq!(r.completed(), reqs.len() as u64);
+        // No overlaps.
+        bookings.sort_unstable();
+        for w in bookings.windows(2) {
+            prop_assert!(
+                w[0].1 <= w[1].0,
+                "overlapping bookings: {:?} vs {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    /// Multi-server: at no instant may more than `c` bookings be active.
+    #[test]
+    fn multi_server_never_exceeds_capacity(
+        servers in 2usize..6,
+        reqs in proptest::collection::vec((0u64..50_000, 1u64..400), 1..200)
+    ) {
+        let mut r = Resource::new(servers);
+        let mut events: Vec<(u64, i64)> = Vec::new();
+        for &(now, dur) in &reqs {
+            let end = r.reserve(now, dur);
+            events.push((end - dur, 1));
+            events.push((end, -1));
+        }
+        events.sort_unstable();
+        let mut active = 0i64;
+        for &(_, d) in &events {
+            active += d;
+            prop_assert!(
+                active <= servers as i64,
+                "more than {servers} concurrent bookings"
+            );
+        }
+    }
+
+    /// Backfilling never starves: a request issued at `now` with an
+    /// otherwise idle server must complete by now + total pending work +
+    /// its own duration (a coarse no-livelock bound).
+    #[test]
+    fn single_server_completion_is_bounded(
+        reqs in proptest::collection::vec((0u64..10_000, 1u64..100), 1..100)
+    ) {
+        let mut r = Resource::new(1);
+        let total: u64 = reqs.iter().map(|&(_, d)| d).sum();
+        let max_now = reqs.iter().map(|&(n, _)| n).max().unwrap_or(0);
+        for &(now, dur) in &reqs {
+            let end = r.reserve(now, dur);
+            prop_assert!(end <= max_now + total, "end {} beyond bound", end);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Storage device models: a NAND SSD with a page-mapped FTL and a
+//! mechanical HDD with a seek model.
+//!
+//! This crate stands in for the paper's physical devices (one 400 GB SSD per
+//! node on the Chameleon testbed; three 2 TB HDDs per node in the HDD
+//! cluster). The two properties the evaluation depends on are modelled
+//! explicitly:
+//!
+//! 1. **The random-vs-sequential gap.** On the SSD, small random operations
+//!    pay a fixed per-command overhead that dwarfs the transfer time, while
+//!    large sequential streams run at media bandwidth ([`ssd`]). On the HDD
+//!    the gap is mechanical: non-contiguous accesses pay seek plus
+//!    rotational latency ([`hdd`]).
+//! 2. **Flash wear.** Every host write lands in a page-mapped FTL; small
+//!    in-place overwrites invalidate pages and eventually force garbage
+//!    collection, whose relocations and block erases are both charged to
+//!    the device timeline and counted for the lifespan analysis
+//!    (paper §5.3.4 and Table 1) ([`ssd::Ftl`]).
+//!
+//! All devices expose the same [`IoOp`]/[`submit`](Disk::submit) interface
+//! returning completion times against a [`simdes::Resource`] queue, plus
+//! [`DeviceStats`] counting reads, writes, *overwrites* (the write-penalty
+//! metric of Table 1) and erases.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hdd;
+pub mod ssd;
+pub mod stats;
+
+pub use hdd::{Hdd, HddConfig};
+pub use ssd::{Ssd, SsdConfig};
+pub use stats::DeviceStats;
+
+use simdes::SimTime;
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoKind {
+    /// Data flows from the device.
+    Read,
+    /// Data flows to the device.
+    Write,
+}
+
+/// Access-pattern hint supplied by the storage layer.
+///
+/// The OSD knows the semantics of each access (log appends are sequential,
+/// in-place block updates are random), so the hint is authoritative for the
+/// SSD's command-overhead model; the HDD additionally tracks head position
+/// and only charges a seek when the access is actually discontiguous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// Part of a sequential stream (e.g. log append, recovery scan).
+    Sequential,
+    /// Independent small access (e.g. in-place block update).
+    Random,
+}
+
+/// One device command.
+#[derive(Debug, Clone, Copy)]
+pub struct IoOp {
+    /// Read or write.
+    pub kind: IoKind,
+    /// Byte offset on the device.
+    pub offset: u64,
+    /// Length in bytes (must be non-zero).
+    pub len: u64,
+    /// Access-pattern hint.
+    pub pattern: Pattern,
+}
+
+impl IoOp {
+    /// Convenience constructor for a read.
+    pub fn read(offset: u64, len: u64, pattern: Pattern) -> IoOp {
+        IoOp {
+            kind: IoKind::Read,
+            offset,
+            len,
+            pattern,
+        }
+    }
+
+    /// Convenience constructor for a write.
+    pub fn write(offset: u64, len: u64, pattern: Pattern) -> IoOp {
+        IoOp {
+            kind: IoKind::Write,
+            offset,
+            len,
+            pattern,
+        }
+    }
+}
+
+/// A storage device: either flavour behind one interface.
+#[derive(Debug, Clone)]
+pub enum Disk {
+    /// NAND SSD with FTL.
+    Ssd(Ssd),
+    /// Mechanical HDD.
+    Hdd(Hdd),
+}
+
+impl Disk {
+    /// Submits an I/O at simulation time `now`; returns its completion time.
+    pub fn submit(&mut self, now: SimTime, op: IoOp) -> SimTime {
+        match self {
+            Disk::Ssd(d) => d.submit(now, op),
+            Disk::Hdd(d) => d.submit(now, op),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &DeviceStats {
+        match self {
+            Disk::Ssd(d) => d.stats(),
+            Disk::Hdd(d) => d.stats(),
+        }
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        match self {
+            Disk::Ssd(d) => d.capacity(),
+            Disk::Hdd(d) => d.capacity(),
+        }
+    }
+
+    /// Total busy time booked on the device.
+    pub fn busy_time(&self) -> u64 {
+        match self {
+            Disk::Ssd(d) => d.busy_time(),
+            Disk::Hdd(d) => d.busy_time(),
+        }
+    }
+
+    /// Explicitly erases a fixed region (SSD: counts erase cycles and books
+    /// erase time; HDD: free — magnetic media needs no erase).
+    pub fn erase_region(&mut self, now: SimTime, offset: u64, len: u64) -> SimTime {
+        match self {
+            Disk::Ssd(d) => d.erase_region(now, offset, len),
+            Disk::Hdd(_) => now,
+        }
+    }
+}

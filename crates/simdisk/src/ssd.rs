@@ -1,0 +1,513 @@
+//! NAND SSD model: command-overhead latency plus a page-mapped FTL whose
+//! garbage collection charges real time and counts erase cycles.
+
+use simdes::{Resource, SimTime};
+
+use crate::stats::DeviceStats;
+use crate::{IoKind, IoOp, Pattern};
+
+const UNMAPPED: u32 = u32::MAX;
+
+/// SSD configuration.
+///
+/// Defaults model a datacenter SATA/NVMe-class drive of the kind the paper's
+/// Chameleon nodes carried, scaled down in capacity so sixteen simulated
+/// devices stay memory-cheap. The latency constants encode the property the
+/// paper leans on: a small random command costs two orders of magnitude more
+/// than its share of a large sequential stream.
+#[derive(Debug, Clone)]
+pub struct SsdConfig {
+    /// NAND page size in bytes.
+    pub page_size: u64,
+    /// Pages per erase block.
+    pub pages_per_block: u32,
+    /// Logical (host-visible) capacity in bytes.
+    pub capacity: u64,
+    /// Extra physical space fraction reserved for the FTL.
+    pub over_provision: f64,
+    /// Internal command parallelism (NCQ/NVMe queue lanes).
+    pub queue_depth: usize,
+    /// Fixed overhead of a random read command.
+    pub rand_read_overhead: SimTime,
+    /// Fixed overhead of a random write command.
+    pub rand_write_overhead: SimTime,
+    /// Fixed overhead of a sequential read command.
+    pub seq_read_overhead: SimTime,
+    /// Fixed overhead of a sequential write command.
+    pub seq_write_overhead: SimTime,
+    /// Sustained read bandwidth, bytes per second.
+    pub read_bandwidth: u64,
+    /// Sustained write bandwidth, bytes per second.
+    pub write_bandwidth: u64,
+    /// Time to erase one NAND block.
+    pub erase_time: SimTime,
+    /// Time to relocate one valid page during GC (read + program).
+    pub gc_page_move_time: SimTime,
+    /// GC starts when the free-block fraction drops below this.
+    pub gc_free_threshold: f64,
+}
+
+impl Default for SsdConfig {
+    fn default() -> Self {
+        SsdConfig {
+            page_size: 4096,
+            pages_per_block: 64, // 256 KiB erase block
+            capacity: 2 << 30,   // 2 GiB logical (scaled-down 400 GB drive)
+            over_provision: 0.125,
+            queue_depth: 4,
+            rand_read_overhead: 45 * simdes::units::MICROS,
+            rand_write_overhead: 60 * simdes::units::MICROS,
+            seq_read_overhead: 15 * simdes::units::MICROS,
+            seq_write_overhead: 20 * simdes::units::MICROS,
+            read_bandwidth: 2_000_000_000,
+            write_bandwidth: 1_100_000_000,
+            erase_time: 2 * simdes::units::MILLIS,
+            gc_page_move_time: 60 * simdes::units::MICROS,
+            gc_free_threshold: 0.06,
+        }
+    }
+}
+
+/// Page-mapped flash translation layer.
+///
+/// Logical pages map to physical pages; overwrites invalidate the old
+/// physical page. When the pool of free blocks falls below the GC
+/// threshold, greedy GC picks the block with the fewest valid pages,
+/// relocates them, and erases it. Erases and relocations are returned to
+/// the caller so they can be charged to the device timeline and to the
+/// wear counters.
+#[derive(Debug, Clone)]
+pub struct Ftl {
+    pages_per_block: u32,
+    logical_pages: u64,
+    /// lpn -> ppa
+    map: Vec<u32>,
+    /// ppa -> lpn
+    rmap: Vec<u32>,
+    /// valid page count per physical block
+    valid: Vec<u16>,
+    /// stack of free (erased) block ids
+    free_blocks: Vec<u32>,
+    active_block: u32,
+    active_next_page: u32,
+    gc_threshold_blocks: usize,
+    total_blocks: usize,
+}
+
+/// GC/wear cost of a batch of page writes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlashCost {
+    /// Pages programmed on behalf of the host.
+    pub host_pages: u64,
+    /// Pages relocated by garbage collection.
+    pub moved_pages: u64,
+    /// Blocks erased.
+    pub erases: u64,
+}
+
+impl Ftl {
+    fn new(cfg: &SsdConfig) -> Ftl {
+        let logical_pages = cfg.capacity.div_ceil(cfg.page_size);
+        let physical_pages =
+            ((logical_pages as f64) * (1.0 + cfg.over_provision)).ceil() as u64;
+        let total_blocks = physical_pages.div_ceil(cfg.pages_per_block as u64) as usize;
+        assert!(
+            total_blocks >= 4,
+            "SSD too small: needs at least 4 erase blocks"
+        );
+        let mut free_blocks: Vec<u32> = (1..total_blocks as u32).rev().collect();
+        let active_block = 0;
+        let gc_threshold_blocks =
+            ((total_blocks as f64 * cfg.gc_free_threshold).ceil() as usize).max(2);
+        let _ = &mut free_blocks;
+        Ftl {
+            pages_per_block: cfg.pages_per_block,
+            logical_pages,
+            map: vec![UNMAPPED; logical_pages as usize],
+            rmap: vec![UNMAPPED; total_blocks * cfg.pages_per_block as usize],
+            valid: vec![0; total_blocks],
+            free_blocks,
+            active_block,
+            active_next_page: 0,
+            gc_threshold_blocks,
+            total_blocks,
+        }
+    }
+
+    /// Number of logical pages.
+    pub fn logical_pages(&self) -> u64 {
+        self.logical_pages
+    }
+
+    /// Writes one logical page; returns the wear cost incurred (including
+    /// any GC this write triggered).
+    pub fn write_page(&mut self, lpn: u64) -> FlashCost {
+        debug_assert!(lpn < self.logical_pages, "lpn out of range");
+        let mut cost = FlashCost::default();
+        // Invalidate the previous location.
+        let old = self.map[lpn as usize];
+        if old != UNMAPPED {
+            let blk = (old / self.pages_per_block) as usize;
+            self.valid[blk] -= 1;
+            self.rmap[old as usize] = UNMAPPED;
+        }
+        let ppa = self.allocate_page(&mut cost);
+        self.map[lpn as usize] = ppa;
+        self.rmap[ppa as usize] = lpn as u32;
+        self.valid[(ppa / self.pages_per_block) as usize] += 1;
+        cost.host_pages += 1;
+        cost
+    }
+
+    fn allocate_page(&mut self, cost: &mut FlashCost) -> u32 {
+        if self.active_next_page == self.pages_per_block {
+            // Active block is full: pick a new one, GC first if needed.
+            if self.free_blocks.len() < self.gc_threshold_blocks {
+                self.collect_garbage(cost);
+            }
+            self.active_block = self
+                .free_blocks
+                .pop()
+                .expect("GC must keep at least one free block");
+            self.active_next_page = 0;
+        }
+        let ppa = self.active_block * self.pages_per_block + self.active_next_page;
+        self.active_next_page += 1;
+        ppa
+    }
+
+    fn collect_garbage(&mut self, cost: &mut FlashCost) {
+        while self.free_blocks.len() < self.gc_threshold_blocks {
+            // Greedy victim: fewest valid pages, excluding active and free.
+            let mut victim = usize::MAX;
+            let mut best = u16::MAX;
+            for b in 0..self.total_blocks {
+                if b as u32 == self.active_block {
+                    continue;
+                }
+                if self.free_blocks.contains(&(b as u32)) {
+                    continue;
+                }
+                if self.valid[b] < best {
+                    best = self.valid[b];
+                    victim = b;
+                    if best == 0 {
+                        break;
+                    }
+                }
+            }
+            assert!(victim != usize::MAX, "no GC victim available");
+            // Relocate the victim's valid pages into the active stream.
+            let base = victim as u32 * self.pages_per_block;
+            for p in 0..self.pages_per_block {
+                let ppa = base + p;
+                let lpn = self.rmap[ppa as usize];
+                if lpn == UNMAPPED {
+                    continue;
+                }
+                self.rmap[ppa as usize] = UNMAPPED;
+                self.valid[victim] -= 1;
+                let new_ppa = self.allocate_page(cost);
+                self.map[lpn as usize] = new_ppa;
+                self.rmap[new_ppa as usize] = lpn;
+                self.valid[(new_ppa / self.pages_per_block) as usize] += 1;
+                cost.moved_pages += 1;
+            }
+            debug_assert_eq!(self.valid[victim], 0);
+            cost.erases += 1;
+            self.free_blocks.push(victim as u32);
+        }
+    }
+}
+
+/// The SSD device: latency model + FTL + statistics.
+#[derive(Debug, Clone)]
+pub struct Ssd {
+    cfg: SsdConfig,
+    ftl: Ftl,
+    queue: Resource,
+    stats: DeviceStats,
+    /// Page-granularity "has been written" bitmap for overwrite accounting.
+    written: Vec<u64>,
+}
+
+impl Ssd {
+    /// Builds an SSD from its configuration.
+    pub fn new(cfg: SsdConfig) -> Ssd {
+        let ftl = Ftl::new(&cfg);
+        let words = (ftl.logical_pages() as usize).div_ceil(64);
+        Ssd {
+            queue: Resource::new(cfg.queue_depth),
+            ftl,
+            written: vec![0; words],
+            stats: DeviceStats::default(),
+            cfg,
+        }
+    }
+
+    /// SSD with default configuration.
+    pub fn with_defaults() -> Ssd {
+        Ssd::new(SsdConfig::default())
+    }
+
+    /// Logical capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.cfg.capacity
+    }
+
+    /// Device configuration.
+    pub fn config(&self) -> &SsdConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// Total busy time booked on the device queue.
+    pub fn busy_time(&self) -> u64 {
+        self.queue.busy_time()
+    }
+
+    /// Pure service-time model for an op (no queueing, no FTL): fixed
+    /// command overhead by pattern plus transfer at media bandwidth.
+    pub fn service_time(&self, op: &IoOp) -> SimTime {
+        let (overhead, bw) = match (op.kind, op.pattern) {
+            (IoKind::Read, Pattern::Random) => (self.cfg.rand_read_overhead, self.cfg.read_bandwidth),
+            (IoKind::Read, Pattern::Sequential) => (self.cfg.seq_read_overhead, self.cfg.read_bandwidth),
+            (IoKind::Write, Pattern::Random) => (self.cfg.rand_write_overhead, self.cfg.write_bandwidth),
+            (IoKind::Write, Pattern::Sequential) => (self.cfg.seq_write_overhead, self.cfg.write_bandwidth),
+        };
+        overhead + op.len * simdes::units::SECS / bw
+    }
+
+    /// Submits an I/O; returns its completion time.
+    ///
+    /// Writes run through the FTL page by page; GC relocations and erases
+    /// extend this command's service time (foreground GC), which is how
+    /// sustained random overwrite load degrades latency on real drives.
+    ///
+    /// # Panics
+    /// Panics if the op exceeds the device capacity or has zero length.
+    pub fn submit(&mut self, now: SimTime, op: IoOp) -> SimTime {
+        assert!(op.len > 0, "zero-length I/O");
+        assert!(
+            op.offset + op.len <= self.cfg.capacity,
+            "I/O beyond device capacity: offset {} len {} cap {}",
+            op.offset,
+            op.len,
+            self.cfg.capacity
+        );
+        let mut service = self.service_time(&op);
+        match op.kind {
+            IoKind::Read => {
+                self.stats.reads.record(op.len);
+                if op.pattern == Pattern::Random {
+                    self.stats.random_reads.record(op.len);
+                }
+            }
+            IoKind::Write => {
+                self.stats.writes.record(op.len);
+                if op.pattern == Pattern::Random {
+                    self.stats.random_writes.record(op.len);
+                }
+                // Overwrite accounting at page granularity.
+                let first = op.offset / self.cfg.page_size;
+                let last = (op.offset + op.len - 1) / self.cfg.page_size;
+                let mut over_bytes = 0u64;
+                for lpn in first..=last {
+                    let (w, b) = ((lpn / 64) as usize, lpn % 64);
+                    if self.written[w] >> b & 1 == 1 {
+                        over_bytes += self.page_overlap(op.offset, op.len, lpn);
+                    } else {
+                        self.written[w] |= 1 << b;
+                    }
+                }
+                if over_bytes > 0 {
+                    self.stats.overwrites.record(over_bytes);
+                }
+                // FTL programming + GC.
+                let mut cost = FlashCost::default();
+                for lpn in first..=last {
+                    let c = self.ftl.write_page(lpn);
+                    cost.host_pages += c.host_pages;
+                    cost.moved_pages += c.moved_pages;
+                    cost.erases += c.erases;
+                }
+                self.stats.nand_pages_programmed += cost.host_pages + cost.moved_pages;
+                self.stats.gc_relocated_pages += cost.moved_pages;
+                self.stats.erases += cost.erases;
+                service += cost.moved_pages * self.cfg.gc_page_move_time
+                    + cost.erases * self.cfg.erase_time;
+            }
+        }
+        self.queue.reserve(now, service)
+    }
+
+    fn page_overlap(&self, offset: u64, len: u64, lpn: u64) -> u64 {
+        let ps = self.cfg.page_size;
+        let page_start = lpn * ps;
+        let page_end = page_start + ps;
+        let start = offset.max(page_start);
+        let end = (offset + len).min(page_end);
+        end.saturating_sub(start)
+    }
+
+    /// Explicitly erases the flash blocks backing `[offset, offset+len)` —
+    /// the cost of reusing *fixed* on-device log regions (e.g. PLR's
+    /// reserved space) that cannot ride the FTL's remapping. Counts erase
+    /// cycles and books erase time on the device queue.
+    pub fn erase_region(&mut self, now: SimTime, offset: u64, len: u64) -> SimTime {
+        assert!(len > 0, "zero-length erase");
+        assert!(offset + len <= self.cfg.capacity, "erase beyond capacity");
+        let block_bytes = self.cfg.page_size * self.cfg.pages_per_block as u64;
+        let first = offset / block_bytes;
+        let last = (offset + len - 1) / block_bytes;
+        let blocks = last - first + 1;
+        self.stats.erases += blocks;
+        self.queue.reserve(now, blocks * self.cfg.erase_time)
+    }
+
+    /// Projected lifespan multiplier relative to a baseline erase count:
+    /// `baseline_erases / self.erases` (∞-safe: returns baseline when this
+    /// device has zero erases).
+    pub fn lifespan_vs(&self, baseline_erases: u64) -> f64 {
+        if self.stats.erases == 0 {
+            baseline_erases.max(1) as f64
+        } else {
+            baseline_erases as f64 / self.stats.erases as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdes::units::{MICROS, SECS};
+
+    fn small_ssd() -> Ssd {
+        Ssd::new(SsdConfig {
+            capacity: 16 << 20, // 16 MiB
+            ..SsdConfig::default()
+        })
+    }
+
+    #[test]
+    fn sequential_faster_than_random() {
+        let ssd = small_ssd();
+        let r = ssd.service_time(&IoOp::read(0, 4096, Pattern::Random));
+        let s = ssd.service_time(&IoOp::read(0, 4096, Pattern::Sequential));
+        assert!(r > 2 * s, "random {r} vs sequential {s}");
+        let rw = ssd.service_time(&IoOp::write(0, 4096, Pattern::Random));
+        let sw = ssd.service_time(&IoOp::write(0, 4096, Pattern::Sequential));
+        assert!(rw > 2 * sw, "random {rw} vs sequential {sw}");
+    }
+
+    #[test]
+    fn large_sequential_hits_bandwidth() {
+        let ssd = small_ssd();
+        let len = 8 << 20; // 8 MiB
+        let t = ssd.service_time(&IoOp::read(0, len, Pattern::Sequential));
+        let ideal = len * SECS / ssd.config().read_bandwidth;
+        assert!(t < ideal + ideal / 10, "t {t} vs ideal {ideal}");
+    }
+
+    #[test]
+    fn queue_depth_allows_parallel_commands() {
+        let mut ssd = small_ssd();
+        let t1 = ssd.submit(0, IoOp::read(0, 4096, Pattern::Random));
+        let t2 = ssd.submit(0, IoOp::read(8192, 4096, Pattern::Random));
+        assert_eq!(t1, t2, "two commands fit the queue simultaneously");
+        // Saturate the queue: the (QD+1)-th command must wait.
+        let mut last = 0;
+        for i in 0..ssd.config().queue_depth as u64 {
+            last = ssd.submit(0, IoOp::read(i * 4096, 4096, Pattern::Random));
+        }
+        assert!(last > t1);
+    }
+
+    #[test]
+    fn overwrites_counted_only_on_rewrite() {
+        let mut ssd = small_ssd();
+        ssd.submit(0, IoOp::write(0, 8192, Pattern::Sequential));
+        assert_eq!(ssd.stats().overwrites.ops, 0);
+        ssd.submit(0, IoOp::write(0, 4096, Pattern::Random));
+        assert_eq!(ssd.stats().overwrites.ops, 1);
+        assert_eq!(ssd.stats().overwrites.bytes, 4096);
+        // A fresh region is again not an overwrite.
+        ssd.submit(0, IoOp::write(1 << 20, 4096, Pattern::Random));
+        assert_eq!(ssd.stats().overwrites.ops, 1);
+    }
+
+    #[test]
+    fn sub_page_overwrite_counts_overlap_bytes() {
+        let mut ssd = small_ssd();
+        ssd.submit(0, IoOp::write(0, 4096, Pattern::Random));
+        ssd.submit(0, IoOp::write(100, 200, Pattern::Random));
+        assert_eq!(ssd.stats().overwrites.bytes, 200);
+    }
+
+    #[test]
+    fn sustained_overwrite_triggers_gc_and_erases() {
+        let mut ssd = Ssd::new(SsdConfig {
+            capacity: 4 << 20, // 4 MiB: 16 blocks of 256 KiB
+            over_provision: 0.25,
+            ..SsdConfig::default()
+        });
+        // Fill the device once, then overwrite it several times.
+        let mut now = 0;
+        for round in 0..6u64 {
+            for off in (0..(4 << 20)).step_by(4096) {
+                now = ssd.submit(now, IoOp::write(off, 4096, Pattern::Random));
+            }
+            if round == 0 {
+                assert_eq!(ssd.stats().erases, 0, "first fill needs no GC");
+            }
+        }
+        assert!(ssd.stats().erases > 0, "overwrites must trigger GC");
+        assert!(
+            ssd.stats().write_amplification(4096) >= 1.0,
+            "WA must be >= 1"
+        );
+    }
+
+    #[test]
+    fn wear_tracks_write_volume() {
+        // Two devices, one written 4x more: it must erase more.
+        let cfg = SsdConfig {
+            capacity: 4 << 20,
+            ..SsdConfig::default()
+        };
+        let mut a = Ssd::new(cfg.clone());
+        let mut b = Ssd::new(cfg);
+        for round in 0..2u64 {
+            let _ = round;
+            for off in (0..(4 << 20)).step_by(4096) {
+                a.submit(0, IoOp::write(off, 4096, Pattern::Random));
+            }
+        }
+        for _ in 0..8u64 {
+            for off in (0..(4 << 20)).step_by(4096) {
+                b.submit(0, IoOp::write(off, 4096, Pattern::Random));
+            }
+        }
+        assert!(b.stats().erases > a.stats().erases);
+        assert!(a.lifespan_vs(b.stats().erases) > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond device capacity")]
+    fn oversized_io_rejected() {
+        let mut ssd = small_ssd();
+        ssd.submit(0, IoOp::read((16 << 20) - 100, 4096, Pattern::Random));
+    }
+
+    #[test]
+    fn service_time_includes_transfer() {
+        let ssd = small_ssd();
+        let small = ssd.service_time(&IoOp::write(0, 4096, Pattern::Sequential));
+        let big = ssd.service_time(&IoOp::write(0, 1 << 20, Pattern::Sequential));
+        assert!(big > small + 800 * MICROS, "1 MiB at ~1.1 GB/s takes ~950 us");
+    }
+}

@@ -1,0 +1,99 @@
+//! Per-device I/O accounting: the raw material for the paper's Table 1.
+
+use simdes::stats::OpCounter;
+
+/// Cumulative device statistics.
+///
+/// *Overwrites* are writes that land on previously written addresses — the
+/// "write penalty" column of Table 1: they are what invalidates flash pages
+/// and burns erase cycles, so the paper reports them separately from total
+/// read/write traffic.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceStats {
+    /// All read commands.
+    pub reads: OpCounter,
+    /// All write commands (first writes and overwrites alike).
+    pub writes: OpCounter,
+    /// Writes to previously written bytes (the write penalty of Table 1).
+    pub overwrites: OpCounter,
+    /// Reads issued with the random-pattern hint.
+    pub random_reads: OpCounter,
+    /// Writes issued with the random-pattern hint.
+    pub random_writes: OpCounter,
+    /// NAND block erase operations (SSD only; the lifespan currency).
+    pub erases: u64,
+    /// Pages relocated by garbage collection (SSD write amplification).
+    pub gc_relocated_pages: u64,
+    /// Pages physically programmed, including GC relocations.
+    pub nand_pages_programmed: u64,
+}
+
+impl DeviceStats {
+    /// Total host read+write operations.
+    pub fn rw_ops(&self) -> u64 {
+        self.reads.ops + self.writes.ops
+    }
+
+    /// Total host read+write bytes.
+    pub fn rw_bytes(&self) -> u64 {
+        self.reads.bytes + self.writes.bytes
+    }
+
+    /// Write amplification factor: NAND pages programmed per host page
+    /// written (1.0 means no GC overhead; 0 writes yields 1.0).
+    pub fn write_amplification(&self, page: u64) -> f64 {
+        let host_pages = self.writes.bytes.div_ceil(page).max(1);
+        self.nand_pages_programmed as f64 / host_pages as f64
+    }
+
+    /// Merges another device's statistics into this one (cluster totals).
+    pub fn merge(&mut self, other: &DeviceStats) {
+        self.reads.merge(other.reads);
+        self.writes.merge(other.writes);
+        self.overwrites.merge(other.overwrites);
+        self.random_reads.merge(other.random_reads);
+        self.random_writes.merge(other.random_writes);
+        self.erases += other.erases;
+        self.gc_relocated_pages += other.gc_relocated_pages;
+        self.nand_pages_programmed += other.nand_pages_programmed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = DeviceStats::default();
+        a.reads.record(100);
+        a.writes.record(200);
+        a.overwrites.record(50);
+        a.erases = 3;
+        a.nand_pages_programmed = 10;
+
+        let mut b = DeviceStats::default();
+        b.reads.record(1);
+        b.erases = 2;
+        b.gc_relocated_pages = 7;
+
+        a.merge(&b);
+        assert_eq!(a.reads.ops, 2);
+        assert_eq!(a.reads.bytes, 101);
+        assert_eq!(a.erases, 5);
+        assert_eq!(a.gc_relocated_pages, 7);
+        assert_eq!(a.rw_ops(), 3);
+        assert_eq!(a.rw_bytes(), 301);
+    }
+
+    #[test]
+    fn write_amplification_baseline_is_one() {
+        let mut s = DeviceStats::default();
+        s.writes.record(4096 * 10);
+        s.nand_pages_programmed = 10;
+        assert!((s.write_amplification(4096) - 1.0).abs() < 1e-12);
+        s.gc_relocated_pages = 5;
+        s.nand_pages_programmed = 15;
+        assert!((s.write_amplification(4096) - 1.5).abs() < 1e-12);
+    }
+}

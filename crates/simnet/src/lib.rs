@@ -1,0 +1,286 @@
+//! Cluster network model: full-duplex per-node links behind a switch,
+//! cut-through message timing, and a per-(src, dst) traffic matrix.
+//!
+//! Stands in for the paper's 25 Gb/s Ethernet (SSD testbed) and 40 Gb/s
+//! InfiniBand (HDD testbed) fabrics. Each endpoint owns an egress and an
+//! ingress [`simdes::Resource`]; a message serialises on the sender's
+//! egress, flows cut-through into the receiver's ingress, and is delivered
+//! after a fixed per-RPC overhead. Network traffic per method — Table 1's
+//! last column — falls out of the traffic matrix.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use simdes::{Resource, SimTime};
+
+/// Network configuration.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Number of endpoints (OSDs + clients + MDS).
+    pub endpoints: usize,
+    /// Per-direction link bandwidth in bytes per second.
+    pub bandwidth: u64,
+    /// Fixed per-message overhead (NIC + stack + propagation).
+    pub rpc_overhead: SimTime,
+}
+
+impl NetConfig {
+    /// 25 Gb/s Ethernet with a 30 µs RPC overhead (the paper's SSD testbed).
+    pub fn ethernet_25g(endpoints: usize) -> NetConfig {
+        NetConfig {
+            endpoints,
+            bandwidth: 25_000_000_000 / 8,
+            rpc_overhead: 30 * simdes::units::MICROS,
+        }
+    }
+
+    /// 40 Gb/s InfiniBand with a 5 µs overhead (the paper's HDD testbed).
+    pub fn infiniband_40g(endpoints: usize) -> NetConfig {
+        NetConfig {
+            endpoints,
+            bandwidth: 40_000_000_000 / 8,
+            rpc_overhead: 5 * simdes::units::MICROS,
+        }
+    }
+}
+
+/// Accumulated traffic between endpoint pairs.
+#[derive(Debug, Clone)]
+pub struct TrafficMatrix {
+    n: usize,
+    bytes: Vec<u64>,
+    messages: Vec<u64>,
+}
+
+impl TrafficMatrix {
+    fn new(n: usize) -> TrafficMatrix {
+        TrafficMatrix {
+            n,
+            bytes: vec![0; n * n],
+            messages: vec![0; n * n],
+        }
+    }
+
+    /// Bytes sent from `src` to `dst`.
+    pub fn bytes(&self, src: usize, dst: usize) -> u64 {
+        self.bytes[src * self.n + dst]
+    }
+
+    /// Messages sent from `src` to `dst`.
+    pub fn messages(&self, src: usize, dst: usize) -> u64 {
+        self.messages[src * self.n + dst]
+    }
+
+    /// Total bytes over the fabric.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Total messages over the fabric.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.iter().sum()
+    }
+
+    /// Total bytes in GiB.
+    pub fn total_gib(&self) -> f64 {
+        self.total_bytes() as f64 / (1u64 << 30) as f64
+    }
+
+    fn record(&mut self, src: usize, dst: usize, bytes: u64) {
+        self.bytes[src * self.n + dst] += bytes;
+        self.messages[src * self.n + dst] += 1;
+    }
+}
+
+/// The switched fabric connecting all endpoints.
+#[derive(Debug, Clone)]
+pub struct Network {
+    cfg: NetConfig,
+    egress: Vec<Resource>,
+    ingress: Vec<Resource>,
+    traffic: TrafficMatrix,
+}
+
+impl Network {
+    /// Builds the fabric.
+    ///
+    /// # Panics
+    /// Panics if `endpoints == 0` or `bandwidth == 0`.
+    pub fn new(cfg: NetConfig) -> Network {
+        assert!(cfg.endpoints > 0, "network needs endpoints");
+        assert!(cfg.bandwidth > 0, "network needs bandwidth");
+        Network {
+            egress: (0..cfg.endpoints).map(|_| Resource::new(1)).collect(),
+            ingress: (0..cfg.endpoints).map(|_| Resource::new(1)).collect(),
+            traffic: TrafficMatrix::new(cfg.endpoints),
+            cfg,
+        }
+    }
+
+    /// Configuration in force.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// The traffic matrix accumulated so far.
+    pub fn traffic(&self) -> &TrafficMatrix {
+        &self.traffic
+    }
+
+    /// Pure serialisation time of `bytes` on one link.
+    pub fn wire_time(&self, bytes: u64) -> SimTime {
+        bytes * simdes::units::SECS / self.cfg.bandwidth
+    }
+
+    /// Sends `bytes` from `src` to `dst` starting at `now`; returns the
+    /// delivery time at `dst`.
+    ///
+    /// Local sends (`src == dst`) are free and uncounted: they model
+    /// intra-process hand-offs, which the paper's traffic numbers exclude.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints.
+    pub fn send(&mut self, now: SimTime, src: usize, dst: usize, bytes: u64) -> SimTime {
+        assert!(
+            src < self.cfg.endpoints && dst < self.cfg.endpoints,
+            "endpoint out of range"
+        );
+        if src == dst {
+            return now;
+        }
+        self.traffic.record(src, dst, bytes);
+        let dur = self.wire_time(bytes);
+        let tx_end = self.egress[src].reserve(now, dur);
+        // Cut-through: the receiver's link is busy for the same duration,
+        // overlapping the tail of the transmission.
+        let rx_end = self.ingress[dst].reserve(tx_end.saturating_sub(dur), dur);
+        rx_end + self.cfg.rpc_overhead
+    }
+
+    /// Delivery time for a zero-payload control message (pure RPC).
+    ///
+    /// Control messages are tiny and NIC/switch QoS lets them interleave
+    /// with bulk transfers, so they are charged the RPC overhead and wire
+    /// time without queueing on the link resources.
+    pub fn rpc(&mut self, now: SimTime, src: usize, dst: usize) -> SimTime {
+        assert!(
+            src < self.cfg.endpoints && dst < self.cfg.endpoints,
+            "endpoint out of range"
+        );
+        if src == dst {
+            return now;
+        }
+        self.traffic.record(src, dst, 64);
+        now + self.wire_time(64) + self.cfg.rpc_overhead
+    }
+
+    /// Busy time booked on an endpoint's egress link (diagnostics).
+    pub fn egress_busy(&self, ep: usize) -> u64 {
+        self.egress[ep].busy_time()
+    }
+
+    /// Busy time booked on an endpoint's ingress link (diagnostics).
+    pub fn ingress_busy(&self, ep: usize) -> u64 {
+        self.ingress[ep].busy_time()
+    }
+
+    /// Latest completion ever booked on an endpoint's ingress (diagnostics:
+    /// a value far beyond the simulation clock reveals a runaway queue).
+    pub fn ingress_backlog(&self, ep: usize) -> u64 {
+        self.ingress[ep].last_completion()
+    }
+
+    /// Latest completion ever booked on an endpoint's egress.
+    pub fn egress_backlog(&self, ep: usize) -> u64 {
+        self.egress[ep].last_completion()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdes::units::{MICROS, SECS};
+
+    fn net(n: usize) -> Network {
+        Network::new(NetConfig::ethernet_25g(n))
+    }
+
+    #[test]
+    fn small_message_dominated_by_rpc_overhead() {
+        let mut n = net(2);
+        let t = n.send(0, 0, 1, 64);
+        assert!(t >= 30 * MICROS);
+        assert!(t < 40 * MICROS, "delivery {t}");
+    }
+
+    #[test]
+    fn large_message_dominated_by_bandwidth() {
+        let mut n = net(2);
+        let bytes = 1u64 << 30; // 1 GiB at 25 Gb/s ~ 0.34 s
+        let t = n.send(0, 0, 1, bytes);
+        let ideal = bytes * SECS / (25_000_000_000 / 8);
+        assert!(t >= ideal);
+        assert!(t < ideal + ideal / 4, "delivery {t} vs ideal {ideal}");
+    }
+
+    #[test]
+    fn self_send_is_free_and_uncounted() {
+        let mut n = net(2);
+        assert_eq!(n.send(123, 1, 1, 1 << 20), 123);
+        assert_eq!(n.traffic().total_bytes(), 0);
+    }
+
+    #[test]
+    fn egress_contention_serialises() {
+        let mut n = net(3);
+        let bytes = 100 << 20;
+        let t1 = n.send(0, 0, 1, bytes);
+        let t2 = n.send(0, 0, 2, bytes);
+        assert!(t2 >= t1 + n.wire_time(bytes) - 1, "t1 {t1} t2 {t2}");
+    }
+
+    #[test]
+    fn ingress_contention_serialises() {
+        let mut n = net(3);
+        let bytes = 100 << 20;
+        let t1 = n.send(0, 0, 2, bytes);
+        let t2 = n.send(0, 1, 2, bytes);
+        assert!(t2 > t1, "two senders into one receiver must queue");
+    }
+
+    #[test]
+    fn different_pairs_flow_in_parallel() {
+        let mut n = net(4);
+        let bytes = 100 << 20;
+        let t1 = n.send(0, 0, 1, bytes);
+        let t2 = n.send(0, 2, 3, bytes);
+        assert_eq!(t1, t2, "disjoint pairs share no resource");
+    }
+
+    #[test]
+    fn traffic_matrix_accounts_by_pair() {
+        let mut n = net(3);
+        n.send(0, 0, 1, 1000);
+        n.send(0, 0, 1, 500);
+        n.send(0, 2, 0, 42);
+        assert_eq!(n.traffic().bytes(0, 1), 1500);
+        assert_eq!(n.traffic().messages(0, 1), 2);
+        assert_eq!(n.traffic().bytes(2, 0), 42);
+        assert_eq!(n.traffic().total_bytes(), 1542);
+        assert_eq!(n.traffic().total_messages(), 3);
+    }
+
+    #[test]
+    fn infiniband_has_lower_overhead() {
+        let mut ib = Network::new(NetConfig::infiniband_40g(2));
+        let mut eth = net(2);
+        assert!(ib.send(0, 0, 1, 64) < eth.send(0, 0, 1, 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoint out of range")]
+    fn bad_endpoint_panics() {
+        let mut n = net(2);
+        n.send(0, 0, 5, 10);
+    }
+}

@@ -1,0 +1,52 @@
+//! Property tests: network causality and traffic conservation.
+
+use proptest::prelude::*;
+use simnet::{NetConfig, Network};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Deliveries never precede their sends, traffic is conserved, and
+    /// local sends are free/uncounted.
+    #[test]
+    fn causality_and_conservation(
+        sends in proptest::collection::vec(
+            (0u64..1_000_000, 0usize..6, 0usize..6, 1u64..1_000_000),
+            1..200
+        )
+    ) {
+        let mut net = Network::new(NetConfig::ethernet_25g(6));
+        let mut expected_bytes = 0u64;
+        let mut expected_msgs = 0u64;
+        for &(now, src, dst, bytes) in &sends {
+            let t = net.send(now, src, dst, bytes);
+            if src == dst {
+                prop_assert_eq!(t, now, "local send must be free");
+            } else {
+                prop_assert!(
+                    t >= now + net.wire_time(bytes),
+                    "delivery before wire time elapsed"
+                );
+                expected_bytes += bytes;
+                expected_msgs += 1;
+            }
+        }
+        prop_assert_eq!(net.traffic().total_bytes(), expected_bytes);
+        prop_assert_eq!(net.traffic().total_messages(), expected_msgs);
+    }
+
+    /// A link's cumulative egress busy time never exceeds what its
+    /// bandwidth could physically carry by the latest delivery.
+    #[test]
+    fn egress_never_exceeds_physical_bandwidth(
+        sends in proptest::collection::vec((0u64..100_000, 1u64..100_000), 1..100)
+    ) {
+        let mut net = Network::new(NetConfig::ethernet_25g(2));
+        let mut last = 0u64;
+        for &(now, bytes) in &sends {
+            last = last.max(net.send(now, 0, 1, bytes));
+        }
+        let busy = net.egress_busy(0);
+        prop_assert!(busy <= last, "egress busier ({busy}) than elapsed ({last})");
+    }
+}

@@ -1,0 +1,158 @@
+//! Plain-text trace import/export (CSV), so generated workloads can be
+//! inspected, diffed, and replayed outside the benchmarks.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::{OpKind, TraceOp};
+
+/// Serialisation/parsing errors.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed line with its 1-based line number.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "I/O error: {e}"),
+            TraceIoError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+fn kind_str(k: OpKind) -> &'static str {
+    match k {
+        OpKind::Write => "W",
+        OpKind::Update => "U",
+        OpKind::Read => "R",
+    }
+}
+
+fn parse_kind(s: &str) -> Option<OpKind> {
+    match s {
+        "W" => Some(OpKind::Write),
+        "U" => Some(OpKind::Update),
+        "R" => Some(OpKind::Read),
+        _ => None,
+    }
+}
+
+/// Writes ops as `at_ns,offset,len,kind` lines with a header row.
+pub fn write_csv<W: Write>(mut w: W, ops: &[TraceOp]) -> Result<(), TraceIoError> {
+    writeln!(w, "at_ns,offset,len,kind")?;
+    for op in ops {
+        writeln!(w, "{},{},{},{}", op.at_ns, op.offset, op.len, kind_str(op.kind))?;
+    }
+    Ok(())
+}
+
+/// Reads ops written by [`write_csv`].
+pub fn read_csv<R: Read>(r: R) -> Result<Vec<TraceOp>, TraceIoError> {
+    let reader = BufReader::new(r);
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = i + 1;
+        if i == 0 {
+            if line != "at_ns,offset,len,kind" {
+                return Err(TraceIoError::Parse {
+                    line: lineno,
+                    reason: format!("unexpected header {line:?}"),
+                });
+            }
+            continue;
+        }
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let mut field = |name: &str| -> Result<&str, TraceIoError> {
+            parts.next().ok_or_else(|| TraceIoError::Parse {
+                line: lineno,
+                reason: format!("missing field {name}"),
+            })
+        };
+        let at_ns: u64 = field("at_ns")?.parse().map_err(|e| TraceIoError::Parse {
+            line: lineno,
+            reason: format!("at_ns: {e}"),
+        })?;
+        let offset: u64 = field("offset")?.parse().map_err(|e| TraceIoError::Parse {
+            line: lineno,
+            reason: format!("offset: {e}"),
+        })?;
+        let len: u32 = field("len")?.parse().map_err(|e| TraceIoError::Parse {
+            line: lineno,
+            reason: format!("len: {e}"),
+        })?;
+        let kind = parse_kind(field("kind")?).ok_or_else(|| TraceIoError::Parse {
+            line: lineno,
+            reason: "bad kind".into(),
+        })?;
+        out.push(TraceOp {
+            at_ns,
+            offset,
+            len,
+            kind,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{WorkloadGen, WorkloadParams};
+
+    #[test]
+    fn roundtrip_preserves_ops() {
+        let mut g = WorkloadGen::new(WorkloadParams::ali_cloud(64 << 20), 3);
+        let ops = g.take_ops(500);
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &ops).unwrap();
+        let back = read_csv(&buf[..]).unwrap();
+        assert_eq!(ops, back);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let res = read_csv(&b"nope\n1,2,3,W\n"[..]);
+        assert!(matches!(res, Err(TraceIoError::Parse { line: 1, .. })));
+    }
+
+    #[test]
+    fn rejects_bad_kind() {
+        let res = read_csv(&b"at_ns,offset,len,kind\n1,2,3,X\n"[..]);
+        assert!(matches!(res, Err(TraceIoError::Parse { line: 2, .. })));
+    }
+
+    #[test]
+    fn rejects_missing_field() {
+        let res = read_csv(&b"at_ns,offset,len,kind\n1,2\n"[..]);
+        assert!(matches!(res, Err(TraceIoError::Parse { line: 2, .. })));
+    }
+
+    #[test]
+    fn empty_lines_skipped() {
+        let back = read_csv(&b"at_ns,offset,len,kind\n\n5,4096,512,U\n"[..]).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].kind, OpKind::Update);
+    }
+}

@@ -1,0 +1,157 @@
+//! Zipf-distributed sampling over `0..n`, used for slot popularity.
+//!
+//! Implements the classic Gray et al. incremental method ("Quickly
+//! generating billion-record synthetic databases", SIGMOD '94): after an
+//! O(n) one-time harmonic precomputation, each sample is O(1).
+
+use rand::Rng;
+
+/// A Zipf(θ) sampler over `0..n`.
+///
+/// θ = 0 degenerates to uniform; θ → 1 concentrates mass on few slots.
+/// Item `i` has probability proportional to `1 / (i+1)^θ`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// Builds a sampler over `0..n` with skew `theta` in `[0, 1)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta` is outside `[0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Zipf {
+        assert!(n > 0, "zipf over empty domain");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct sum for small n; Euler-Maclaurin style approximation for
+        // large n keeps construction cheap at trace scales.
+        if n <= 10_000_000 {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let head: f64 = (1..=10_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
+            let tail = ((n as f64).powf(1.0 - theta) - 10_000f64.powf(1.0 - theta))
+                / (1.0 - theta);
+            head + tail
+        }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draws one sample in `0..n` (0 is the most popular item).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.random();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1.min(self.n - 1);
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let z = Zipf::new(1000, 0.9);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn theta_zero_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((6_000..14_000).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn high_theta_concentrates_mass() {
+        let z = Zipf::new(100_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut top100 = 0u32;
+        const N: u32 = 100_000;
+        for _ in 0..N {
+            if z.sample(&mut rng) < 100 {
+                top100 += 1;
+            }
+        }
+        // With theta ~1 over 1e5 items, the top 0.1% of items should draw
+        // a large share of accesses.
+        assert!(
+            top100 > N / 3,
+            "top-100 items drew only {top100}/{N} accesses"
+        );
+    }
+
+    #[test]
+    fn skew_orders_by_theta() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let frac_top = |theta: f64, rng: &mut StdRng| {
+            let z = Zipf::new(10_000, theta);
+            let mut hit = 0;
+            for _ in 0..20_000 {
+                if z.sample(rng) < 100 {
+                    hit += 1;
+                }
+            }
+            hit
+        };
+        let low = frac_top(0.2, &mut rng);
+        let high = frac_top(0.95, &mut rng);
+        assert!(high > low * 2, "low {low}, high {high}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn zero_domain_rejected() {
+        let _ = Zipf::new(0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be")]
+    fn theta_one_rejected() {
+        let _ = Zipf::new(10, 1.0);
+    }
+}

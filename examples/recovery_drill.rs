@@ -1,0 +1,52 @@
+//! Recovery drill (the Fig. 8b scenario): run an update burst, fail an OSD,
+//! drain outstanding logs, reconstruct — and see why real-time recycling
+//! keeps TSUE's recovery bandwidth at FO levels.
+//!
+//! ```text
+//! cargo run --release -p tsue-examples --example recovery_drill
+//! ```
+
+use ecfs::recovery::recover_node;
+use ecfs::replay::run_update_phase;
+use ecfs::{ClusterConfig, MethodKind, ReplayConfig};
+use rscode::CodeParams;
+use traces::TraceFamily;
+
+fn main() {
+    let code = CodeParams::new(6, 4).unwrap();
+    println!("update burst, then OSD 3 fails; RS(6,4), HDD cluster\n");
+    println!(
+        "{:<7} {:>9} {:>12} {:>12} {:>14}",
+        "method", "blocks", "drain (s)", "rebuild (s)", "recovery MiB/s"
+    );
+    for method in [
+        MethodKind::Fo,
+        MethodKind::Pl,
+        MethodKind::Plr,
+        MethodKind::Parix,
+        MethodKind::Tsue,
+    ] {
+        let mut cluster = ClusterConfig::hdd_testbed(code, method);
+        cluster.clients = 8;
+        // Small units keep TSUE's real-time recycling active in a short run.
+        cluster.tsue_unit_bytes = 1 << 20;
+        let mut rcfg = ReplayConfig::new(cluster, TraceFamily::Msr(traces::workload::MsrVolume::Src10));
+        rcfg.ops_per_client = 300;
+        rcfg.volume_bytes = 96 << 20;
+
+        let (mut sim, mut cl) = run_update_phase(&rcfg);
+        let res = recover_node(&mut sim, &mut cl, 3);
+        println!(
+            "{:<7} {:>9} {:>12.3} {:>12.3} {:>14.0}",
+            method.name(),
+            res.blocks,
+            res.drain_s,
+            res.rebuild_s,
+            res.bandwidth_mib_s
+        );
+        // After recovery the oracle must still hold: nothing acked was lost.
+        let violations = cl.oracle.violations(&cl.layout);
+        assert!(violations.is_empty(), "{method:?}: {violations:?}");
+    }
+    println!("\n(FO has no logs; TSUE drains an order of magnitude less than PL/PARIX\n because its logs are merged and recycled in real time.)");
+}

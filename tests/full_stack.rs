@@ -1,0 +1,177 @@
+//! Cross-crate integration tests: trace generation → cluster replay →
+//! consistency oracle → recovery, plus engine/codec cross-checks.
+
+use ecfs::recovery::recover_node;
+use ecfs::replay::{run_trace, run_update_phase};
+use ecfs::{ClusterConfig, MethodKind, ReplayConfig};
+use rscode::{CodeParams, ReedSolomon, Stripe};
+use traces::workload::MsrVolume;
+use traces::TraceFamily;
+use tsue::engine::{EngineConfig, TsueEngine};
+
+fn replay(method: MethodKind, family: TraceFamily, clients: usize) -> ReplayConfig {
+    let code = CodeParams::new(6, 3).unwrap();
+    let mut cluster = ClusterConfig::ssd_testbed(code, method);
+    cluster.clients = clients;
+    let mut r = ReplayConfig::new(cluster, family);
+    r.ops_per_client = 300;
+    r.volume_bytes = 64 << 20;
+    r
+}
+
+#[test]
+fn trace_to_cluster_to_oracle_all_families() {
+    for family in [
+        TraceFamily::AliCloud,
+        TraceFamily::TenCloud,
+        TraceFamily::Msr(MsrVolume::Src10),
+    ] {
+        let res = run_trace(&replay(MethodKind::Tsue, family, 6));
+        assert_eq!(res.oracle_violations, 0, "{family:?}");
+        assert!(res.completed_updates > 0, "{family:?}");
+    }
+}
+
+#[test]
+fn recovery_after_live_updates_is_complete() {
+    for method in [MethodKind::Tsue, MethodKind::Pl, MethodKind::Fo] {
+        let rcfg = replay(method, TraceFamily::AliCloud, 6);
+        let (mut sim, mut cl) = run_update_phase(&rcfg);
+        let res = recover_node(&mut sim, &mut cl, 2);
+        assert!(res.blocks > 0, "{method:?}: no blocks to recover");
+        assert!(res.bandwidth_mib_s > 0.0, "{method:?}");
+        // After the pre-recovery drain, nothing acked may be missing.
+        let violations = cl.oracle.violations(&cl.layout);
+        assert!(violations.is_empty(), "{method:?}: {violations:?}");
+    }
+}
+
+#[test]
+fn tsue_recovery_drains_less_than_pl() {
+    let pl = {
+        let (mut sim, mut cl) = run_update_phase(&replay(MethodKind::Pl, TraceFamily::AliCloud, 6));
+        recover_node(&mut sim, &mut cl, 2)
+    };
+    let tsue = {
+        let (mut sim, mut cl) =
+            run_update_phase(&replay(MethodKind::Tsue, TraceFamily::AliCloud, 6));
+        recover_node(&mut sim, &mut cl, 2)
+    };
+    assert!(
+        tsue.drain_s < pl.drain_s,
+        "TSUE drain {:.3}s must be below PL's {:.3}s (real-time recycling)",
+        tsue.drain_s,
+        pl.drain_s
+    );
+}
+
+#[test]
+fn engine_and_stripe_agree_on_update_semantics() {
+    // The concurrent engine and the reference Stripe must produce identical
+    // parity for identical update sequences.
+    let code = CodeParams::new(3, 2).unwrap();
+    let block_len = 8192u32;
+    let engine = TsueEngine::new(EngineConfig {
+        code,
+        block_len,
+        stripes: 1,
+        unit_bytes: 8192,
+        max_units: 4,
+        pools_per_layer: 1,
+        recycler_threads: 1,
+    });
+    let rs = ReedSolomon::new(code);
+    let mut stripe = Stripe::zeroed(rs, block_len as usize);
+
+    let updates: [(u16, u32, &[u8]); 4] = [
+        (0, 0, b"abcdef"),
+        (1, 4000, &[0xaa; 100]),
+        (0, 3, b"XYZ"),
+        (2, 8000, &[1, 2, 3]),
+    ];
+    for (block, off, data) in updates {
+        engine.update(0, block, off, data);
+        stripe.update(block as usize, off as usize, data);
+    }
+    engine.flush();
+    assert!(engine.verify_parity());
+    for i in 0..5 {
+        assert_eq!(
+            engine.raw_block(0, i),
+            stripe.block(i),
+            "block {i} diverged between engine and reference stripe"
+        );
+    }
+}
+
+#[test]
+fn hdd_cluster_inverts_fo_ranking() {
+    // On HDDs FO must be the worst method (paper Fig. 8a: TSUE up to 16x FO),
+    // while on SSDs FO is mid-pack.
+    let code = CodeParams::new(6, 3).unwrap();
+    let run = |method| {
+        let mut cluster = ClusterConfig::hdd_testbed(code, method);
+        cluster.clients = 6;
+        let mut rcfg = ReplayConfig::new(cluster, TraceFamily::Msr(MsrVolume::Src10));
+        rcfg.ops_per_client = 120;
+        rcfg.volume_bytes = 64 << 20;
+        run_trace(&rcfg)
+    };
+    let fo = run(MethodKind::Fo);
+    let pl = run(MethodKind::Pl);
+    let tsue = run(MethodKind::Tsue);
+    assert_eq!(fo.oracle_violations, 0);
+    assert!(
+        pl.update_iops > fo.update_iops,
+        "PL ({:.0}) must beat FO ({:.0}) on HDDs",
+        pl.update_iops,
+        fo.update_iops
+    );
+    assert!(
+        tsue.update_iops > 3.0 * fo.update_iops,
+        "TSUE ({:.0}) must be >3x FO ({:.0}) on HDDs",
+        tsue.update_iops,
+        fo.update_iops
+    );
+}
+
+#[test]
+fn fig7_ladder_is_monotonic_enough() {
+    // Each cumulative optimisation should help or be neutral; O3 (log pool)
+    // must be a clear jump, O4 (multi-pool) may be small (the paper calls
+    // it minimal).
+    let mut last = 0.0f64;
+    let mut o3_gain = 0.0f64;
+    let mut prev = 0.0f64;
+    for (label, feats) in ecfs::TsueFeatures::ladder() {
+        // The ladder's effects bind at saturation (high client:node ratio).
+        let mut rcfg = replay(MethodKind::Tsue, TraceFamily::AliCloud, 48);
+        rcfg.cluster.tsue = feats;
+        rcfg.cluster.tsue_unit_bytes = 2 << 20; // small units: recycling active
+        rcfg.ops_per_client = 400;
+        rcfg.volume_bytes = 96 << 20;
+        let res = run_trace(&rcfg);
+        assert_eq!(res.oracle_violations, 0, "{label}");
+        if label == "O3" {
+            o3_gain = res.update_iops / prev.max(1.0);
+        }
+        prev = res.update_iops;
+        last = last.max(res.update_iops);
+    }
+    assert!(o3_gain > 1.2, "log pool (O3) must be a clear jump: {o3_gain:.2}x");
+    assert!(last > 0.0);
+}
+
+#[test]
+fn trace_csv_roundtrips_through_replay_pipeline() {
+    // Generated traces survive CSV export/import unchanged.
+    let mut gen = traces::WorkloadGen::new(
+        traces::WorkloadParams::ten_cloud(32 << 20),
+        7,
+    );
+    let ops = gen.take_ops(500);
+    let mut buf = Vec::new();
+    traces::io::write_csv(&mut buf, &ops).unwrap();
+    let back = traces::io::read_csv(&buf[..]).unwrap();
+    assert_eq!(ops, back);
+}
