@@ -32,7 +32,8 @@ fn main() {
                     let rcfg = ssd_replay(k, m, method, family, c);
                     let res = run_trace(&rcfg);
                     assert_eq!(
-                        res.oracle_violations, 0,
+                        res.oracle_violations,
+                        0,
                         "consistency violated: {} RS({k},{m})",
                         method.name()
                     );
@@ -60,7 +61,11 @@ fn main() {
             );
             // Paper shape note: TSUE/FO ratio at the largest client count.
             if let (Some(t), Some(f)) = (tsue_by_clients.last(), fo_by_clients.last()) {
-                println!("  -> TSUE/FO at {} clients: {:.2}x", clients.last().unwrap(), t / f);
+                println!(
+                    "  -> TSUE/FO at {} clients: {:.2}x",
+                    clients.last().unwrap(),
+                    t / f
+                );
             }
             subplot += 1;
         }

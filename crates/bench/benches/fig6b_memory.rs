@@ -26,7 +26,12 @@ fn main() {
     }
     print_table(
         "Fig. 6b: IOPS and log memory vs max log units (TSUE, Ali-Cloud, RS(6,2))",
-        &["max units", "IOPS", "log mem (MiB, cluster)", "stalled appends"],
+        &[
+            "max units",
+            "IOPS",
+            "log mem (MiB, cluster)",
+            "stalled appends",
+        ],
         &rows,
     );
 }

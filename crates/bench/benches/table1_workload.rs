@@ -34,7 +34,10 @@ fn main() {
             format!("{}", res.disk.rw_ops()),
             format!("{:.2}", res.disk.rw_bytes() as f64 / (1u64 << 30) as f64),
             format!("{}", res.disk.overwrites.ops),
-            format!("{:.2}", res.disk.overwrites.bytes as f64 / (1u64 << 30) as f64),
+            format!(
+                "{:.2}",
+                res.disk.overwrites.bytes as f64 / (1u64 << 30) as f64
+            ),
             format!("{:.2}", res.net_gib),
             format!("{}", res.erases),
         ]);
@@ -63,7 +66,11 @@ fn main() {
     println!("\nSSD lifespan vs TSUE (erase-cycle ratio; paper: 2.5x-13x):");
     for (m, e) in &erases {
         if *m != MethodKind::Tsue {
-            println!("  {:6} {:.1}x more erases than TSUE", m.name(), *e as f64 / tsue as f64);
+            println!(
+                "  {:6} {:.1}x more erases than TSUE",
+                m.name(),
+                *e as f64 / tsue as f64
+            );
         }
     }
 }

@@ -7,7 +7,14 @@ fn main() {
         let code = CodeParams::new(6, m).unwrap();
         println!("== RS(6,{m}) Ali-Cloud, 64 clients, 1500 ops/client ==");
         let mut results = vec![];
-        for method in [MethodKind::Fo, MethodKind::Pl, MethodKind::Plr, MethodKind::Parix, MethodKind::Cord, MethodKind::Tsue] {
+        for method in [
+            MethodKind::Fo,
+            MethodKind::Pl,
+            MethodKind::Plr,
+            MethodKind::Parix,
+            MethodKind::Cord,
+            MethodKind::Tsue,
+        ] {
             let mut cluster = ClusterConfig::ssd_testbed(code, method);
             cluster.clients = 64;
             let mut r = ReplayConfig::new(cluster, TraceFamily::AliCloud);
@@ -18,9 +25,15 @@ fn main() {
                 method.name(), res.update_iops, res.latency_mean_us, res.disk.rw_ops(), res.disk.overwrites.ops, res.net_gib, res.erases, res.drain_s, res.stalls);
             results.push((method, res.update_iops));
         }
-        let tsue = results.iter().find(|(m,_)| *m==MethodKind::Tsue).unwrap().1;
+        let tsue = results
+            .iter()
+            .find(|(m, _)| *m == MethodKind::Tsue)
+            .unwrap()
+            .1;
         for (method, iops) in &results {
-            if *method != MethodKind::Tsue { println!("  TSUE/{} = {:.2}x", method.name(), tsue/iops); }
+            if *method != MethodKind::Tsue {
+                println!("  TSUE/{} = {:.2}x", method.name(), tsue / iops);
+            }
         }
     }
 }

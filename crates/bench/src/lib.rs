@@ -9,13 +9,13 @@
 //! Scale knobs: the default grid is sized to finish in minutes; set
 //! `TSUE_BENCH_FULL=1` for the paper-scale grid (more clients, more ops).
 
-use ecfs::{ClusterConfig, MethodKind, ReplayConfig, RunResult};
-use rscode::CodeParams;
-use traces::TraceFamily;
+use ecfs::prelude::*;
 
 /// Whether the full-scale grid was requested.
 pub fn full_scale() -> bool {
-    std::env::var("TSUE_BENCH_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("TSUE_BENCH_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Operations per client for the current scale.
@@ -136,7 +136,14 @@ pub fn summary_row(label: &str, r: &RunResult) -> Vec<String> {
 
 /// Header matching [`summary_row`].
 pub const SUMMARY_HEADERS: [&str; 8] = [
-    "method", "IOPS", "lat(us)", "rw ops", "rw GiB", "overwrites", "net GiB", "erases",
+    "method",
+    "IOPS",
+    "lat(us)",
+    "rw ops",
+    "rw GiB",
+    "overwrites",
+    "net GiB",
+    "erases",
 ];
 
 #[cfg(test)]

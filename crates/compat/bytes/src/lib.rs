@@ -1,0 +1,175 @@
+//! Offline stand-in for the `bytes` crate: an `Arc<[u8]>`-backed immutable
+//! buffer with O(1) `clone`/`slice`, and a growable `BytesMut` that freezes
+//! into it.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Deref, DerefMut, RangeBounds};
+use std::sync::Arc;
+
+/// Cheaply cloneable immutable byte buffer (a view into shared storage).
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::from(Vec::new())
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(src: &[u8]) -> Bytes {
+        Bytes::from(src.to_vec())
+    }
+
+    /// O(1) sub-view of `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let start = match range.start_bound() {
+            std::ops::Bound::Included(&s) => s,
+            std::ops::Bound::Excluded(&s) => s + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            std::ops::Bound::Included(&e) => e + 1,
+            std::ops::Bound::Excluded(&e) => e,
+            std::ops::Bound::Unbounded => len,
+        };
+        assert!(start <= end && end <= len, "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + start,
+            end: self.start + end,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let data: Arc<[u8]> = v.into();
+        let end = data.len();
+        Bytes {
+            data,
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({:?})", &self[..])
+    }
+}
+
+/// Growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.0)
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> BytesMut {
+        BytesMut(src.to_vec())
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_shares_storage() {
+        let b = Bytes::copy_from_slice(&[1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        let ss = s.slice(1..2);
+        assert_eq!(&ss[..], &[3]);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let b = Bytes::copy_from_slice(&[1]);
+        let _ = b.slice(0..2);
+    }
+
+    #[test]
+    fn freeze_roundtrip() {
+        let mut m = BytesMut::with_capacity(4);
+        m.extend_from_slice(&[9, 8]);
+        m[0] = 7;
+        let b = m.freeze();
+        assert_eq!(&b[..], &[7, 8]);
+    }
+
+    #[test]
+    fn equality_ignores_view_offsets() {
+        let a = Bytes::copy_from_slice(&[1, 2, 3]).slice(1..3);
+        let b = Bytes::copy_from_slice(&[2, 3]);
+        assert_eq!(a, b);
+    }
+}

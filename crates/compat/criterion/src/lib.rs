@@ -1,0 +1,274 @@
+//! Offline stand-in for `criterion`: runs benchmark closures under a plain
+//! wall-clock harness and prints mean/min per iteration (plus throughput
+//! when declared). No statistics engine, no HTML reports, no comparisons —
+//! just enough to keep `cargo bench` targets runnable and their numbers
+//! readable.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from discarding a value (best-effort, stable-Rust
+/// implementation using a volatile-style read through `std::hint`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared throughput of a benchmark, for per-byte/per-element rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_id/parameter`.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Criterion {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            harness: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Criterion {
+        run_bench(self, None, id, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    harness: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the declared throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a named benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(self.harness, Some(&self.name), id, self.throughput, f);
+        self
+    }
+
+    /// Runs a parameterised benchmark (the input is passed to the closure).
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(
+            self.harness,
+            Some(&self.name),
+            &id.id,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (formatting separator only).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    harness: &Criterion,
+    group: Option<&str>,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+
+    // Warm-up with single iterations to estimate cost.
+    let warm_start = Instant::now();
+    let mut probe_iters = 0u64;
+    while warm_start.elapsed() < harness.warm_up_time || probe_iters == 0 {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        probe_iters += 1;
+    }
+    let per_iter = warm_start.elapsed() / probe_iters as u32;
+
+    // Size each sample so all samples fit the measurement budget.
+    let budget = harness.measurement_time / harness.sample_size as u32;
+    let iters = (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    for _ in 0..harness.sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per = b.elapsed / iters as u32;
+        total += b.elapsed;
+        best = best.min(per);
+    }
+    let mean = total / (harness.sample_size as u64 * iters) as u32;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!(
+            "  {:>10.1} MiB/s",
+            n as f64 / mean.as_secs_f64() / (1u64 << 20) as f64
+        ),
+        Throughput::Elements(n) => {
+            format!("  {:>10.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+    });
+    println!(
+        "{label:<40} mean {:>12?}  min {:>12?}{}",
+        mean,
+        best,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Builds the registered-group function list (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                {
+                    let mut c: $crate::Criterion = $cfg;
+                    $target(&mut c);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = quick();
+        let mut hits = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                hits += 1;
+                hits
+            })
+        });
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn group_with_throughput_runs() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(4096));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7, |b, &p| b.iter(|| p * 2));
+        g.finish();
+    }
+}

@@ -50,6 +50,18 @@ pub struct EngineConfig {
     pub recycler_threads: usize,
 }
 
+/// A rejected engine configuration, with the reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineConfigError(pub String);
+
+impl std::fmt::Display for EngineConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid engine configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for EngineConfigError {}
+
 impl EngineConfig {
     /// A small configuration suitable for tests and examples.
     pub fn small(code: CodeParams) -> EngineConfig {
@@ -62,6 +74,114 @@ impl EngineConfig {
             pools_per_layer: 2,
             recycler_threads: 2,
         }
+    }
+
+    /// A builder starting from [`Self::small`]'s defaults.
+    ///
+    /// ```
+    /// use rscode::CodeParams;
+    /// use tsue::engine::EngineConfig;
+    ///
+    /// let cfg = EngineConfig::builder(CodeParams::new(4, 2).unwrap())
+    ///     .stripes(8)
+    ///     .recycler_threads(3)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(cfg.recycler_threads, 3);
+    ///
+    /// // A pipeline with no recyclers would never drain:
+    /// assert!(EngineConfig::builder(CodeParams::new(4, 2).unwrap())
+    ///     .recycler_threads(0)
+    ///     .build()
+    ///     .is_err());
+    /// ```
+    pub fn builder(code: CodeParams) -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            inner: EngineConfig::small(code),
+        }
+    }
+
+    /// Validates cross-field invariants.
+    pub fn validate(&self) -> Result<(), EngineConfigError> {
+        if self.recycler_threads == 0 {
+            return Err(EngineConfigError(
+                "recycler_threads must be at least 1 (the back end would never drain)".into(),
+            ));
+        }
+        if self.pools_per_layer == 0 {
+            return Err(EngineConfigError(
+                "pools_per_layer must be at least 1".into(),
+            ));
+        }
+        if self.max_units < 2 {
+            return Err(EngineConfigError(
+                "max_units must be at least 2 (one appending, one recycling)".into(),
+            ));
+        }
+        if self.stripes == 0 {
+            return Err(EngineConfigError("stripes must be at least 1".into()));
+        }
+        if self.block_len == 0 {
+            return Err(EngineConfigError("block_len must be positive".into()));
+        }
+        if self.unit_bytes < 1024 {
+            return Err(EngineConfigError(format!(
+                "unit_bytes = {} is below the 1 KiB slice floor — appends larger than a \
+                 unit can never be logged",
+                self.unit_bytes
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`EngineConfig`] (see [`EngineConfig::builder`]).
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    inner: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Bytes per block.
+    pub fn block_len(mut self, len: u32) -> Self {
+        self.inner.block_len = len;
+        self
+    }
+
+    /// Number of stripes managed.
+    pub fn stripes(mut self, stripes: u64) -> Self {
+        self.inner.stripes = stripes;
+        self
+    }
+
+    /// Log-unit size for all three layers.
+    pub fn unit_bytes(mut self, bytes: u64) -> Self {
+        self.inner.unit_bytes = bytes;
+        self
+    }
+
+    /// Unit quota per pool.
+    pub fn max_units(mut self, units: usize) -> Self {
+        self.inner.max_units = units;
+        self
+    }
+
+    /// Pools per layer.
+    pub fn pools_per_layer(mut self, pools: usize) -> Self {
+        self.inner.pools_per_layer = pools;
+        self
+    }
+
+    /// Background recycler threads.
+    pub fn recycler_threads(mut self, threads: usize) -> Self {
+        self.inner.recycler_threads = threads;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<EngineConfig, EngineConfigError> {
+        self.inner.validate()?;
+        Ok(self.inner)
     }
 }
 
@@ -137,8 +257,7 @@ impl Shared {
                     let bytes = data.as_slice();
                     let start = *off as usize;
                     let old = &block[start..start + bytes.len()];
-                    let delta: Vec<u8> =
-                        old.iter().zip(bytes).map(|(o, n)| o ^ n).collect();
+                    let delta: Vec<u8> = old.iter().zip(bytes).map(|(o, n)| o ^ n).collect();
                     deltas.push((*off, Data::copy_from(&delta)));
                     block[start..start + bytes.len()].copy_from_slice(bytes);
                     self.applied_ranges.fetch_add(1, Ordering::Relaxed);
@@ -153,7 +272,10 @@ impl Shared {
                 });
             }
         }
-        self.data_log.lock().pool_mut(pool_idx).finish_recycle(unit_id);
+        self.data_log
+            .lock()
+            .pool_mut(pool_idx)
+            .finish_recycle(unit_id);
         self.in_flight.fetch_sub(1, Ordering::SeqCst);
         self.work_cv.notify_all();
         true
@@ -204,7 +326,10 @@ impl Shared {
                 }
             }
         }
-        self.delta_log.lock().pool_mut(pool_idx).finish_recycle(unit_id);
+        self.delta_log
+            .lock()
+            .pool_mut(pool_idx)
+            .finish_recycle(unit_id);
         self.in_flight.fetch_sub(1, Ordering::SeqCst);
         self.work_cv.notify_all();
         true
@@ -235,7 +360,10 @@ impl Shared {
                 );
             }
         }
-        self.parity_log.lock().pool_mut(pool_idx).finish_recycle(unit_id);
+        self.parity_log
+            .lock()
+            .pool_mut(pool_idx)
+            .finish_recycle(unit_id);
         self.in_flight.fetch_sub(1, Ordering::SeqCst);
         self.work_cv.notify_all();
         true
@@ -290,7 +418,12 @@ pub struct TsueEngine {
 impl TsueEngine {
     /// Builds the engine and starts its recycler threads. All blocks start
     /// zeroed (a valid codeword: parity of zeros is zeros).
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration (see [`EngineConfig::validate`];
+    /// use [`EngineConfig::builder`] for a non-panicking path).
     pub fn new(cfg: EngineConfig) -> TsueEngine {
+        cfg.validate().expect("invalid engine config");
         let rs = ReedSolomon::new(cfg.code);
         let total_blocks = cfg.stripes as usize * cfg.code.total();
         let pool_cfg = |mode| PoolConfig {

@@ -115,11 +115,7 @@ impl<P: Payload> BlockIndex<P> {
                 collected.push((s, self.entries.remove(&s).unwrap()));
             }
         }
-        let overlapping: Vec<u32> = self
-            .entries
-            .range(off..=end)
-            .map(|(&s, _)| s)
-            .collect();
+        let overlapping: Vec<u32> = self.entries.range(off..=end).map(|(&s, _)| s).collect();
         for s in overlapping {
             let e = self.entries.remove(&s).unwrap();
             collected.push((s, e));
@@ -430,7 +426,11 @@ mod tests {
     #[test]
     fn lookup_clips_to_query() {
         let mut b: BlockIndex<Data> = BlockIndex::new();
-        b.insert(10, Data::copy_from(&[1, 2, 3, 4, 5, 6]), MergeMode::Overwrite);
+        b.insert(
+            10,
+            Data::copy_from(&[1, 2, 3, 4, 5, 6]),
+            MergeMode::Overwrite,
+        );
         let hits = b.lookup(12, 2);
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].0, 12);

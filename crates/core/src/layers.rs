@@ -333,10 +333,7 @@ mod tests {
 
     #[test]
     fn data_jobs_sorted_by_block() {
-        let jobs = group_data_jobs(vec![
-            (9u64, vec![(0, Ghost(10))]),
-            (3, vec![(5, Ghost(5))]),
-        ]);
+        let jobs = group_data_jobs(vec![(9u64, vec![(0, Ghost(10))]), (3, vec![(5, Ghost(5))])]);
         assert_eq!(jobs[0].block, 3);
         assert_eq!(jobs[1].block, 9);
     }

@@ -553,7 +553,10 @@ mod tests {
             }
         }
         let hits = p.lookup(&3, 0, 100);
-        assert!(hits.is_empty(), "old key evicted after unit reuse: {hits:?}");
+        assert!(
+            hits.is_empty(),
+            "old key evicted after unit reuse: {hits:?}"
+        );
     }
 
     #[test]

@@ -105,10 +105,10 @@ proptest! {
                 covered[abs - q_off as usize] = true;
             }
         }
-        for i in 0..q_len as usize {
+        for (i, &cov) in covered.iter().enumerate().take(q_len as usize) {
             let abs = q_off as usize + i;
             prop_assert_eq!(
-                covered[i],
+                cov,
                 oracle[abs].is_some(),
                 "coverage mismatch at {}",
                 abs
@@ -171,10 +171,10 @@ proptest! {
             let mut refs: Vec<&mut [u8]> =
                 parity.iter_mut().map(|v| v.as_mut_slice()).collect();
             rs.encode(&data, &mut refs).unwrap();
-            for p in 0..2usize {
+            for (p, par) in parity.iter().enumerate() {
                 prop_assert_eq!(
                     engine.raw_block(s, 3 + p),
-                    parity[p].clone(),
+                    par.clone(),
                     "stripe {} parity {}", s, p
                 );
             }

@@ -10,7 +10,7 @@ use rscode::ReedSolomon;
 
 use crate::config::{ClusterConfig, DiskKind};
 use crate::layout::{BlockAddr, Layout};
-use crate::methods::NodeState;
+use crate::methods::NodeLogState;
 
 /// A half-open byte interval set with merging — the consistency oracle's
 /// bookkeeping unit.
@@ -37,15 +37,13 @@ impl IntervalSet {
 
     /// Whether `[start, end)` is fully covered.
     pub fn covers(&self, start: u64, end: u64) -> bool {
+        // The only candidate is the first span whose end reaches `end`;
+        // spans are disjoint, so any earlier span ends before `end` and any
+        // later span starts after it.
         let idx = self.spans.partition_point(|&(_, e)| e < end);
-        // The covering interval, if any, is the one whose end >= end.
         self.spans
             .get(idx)
             .is_some_and(|&(s, e)| s <= start && end <= e)
-            || idx
-                .checked_sub(0)
-                .and_then(|_| self.spans.get(idx))
-                .is_some_and(|&(s, e)| s <= start && end <= e)
     }
 
     /// Whether this set covers every interval of `other`.
@@ -129,8 +127,9 @@ pub struct Osd {
     pub id: usize,
     /// The device.
     pub disk: Disk,
-    /// Method-specific log structures.
-    pub state: NodeState,
+    /// Method-specific log structures (downcast via
+    /// [`dyn NodeLogState::downcast_ref`] in the method's driver).
+    pub state: Box<dyn NodeLogState>,
     /// Continuations blocked on log back-pressure.
     pub waiters: Vec<Waiter>,
     /// Whether the node is failed (recovery experiments).
@@ -210,13 +209,8 @@ impl Cluster {
     pub fn new(cfg: ClusterConfig) -> Cluster {
         cfg.validate().expect("invalid cluster config");
         let rs = ReedSolomon::new(cfg.code);
-        let parity_extra = if cfg.method == crate::config::MethodKind::Plr {
-            cfg.plr_reserved_bytes
-        } else {
-            0
-        };
-        let layout =
-            Layout::with_parity_extra(cfg.code, cfg.block_bytes, cfg.nodes, parity_extra);
+        let parity_extra = cfg.method.parity_reserved_bytes(&cfg);
+        let layout = Layout::with_parity_extra(cfg.code, cfg.block_bytes, cfg.nodes, parity_extra);
         let net = Network::new(NetConfig {
             endpoints: cfg.endpoints(),
             bandwidth: cfg.net_bandwidth,
@@ -229,7 +223,7 @@ impl Cluster {
                     DiskKind::Ssd(c) => Disk::Ssd(Ssd::new(c.clone())),
                     DiskKind::Hdd(c) => Disk::Hdd(Hdd::new(c.clone())),
                 },
-                state: NodeState::new(&cfg),
+                state: cfg.method.new_node_state(&cfg),
                 waiters: Vec::new(),
                 failed: false,
                 log_cursor: 0,
@@ -410,6 +404,55 @@ mod tests {
         s.insert(10, 20);
         assert_eq!(s.span_count(), 1);
         assert!(s.covers(0, 20));
+    }
+
+    #[test]
+    fn interval_covers_exact_span_match() {
+        let mut s = IntervalSet::default();
+        s.insert(10, 20);
+        s.insert(40, 50);
+        // Exact span boundaries are covered, one byte beyond is not.
+        assert!(s.covers(10, 20));
+        assert!(s.covers(40, 50));
+        assert!(s.covers(11, 19));
+        assert!(!s.covers(9, 20));
+        assert!(!s.covers(10, 21));
+        assert!(!s.covers(39, 50));
+    }
+
+    #[test]
+    fn interval_covers_gap_straddle() {
+        let mut s = IntervalSet::default();
+        s.insert(0, 10);
+        s.insert(20, 30);
+        // A query straddling the uncovered gap must fail even though both
+        // endpoints individually lie inside spans.
+        assert!(!s.covers(5, 25));
+        assert!(!s.covers(9, 21));
+        assert!(!s.covers(0, 30));
+        // The gap itself is uncovered.
+        assert!(!s.covers(10, 20));
+        assert!(!s.covers(12, 18));
+    }
+
+    #[test]
+    fn interval_covers_merged_neighbors() {
+        let mut s = IntervalSet::default();
+        s.insert(0, 10);
+        s.insert(10, 20);
+        s.insert(20, 30);
+        // Adjacent inserts merge; queries across the former seams succeed.
+        assert_eq!(s.span_count(), 1);
+        assert!(s.covers(5, 25));
+        assert!(s.covers(0, 30));
+        assert!(s.covers(9, 11));
+        assert!(!s.covers(0, 31));
+    }
+
+    #[test]
+    fn interval_covers_empty_set() {
+        let s = IntervalSet::default();
+        assert!(!s.covers(0, 1));
     }
 
     #[test]

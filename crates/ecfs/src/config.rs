@@ -1,9 +1,43 @@
 //! Cluster and method configuration.
+//!
+//! The update method under test is an [`Arc<dyn UpdateMethod>`] — any
+//! driver implementing the trait, built-in or registered out-of-tree via
+//! [`crate::methods::MethodRegistry`]. [`MethodKind`] survives purely as a
+//! convenience constructor over the seven built-ins so benches and tests
+//! keep the paper's Fig. 5 ordering.
+
+use std::sync::Arc;
 
 use rscode::CodeParams;
 use simdisk::{HddConfig, SsdConfig};
 use tsue::pool::PoolConfig;
 use tsue::MergeMode;
+
+use crate::methods::{cord, fl, fo, parix, pl, plr, tsue_drv, UpdateMethod};
+
+/// A rejected configuration, with the reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<String> for ConfigError {
+    fn from(reason: String) -> ConfigError {
+        ConfigError(reason)
+    }
+}
+
+impl From<&str> for ConfigError {
+    fn from(reason: &str) -> ConfigError {
+        ConfigError(reason.to_string())
+    }
+}
 
 /// Which device model every OSD carries.
 #[derive(Debug, Clone)]
@@ -14,7 +48,8 @@ pub enum DiskKind {
     Hdd(HddConfig),
 }
 
-/// The update method under test.
+/// The seven built-in update methods, in the paper's Fig. 5 order — a
+/// convenience constructor over the registry's built-ins.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MethodKind {
     /// Full overwrite: in-place data and parity.
@@ -56,6 +91,25 @@ impl MethodKind {
             MethodKind::Cord => "CoRD",
             MethodKind::Tsue => "TSUE",
         }
+    }
+
+    /// Builds the built-in driver for this kind.
+    pub fn driver(&self) -> Arc<dyn UpdateMethod> {
+        match self {
+            MethodKind::Fo => Arc::new(fo::Fo),
+            MethodKind::Fl => Arc::new(fl::Fl),
+            MethodKind::Pl => Arc::new(pl::Pl),
+            MethodKind::Plr => Arc::new(plr::Plr),
+            MethodKind::Parix => Arc::new(parix::Parix),
+            MethodKind::Cord => Arc::new(cord::Cord),
+            MethodKind::Tsue => Arc::new(tsue_drv::Tsue),
+        }
+    }
+}
+
+impl From<MethodKind> for Arc<dyn UpdateMethod> {
+    fn from(kind: MethodKind) -> Arc<dyn UpdateMethod> {
+        kind.driver()
     }
 }
 
@@ -140,8 +194,10 @@ pub struct ClusterConfig {
     pub net_bandwidth: u64,
     /// Per-RPC network overhead in nanoseconds.
     pub net_rpc_overhead: u64,
-    /// Update method under test.
-    pub method: MethodKind,
+    /// Update method under test (trait object; see [`MethodKind::driver`]
+    /// for the built-ins and [`crate::methods::MethodRegistry`] for
+    /// out-of-tree drivers).
+    pub method: Arc<dyn UpdateMethod>,
     /// TSUE feature toggles (ignored by other methods).
     pub tsue: TsueFeatures,
     /// Log-unit size for TSUE layers.
@@ -163,8 +219,17 @@ pub struct ClusterConfig {
 }
 
 impl ClusterConfig {
+    /// A builder starting from the SSD-testbed defaults; `code` and
+    /// `method` must be supplied before [`ClusterConfigBuilder::build`].
+    pub fn builder() -> ClusterConfigBuilder {
+        ClusterConfigBuilder::default()
+    }
+
     /// The paper's SSD testbed: 16 nodes, 25 Gb/s, one SSD each.
-    pub fn ssd_testbed(code: CodeParams, method: MethodKind) -> ClusterConfig {
+    pub fn ssd_testbed(
+        code: CodeParams,
+        method: impl Into<Arc<dyn UpdateMethod>>,
+    ) -> ClusterConfig {
         ClusterConfig {
             nodes: 16,
             clients: 16,
@@ -173,7 +238,7 @@ impl ClusterConfig {
             disk: DiskKind::Ssd(SsdConfig::default()),
             net_bandwidth: 25_000_000_000 / 8,
             net_rpc_overhead: 100_000,
-            method,
+            method: method.into(),
             tsue: TsueFeatures::full(),
             tsue_unit_bytes: 16 << 20,
             tsue_max_units: 4,
@@ -187,7 +252,10 @@ impl ClusterConfig {
 
     /// The paper's HDD testbed: 16 nodes, 40 Gb/s InfiniBand. The paper
     /// disables the DeltaLog on HDDs (§5.4).
-    pub fn hdd_testbed(code: CodeParams, method: MethodKind) -> ClusterConfig {
+    pub fn hdd_testbed(
+        code: CodeParams,
+        method: impl Into<Arc<dyn UpdateMethod>>,
+    ) -> ClusterConfig {
         let mut cfg = Self::ssd_testbed(code, method);
         cfg.disk = DiskKind::Hdd(HddConfig::default());
         cfg.net_bandwidth = 40_000_000_000 / 8;
@@ -251,22 +319,188 @@ impl ClusterConfig {
     }
 
     /// Validates cross-field invariants.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.nodes < self.code.total() {
-            return Err(format!(
+            return Err(ConfigError(format!(
                 "{} nodes cannot hold RS({},{}) stripes",
                 self.nodes,
                 self.code.k(),
                 self.code.m()
-            ));
+            )));
         }
         if self.clients == 0 {
             return Err("need at least one client".into());
         }
-        if self.block_bytes == 0 || self.block_bytes % 4096 != 0 {
+        if self.block_bytes == 0 || !self.block_bytes.is_multiple_of(4096) {
             return Err("block_bytes must be a positive multiple of 4 KiB".into());
         }
+        if self.tsue_unit_bytes < 4096 {
+            return Err(ConfigError(format!(
+                "tsue_unit_bytes = {} is below the 4 KiB slice granularity",
+                self.tsue_unit_bytes
+            )));
+        }
+        if self.tsue_max_units == 0 {
+            return Err("tsue_max_units must be at least 1".into());
+        }
+        if self.net_bandwidth == 0 {
+            return Err("net_bandwidth must be positive".into());
+        }
         Ok(())
+    }
+}
+
+/// Builder for [`ClusterConfig`] with fail-fast validation.
+///
+/// Starts from the SSD-testbed defaults; set [`Self::code`] and a method
+/// (either [`Self::method`] or [`Self::method_name`]) before building:
+///
+/// ```
+/// use ecfs::{ClusterConfig, MethodKind};
+/// use rscode::CodeParams;
+///
+/// let cfg = ClusterConfig::builder()
+///     .code(CodeParams::new(6, 3).unwrap())
+///     .method(MethodKind::Tsue)
+///     .clients(8)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.method.name(), "TSUE");
+///
+/// // Invalid shapes are rejected with the reason:
+/// let err = ClusterConfig::builder()
+///     .code(CodeParams::new(12, 4).unwrap())
+///     .method(MethodKind::Fo)
+///     .nodes(10)
+///     .build()
+///     .unwrap_err();
+/// assert!(err.to_string().contains("cannot hold"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ClusterConfigBuilder {
+    code: Option<CodeParams>,
+    method: Option<MethodChoice>,
+    nodes: Option<usize>,
+    clients: Option<usize>,
+    block_bytes: Option<u64>,
+    disk: Option<DiskKind>,
+    net_bandwidth: Option<u64>,
+    net_rpc_overhead: Option<u64>,
+    tsue: Option<TsueFeatures>,
+    tsue_unit_bytes: Option<u64>,
+    tsue_max_units: Option<usize>,
+    plr_reserved_bytes: Option<u64>,
+    cord_buffer_bytes: Option<u64>,
+    parix_threshold_bytes: Option<u64>,
+    fl_threshold_bytes: Option<u64>,
+    tsue_recycle_cpu_per_record: Option<u64>,
+}
+
+#[derive(Debug, Clone)]
+enum MethodChoice {
+    Driver(Arc<dyn UpdateMethod>),
+    Name(String),
+}
+
+macro_rules! builder_setters {
+    ($($(#[$doc:meta])* $field:ident : $ty:ty),+ $(,)?) => {$(
+        $(#[$doc])*
+        pub fn $field(mut self, value: $ty) -> Self {
+            self.$field = Some(value);
+            self
+        }
+    )+};
+}
+
+impl ClusterConfigBuilder {
+    builder_setters! {
+        /// RS(k, m) shape (required).
+        code: CodeParams,
+        /// Number of OSD nodes.
+        nodes: usize,
+        /// Number of closed-loop client streams.
+        clients: usize,
+        /// Bytes per EC block.
+        block_bytes: u64,
+        /// Device model per OSD.
+        disk: DiskKind,
+        /// Network fabric bandwidth in bytes/s.
+        net_bandwidth: u64,
+        /// Per-RPC network overhead in nanoseconds.
+        net_rpc_overhead: u64,
+        /// TSUE feature toggles.
+        tsue: TsueFeatures,
+        /// Log-unit size for TSUE layers.
+        tsue_unit_bytes: u64,
+        /// Unit quota per TSUE pool.
+        tsue_max_units: usize,
+        /// PLR reserved-space bytes per parity block.
+        plr_reserved_bytes: u64,
+        /// CoRD collector buffer bytes.
+        cord_buffer_bytes: u64,
+        /// PARIX parity-log recycle threshold per node.
+        parix_threshold_bytes: u64,
+        /// FL log-recycle threshold in bytes per node.
+        fl_threshold_bytes: u64,
+        /// Per-record recycle-thread CPU time in nanoseconds.
+        tsue_recycle_cpu_per_record: u64,
+    }
+
+    /// The update method, as a driver or a built-in [`MethodKind`].
+    pub fn method(mut self, method: impl Into<Arc<dyn UpdateMethod>>) -> Self {
+        self.method = Some(MethodChoice::Driver(method.into()));
+        self
+    }
+
+    /// The update method by registry name, resolved against
+    /// [`crate::methods::MethodRegistry::global`] at [`Self::build`] time — the hook for
+    /// out-of-tree methods.
+    pub fn method_name(mut self, name: impl Into<String>) -> Self {
+        self.method = Some(MethodChoice::Name(name.into()));
+        self
+    }
+
+    /// Assembles and validates the configuration.
+    pub fn build(self) -> Result<ClusterConfig, ConfigError> {
+        let code = self.code.ok_or(ConfigError::from("code is required"))?;
+        let method = match self.method {
+            Some(MethodChoice::Driver(driver)) => driver,
+            Some(MethodChoice::Name(name)) => {
+                crate::methods::resolve_method(&name).ok_or_else(|| {
+                    ConfigError(format!("unknown update method {name:?} (not registered)"))
+                })?
+            }
+            None => return Err("an update method is required".into()),
+        };
+        let defaults = ClusterConfig::ssd_testbed(code, Arc::clone(&method));
+        let cfg = ClusterConfig {
+            nodes: self.nodes.unwrap_or(defaults.nodes),
+            clients: self.clients.unwrap_or(defaults.clients),
+            code,
+            block_bytes: self.block_bytes.unwrap_or(defaults.block_bytes),
+            disk: self.disk.unwrap_or(defaults.disk),
+            net_bandwidth: self.net_bandwidth.unwrap_or(defaults.net_bandwidth),
+            net_rpc_overhead: self.net_rpc_overhead.unwrap_or(defaults.net_rpc_overhead),
+            method,
+            tsue: self.tsue.unwrap_or(defaults.tsue),
+            tsue_unit_bytes: self.tsue_unit_bytes.unwrap_or(defaults.tsue_unit_bytes),
+            tsue_max_units: self.tsue_max_units.unwrap_or(defaults.tsue_max_units),
+            plr_reserved_bytes: self
+                .plr_reserved_bytes
+                .unwrap_or(defaults.plr_reserved_bytes),
+            cord_buffer_bytes: self.cord_buffer_bytes.unwrap_or(defaults.cord_buffer_bytes),
+            parix_threshold_bytes: self
+                .parix_threshold_bytes
+                .unwrap_or(defaults.parix_threshold_bytes),
+            fl_threshold_bytes: self
+                .fl_threshold_bytes
+                .unwrap_or(defaults.fl_threshold_bytes),
+            tsue_recycle_cpu_per_record: self
+                .tsue_recycle_cpu_per_record
+                .unwrap_or(defaults.tsue_recycle_cpu_per_record),
+        };
+        cfg.validate()?;
+        Ok(cfg)
     }
 }
 
@@ -315,5 +549,60 @@ mod tests {
         assert_eq!(MethodKind::Tsue.name(), "TSUE");
         assert_eq!(MethodKind::Cord.name(), "CoRD");
         assert_eq!(MethodKind::ALL.len(), 7);
+        for kind in MethodKind::ALL {
+            assert_eq!(kind.driver().name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn builder_fills_testbed_defaults() {
+        let code = CodeParams::new(6, 3).unwrap();
+        let cfg = ClusterConfig::builder()
+            .code(code)
+            .method(MethodKind::Cord)
+            .build()
+            .unwrap();
+        let reference = ClusterConfig::ssd_testbed(code, MethodKind::Cord);
+        assert_eq!(cfg.nodes, reference.nodes);
+        assert_eq!(cfg.block_bytes, reference.block_bytes);
+        assert_eq!(cfg.method.name(), "CoRD");
+    }
+
+    #[test]
+    fn builder_requires_code_and_method() {
+        assert!(ClusterConfig::builder().build().is_err());
+        assert!(ClusterConfig::builder()
+            .code(CodeParams::new(4, 2).unwrap())
+            .build()
+            .unwrap_err()
+            .to_string()
+            .contains("method"));
+    }
+
+    #[test]
+    fn builder_resolves_registry_names() {
+        let cfg = ClusterConfig::builder()
+            .code(CodeParams::new(4, 2).unwrap())
+            .method_name("parix")
+            .build()
+            .unwrap();
+        assert_eq!(cfg.method.name(), "PARIX");
+        let err = ClusterConfig::builder()
+            .code(CodeParams::new(4, 2).unwrap())
+            .method_name("warp-drive")
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("warp-drive"));
+    }
+
+    #[test]
+    fn builder_rejects_bad_unit_size() {
+        let err = ClusterConfig::builder()
+            .code(CodeParams::new(4, 2).unwrap())
+            .method(MethodKind::Tsue)
+            .tsue_unit_bytes(512)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("4 KiB"));
     }
 }

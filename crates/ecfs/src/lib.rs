@@ -33,5 +33,38 @@ pub mod recovery;
 pub mod replay;
 
 pub use cluster::Cluster;
-pub use config::{ClusterConfig, DiskKind, MethodKind, TsueFeatures};
-pub use replay::{run_trace, ReplayConfig, RunResult};
+pub use config::{
+    ClusterConfig, ClusterConfigBuilder, ConfigError, DiskKind, MethodKind, TsueFeatures,
+};
+pub use methods::{MethodRegistry, NodeLogState, UpdateCtx, UpdateMethod};
+pub use replay::{run_trace, ReplayConfig, ReplayConfigBuilder, RunResult};
+
+/// The coherent public surface, re-exported for one-line imports in
+/// benches, examples, and integration tests:
+///
+/// ```
+/// use ecfs::prelude::*;
+///
+/// let cluster = ClusterConfig::ssd_testbed(CodeParams::new(6, 3).unwrap(), MethodKind::Tsue);
+/// let rcfg = ReplayConfig::new(cluster, TraceFamily::AliCloud);
+/// assert!(rcfg.validate().is_ok());
+/// ```
+pub mod prelude {
+    pub use crate::cluster::{Cluster, IntervalSet, Metrics, Oracle, Osd};
+    pub use crate::config::{
+        ClusterConfig, ClusterConfigBuilder, ConfigError, DiskKind, MethodKind, TsueFeatures,
+    };
+    pub use crate::layout::{BlockAddr, BlockSlice, Layout};
+    pub use crate::methods::{
+        register_method, resolve_method, MethodRegistry, NodeLogState, PlainState, RegistryError,
+        UpdateCtx, UpdateMethod,
+    };
+    pub use crate::recovery::{recover_node, RecoveryResult};
+    pub use crate::replay::{
+        run_trace, run_update_phase, ReplayConfig, ReplayConfigBuilder, ResidencySummary, RunResult,
+    };
+    // The foreign types every experiment needs alongside the cluster.
+    pub use rscode::CodeParams;
+    pub use simdisk::{HddConfig, SsdConfig};
+    pub use traces::{TraceFamily, WorkloadGen, WorkloadParams};
+}

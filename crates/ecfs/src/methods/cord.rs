@@ -13,9 +13,13 @@ use simdisk::{IoOp, Pattern};
 
 use crate::cluster::Cluster;
 use crate::config::ClusterConfig;
-use crate::methods::{NodeState, UpdateCtx};
+use crate::methods::{self, NodeLogState, UpdateCtx, UpdateMethod};
 use tsue::index::{MergeMode, TwoLevelIndex};
 use tsue::payload::Ghost;
+
+/// The CoRD collector-aggregation driver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cord;
 
 /// Per-node collector state (only populated on nodes that collect for some
 /// stripe — every node, in general, since collectors rotate with stripes).
@@ -41,9 +45,10 @@ impl CordState {
             flushing: false,
         }
     }
+}
 
-    /// Bytes awaiting flush.
-    pub fn pending_bytes(&self) -> u64 {
+impl NodeLogState for CordState {
+    fn pending_bytes(&self) -> u64 {
         self.buffered
     }
 }
@@ -57,12 +62,12 @@ fn collector_of(cl: &mut Cluster, volume: u32, stripe: u64) -> usize {
 /// Flushes a collector's buffer: per merged stripe-range, ship one combined
 /// delta to each parity node and RMW the parity block. Returns completion.
 fn flush_collector(cl: &mut Cluster, node: usize, from: SimTime) -> SimTime {
-    let contents = match &mut cl.nodes[node].state {
-        NodeState::Cord(state) => {
+    let contents = match cl.nodes[node].state.downcast_mut::<CordState>() {
+        Some(state) => {
             state.buffered = 0;
             state.buffer.drain_all()
         }
-        _ => return from,
+        None => return from,
     };
     let mut t_done = from;
     for (skey, ranges) in contents {
@@ -84,83 +89,91 @@ fn flush_collector(cl: &mut Cluster, node: usize, from: SimTime) -> SimTime {
     t_done
 }
 
-/// Runs one CoRD update.
-pub fn begin_update(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
-    let slice = ctx.slice;
-    let len = slice.len as u64;
-    let (dnode, ddev) = cl.layout.locate(slice.addr);
-    let client_ep = cl.cfg.client_endpoint(ctx.client);
-
-    let t_arrive = cl.send(ctx.issued_at, client_ep, dnode, len);
-    // Write-after-read on the data block (CoRD keeps the delta path).
-    let off = ddev + slice.offset as u64;
-    let t_read = cl.disk_io(dnode, t_arrive, IoOp::read(off, len, Pattern::Random));
-    let t_write = cl.disk_io(dnode, t_read, IoOp::write(off, len, Pattern::Random));
-    cl.oracle_apply_data(slice.addr, slice.offset, slice.len);
-
-    // Ship the delta to the stripe's collector.
-    let collector = collector_of(cl, slice.addr.volume, slice.addr.stripe);
-    let t_delta = cl.send(t_write, dnode, collector, len);
-
-    // The collector's single buffer: if it is flushing, the append (and the
-    // client's ack) waits for the whole flush. The flush is triggered in
-    // the foreground when the buffer fills.
-    let flushing = matches!(
-        &cl.nodes[collector].state,
-        NodeState::Cord(s) if s.flushing
-    );
-    if flushing {
-        // Park and retry when the flush completes.
-        cl.park_on(
-            collector,
-            Box::new(move |sim, cl| begin_update(sim, cl, ctx)),
-        );
-        return;
+impl UpdateMethod for Cord {
+    fn name(&self) -> &str {
+        "CoRD"
     }
 
-    let skey = cl.stripe_id(slice.addr.volume, slice.addr.stripe);
-    let must_flush = match &mut cl.nodes[collector].state {
-        NodeState::Cord(state) => {
-            state.buffer.insert(skey, slice.offset, Ghost(slice.len));
-            state.buffered += len;
-            state.buffered >= state.capacity
-        }
-        _ => false,
-    };
-    // Persist the buffered delta (sequential log write on the collector).
-    let log_off = cl.log_offset(collector, len);
-    let mut t_logged = cl.disk_io(
-        collector,
-        t_delta,
-        IoOp::write(log_off, len, Pattern::Sequential),
-    );
+    fn new_node_state(&self, cfg: &ClusterConfig) -> Box<dyn NodeLogState> {
+        Box::new(CordState::new(cfg))
+    }
 
-    if must_flush {
-        if let NodeState::Cord(state) = &mut cl.nodes[collector].state {
-            state.flushing = true;
+    fn begin_update(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
+        let slice = ctx.slice;
+        let len = slice.len as u64;
+        let (dnode, ddev) = cl.layout.locate(slice.addr);
+        let client_ep = cl.cfg.client_endpoint(ctx.client);
+
+        let t_arrive = cl.send(ctx.issued_at, client_ep, dnode, len);
+        // Write-after-read on the data block (CoRD keeps the delta path).
+        let off = ddev + slice.offset as u64;
+        let t_read = cl.disk_io(dnode, t_arrive, IoOp::read(off, len, Pattern::Random));
+        let t_write = cl.disk_io(dnode, t_read, IoOp::write(off, len, Pattern::Random));
+        cl.oracle_apply_data(slice.addr, slice.offset, slice.len);
+
+        // Ship the delta to the stripe's collector.
+        let collector = collector_of(cl, slice.addr.volume, slice.addr.stripe);
+        let t_delta = cl.send(t_write, dnode, collector, len);
+
+        // The collector's single buffer: if it is flushing, the append (and the
+        // client's ack) waits for the whole flush. The flush is triggered in
+        // the foreground when the buffer fills.
+        let flushing = cl.nodes[collector]
+            .state
+            .downcast_ref::<CordState>()
+            .is_some_and(|s| s.flushing);
+        if flushing {
+            // Park and retry when the flush completes.
+            cl.park_on(
+                collector,
+                Box::new(move |sim, cl| methods::begin_update(sim, cl, ctx)),
+            );
+            return;
         }
-        let t_flush = flush_collector(cl, collector, t_logged);
-        t_logged = t_flush;
-        // Unblock parked updates once the flush finishes.
-        sim.schedule_at(t_flush, move |sim, cl: &mut Cluster| {
-            if let NodeState::Cord(state) = &mut cl.nodes[collector].state {
-                state.flushing = false;
+
+        let skey = cl.stripe_id(slice.addr.volume, slice.addr.stripe);
+        let must_flush = match cl.nodes[collector].state.downcast_mut::<CordState>() {
+            Some(state) => {
+                state.buffer.insert(skey, slice.offset, Ghost(slice.len));
+                state.buffered += len;
+                state.buffered >= state.capacity
             }
-            cl.wake_waiters(sim, collector);
-        });
+            None => false,
+        };
+        // Persist the buffered delta (sequential log write on the collector).
+        let log_off = cl.log_offset(collector, len);
+        let mut t_logged = cl.disk_io(
+            collector,
+            t_delta,
+            IoOp::write(log_off, len, Pattern::Sequential),
+        );
+
+        if must_flush {
+            if let Some(state) = cl.nodes[collector].state.downcast_mut::<CordState>() {
+                state.flushing = true;
+            }
+            let t_flush = flush_collector(cl, collector, t_logged);
+            t_logged = t_flush;
+            // Unblock parked updates once the flush finishes.
+            sim.schedule_at(t_flush, move |sim, cl: &mut Cluster| {
+                if let Some(state) = cl.nodes[collector].state.downcast_mut::<CordState>() {
+                    state.flushing = false;
+                }
+                cl.wake_waiters(sim, collector);
+            });
+        }
+
+        let t_ack = cl.ack(t_logged, collector, client_ep);
+        cl.oracle_ack(slice.addr, slice.offset, slice.len);
+        cl.finish_update(sim, ctx.client, ctx.issued_at, t_ack);
     }
 
-    let t_ack = cl.ack(t_logged, collector, client_ep);
-    cl.oracle_ack(slice.addr, slice.offset, slice.len);
-    cl.finish_update(sim, ctx.client, ctx.issued_at, t_ack);
-}
-
-/// Drains every collector buffer.
-pub fn drain(sim: &mut Sim<Cluster>, cl: &mut Cluster) {
-    let now = sim.now();
-    let mut t_end = now;
-    for node in 0..cl.cfg.nodes {
-        t_end = t_end.max(flush_collector(cl, node, now));
+    fn drain(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster) {
+        let now = sim.now();
+        let mut t_end = now;
+        for node in 0..cl.cfg.nodes {
+            t_end = t_end.max(flush_collector(cl, node, now));
+        }
+        sim.schedule_at(t_end, |_, _| {});
     }
-    sim.schedule_at(t_end, |_, _| {});
 }

@@ -13,9 +13,13 @@ use simdisk::{IoOp, Pattern};
 use crate::cluster::Cluster;
 use crate::config::ClusterConfig;
 use crate::layout::BlockAddr;
-use crate::methods::{NodeState, UpdateCtx};
+use crate::methods::{self, NodeLogState, UpdateCtx, UpdateMethod};
 use tsue::index::{MergeMode, TwoLevelIndex};
 use tsue::payload::Ghost;
+
+/// The Full-Logging driver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fl;
 
 /// Per-node FL state: one big log with a merged view for recycle/reads.
 pub struct FlState {
@@ -43,14 +47,19 @@ impl FlState {
         }
     }
 
-    /// Bytes awaiting recycle.
-    pub fn pending_bytes(&self) -> u64 {
-        self.bytes
-    }
-
     /// Read-cache coverage check.
     pub fn covers(&self, addr: BlockAddr, off: u32, len: u32) -> bool {
         self.log.covers(&addr.key(), off, len)
+    }
+}
+
+impl NodeLogState for FlState {
+    fn pending_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn read_cache_covers(&mut self, addr: BlockAddr, offset: u32, len: u32) -> bool {
+        self.covers(addr, offset, len)
     }
 }
 
@@ -58,13 +67,13 @@ impl FlState {
 /// role) and logged deltas into parity (parity node role). Returns
 /// completion time.
 fn recycle_node(cl: &mut Cluster, node: usize, from: SimTime) -> SimTime {
-    let (contents, addr_of) = match &mut cl.nodes[node].state {
-        NodeState::Fl(state) => {
+    let (contents, addr_of) = match cl.nodes[node].state.downcast_mut::<FlState>() {
+        Some(state) => {
             state.bytes = 0;
             let a = state.addr_of.clone();
             (state.log.drain_all(), a)
         }
-        _ => return from,
+        None => return from,
     };
     let mut t = from;
     let code = cl.cfg.code;
@@ -88,74 +97,93 @@ fn recycle_node(cl: &mut Cluster, node: usize, from: SimTime) -> SimTime {
     t
 }
 
-/// Runs one FL update.
-pub fn begin_update(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
-    let slice = ctx.slice;
-    let len = slice.len as u64;
-    let (dnode, _) = cl.layout.locate(slice.addr);
-    let client_ep = cl.cfg.client_endpoint(ctx.client);
-
-    // Single-log exclusivity: a recycling node cannot accept appends.
-    if matches!(&cl.nodes[dnode].state, NodeState::Fl(s) if s.recycling) {
-        cl.park_on(dnode, Box::new(move |sim, cl| begin_update(sim, cl, ctx)));
-        return;
+impl UpdateMethod for Fl {
+    fn name(&self) -> &str {
+        "FL"
     }
 
-    let t_arrive = cl.send(ctx.issued_at, client_ep, dnode, len);
-    // Append new data to the local log (sequential).
-    let log_off = cl.log_offset(dnode, len);
-    let t_local = cl.disk_io(dnode, t_arrive, IoOp::write(log_off, len, Pattern::Sequential));
-    let mut must_recycle_data = false;
-    if let NodeState::Fl(state) = &mut cl.nodes[dnode].state {
-        let key = slice.addr.key();
-        state.log.insert(key, slice.offset, Ghost(slice.len));
-        state.addr_of.insert(key, slice.addr);
-        state.bytes += len;
-        must_recycle_data = state.bytes >= state.threshold;
+    fn new_node_state(&self, cfg: &ClusterConfig) -> Box<dyn NodeLogState> {
+        Box::new(FlState::new(cfg))
     }
 
-    // Forward the new data to every parity node's log. Note: the parity
-    // *delta* cannot be computed without the old data, so FL logs the data
-    // itself — the storage-overhead critique of §2.2.
-    let mut t_done = t_local;
-    for paddr in cl.layout.parity_addrs(slice.addr.volume, slice.addr.stripe) {
-        let (pnode, _) = cl.layout.locate(paddr);
-        let t_send = cl.send(t_local, dnode, pnode, len);
-        let plog = cl.log_offset(pnode, len);
-        let t_append = cl.disk_io(pnode, t_send, IoOp::write(plog, len, Pattern::Sequential));
-        if let NodeState::Fl(state) = &mut cl.nodes[pnode].state {
-            let key = paddr.key();
+    fn begin_update(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
+        let slice = ctx.slice;
+        let len = slice.len as u64;
+        let (dnode, _) = cl.layout.locate(slice.addr);
+        let client_ep = cl.cfg.client_endpoint(ctx.client);
+
+        // Single-log exclusivity: a recycling node cannot accept appends.
+        let busy = cl.nodes[dnode]
+            .state
+            .downcast_ref::<FlState>()
+            .is_some_and(|s| s.recycling);
+        if busy {
+            cl.park_on(
+                dnode,
+                Box::new(move |sim, cl| methods::begin_update(sim, cl, ctx)),
+            );
+            return;
+        }
+
+        let t_arrive = cl.send(ctx.issued_at, client_ep, dnode, len);
+        // Append new data to the local log (sequential).
+        let log_off = cl.log_offset(dnode, len);
+        let t_local = cl.disk_io(
+            dnode,
+            t_arrive,
+            IoOp::write(log_off, len, Pattern::Sequential),
+        );
+        let mut must_recycle_data = false;
+        if let Some(state) = cl.nodes[dnode].state.downcast_mut::<FlState>() {
+            let key = slice.addr.key();
             state.log.insert(key, slice.offset, Ghost(slice.len));
-            state.addr_of.insert(key, paddr);
+            state.addr_of.insert(key, slice.addr);
             state.bytes += len;
+            must_recycle_data = state.bytes >= state.threshold;
         }
-        t_done = t_done.max(t_append);
-    }
 
-    if must_recycle_data {
-        if let NodeState::Fl(state) = &mut cl.nodes[dnode].state {
-            state.recycling = true;
-        }
-        let t_rec = recycle_node(cl, dnode, t_done);
-        sim.schedule_at(t_rec, move |sim, cl: &mut Cluster| {
-            if let NodeState::Fl(state) = &mut cl.nodes[dnode].state {
-                state.recycling = false;
+        // Forward the new data to every parity node's log. Note: the parity
+        // *delta* cannot be computed without the old data, so FL logs the data
+        // itself — the storage-overhead critique of §2.2.
+        let mut t_done = t_local;
+        for paddr in cl.layout.parity_addrs(slice.addr.volume, slice.addr.stripe) {
+            let (pnode, _) = cl.layout.locate(paddr);
+            let t_send = cl.send(t_local, dnode, pnode, len);
+            let plog = cl.log_offset(pnode, len);
+            let t_append = cl.disk_io(pnode, t_send, IoOp::write(plog, len, Pattern::Sequential));
+            if let Some(state) = cl.nodes[pnode].state.downcast_mut::<FlState>() {
+                let key = paddr.key();
+                state.log.insert(key, slice.offset, Ghost(slice.len));
+                state.addr_of.insert(key, paddr);
+                state.bytes += len;
             }
-            cl.wake_waiters(sim, dnode);
-        });
+            t_done = t_done.max(t_append);
+        }
+
+        if must_recycle_data {
+            if let Some(state) = cl.nodes[dnode].state.downcast_mut::<FlState>() {
+                state.recycling = true;
+            }
+            let t_rec = recycle_node(cl, dnode, t_done);
+            sim.schedule_at(t_rec, move |sim, cl: &mut Cluster| {
+                if let Some(state) = cl.nodes[dnode].state.downcast_mut::<FlState>() {
+                    state.recycling = false;
+                }
+                cl.wake_waiters(sim, dnode);
+            });
+        }
+
+        let t_ack = cl.ack(t_done, dnode, client_ep);
+        cl.oracle_ack(slice.addr, slice.offset, slice.len);
+        cl.finish_update(sim, ctx.client, ctx.issued_at, t_ack);
     }
 
-    let t_ack = cl.ack(t_done, dnode, client_ep);
-    cl.oracle_ack(slice.addr, slice.offset, slice.len);
-    cl.finish_update(sim, ctx.client, ctx.issued_at, t_ack);
-}
-
-/// Drains every node's log.
-pub fn drain(sim: &mut Sim<Cluster>, cl: &mut Cluster) {
-    let now = sim.now();
-    let mut t_end = now;
-    for node in 0..cl.cfg.nodes {
-        t_end = t_end.max(recycle_node(cl, node, now));
+    fn drain(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster) {
+        let now = sim.now();
+        let mut t_end = now;
+        for node in 0..cl.cfg.nodes {
+            t_end = t_end.max(recycle_node(cl, node, now));
+        }
+        sim.schedule_at(t_end, |_, _| {});
     }
-    sim.schedule_at(t_end, |_, _| {});
 }

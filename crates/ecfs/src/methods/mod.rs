@@ -1,15 +1,26 @@
-//! Update-method drivers: FO, FL, PL, PLR, PARIX, CoRD, TSUE.
+//! Update-method drivers: FO, FL, PL, PLR, PARIX, CoRD, TSUE — and the
+//! open [`UpdateMethod`] API that lets out-of-tree methods plug into the
+//! same cluster, replay engine, and recovery drills.
 //!
-//! Every driver implements the same contract:
+//! Every driver implements the [`UpdateMethod`] trait:
 //!
-//! * [`begin_update`] — runs the method's full front-end path for one
-//!   sub-block update (time-forwarding style: it books every disk op and
-//!   network hop on the shared resources, then reports the ack time via
-//!   [`crate::cluster::Cluster::finish_update`]);
-//! * [`begin_read`] / [`begin_write`] — the read and fresh-write paths
-//!   (identical across methods except for log read-caches);
-//! * [`drain`] — flushes all outstanding log state (end of run, and the
-//!   prerequisite for recovery — the paper's consistency argument in §2.3.2).
+//! * [`UpdateMethod::begin_update`] — runs the method's full front-end path
+//!   for one sub-block update (time-forwarding style: it books every disk
+//!   op and network hop on the shared resources, then reports the ack time
+//!   via [`crate::cluster::Cluster::finish_update`]);
+//! * [`UpdateMethod::begin_read`] / [`UpdateMethod::begin_write`] — the
+//!   read and fresh-write paths (identical across methods except for log
+//!   read-caches, so the trait provides them as defaults);
+//! * [`UpdateMethod::drain`] — flushes all outstanding log state (end of
+//!   run, and the prerequisite for recovery — the paper's consistency
+//!   argument in §2.3.2);
+//! * [`UpdateMethod::new_node_state`] — the constructor hook producing the
+//!   method's per-node log state ([`NodeLogState`]).
+//!
+//! Built-in drivers are reachable through [`crate::config::MethodKind`]
+//! (the paper's seven, in Fig. 5 order) or by name through the
+//! [`MethodRegistry`]; custom methods register with the registry and need
+//! no changes inside this crate — see `crates/ecfs/tests/registry_roundtrip.rs`.
 
 pub mod cord;
 pub mod fl;
@@ -17,47 +28,62 @@ pub mod fo;
 pub mod parix;
 pub mod pl;
 pub mod plr;
+pub mod registry;
 pub mod tsue_drv;
+
+use std::any::Any;
+use std::sync::Arc;
 
 use simdes::{Sim, SimTime};
 use simdisk::{IoOp, Pattern};
 
 use crate::cluster::Cluster;
-use crate::config::{ClusterConfig, MethodKind};
-use crate::layout::BlockSlice;
+use crate::config::ClusterConfig;
+use crate::layout::{BlockAddr, BlockSlice};
 
-/// Per-node, method-specific log state.
-pub enum NodeState {
-    /// FO needs no log state.
-    Plain,
-    /// Full-logging state.
-    Fl(fl::FlState),
-    /// Parity-logging state.
-    Pl(pl::PlState),
-    /// Parity-logging-with-reserved-space state.
-    Plr(plr::PlrState),
-    /// PARIX speculative-log state.
-    Parix(parix::ParixState),
-    /// CoRD collector state.
-    Cord(cord::CordState),
-    /// TSUE three-layer log state.
-    Tsue(Box<tsue_drv::TsueState>),
-}
+pub use registry::{register_method, resolve_method, MethodRegistry, RegistryError};
 
-impl NodeState {
-    /// Builds the state matching the configured method.
-    pub fn new(cfg: &ClusterConfig) -> NodeState {
-        match cfg.method {
-            MethodKind::Fo => NodeState::Plain,
-            MethodKind::Fl => NodeState::Fl(fl::FlState::new(cfg)),
-            MethodKind::Pl => NodeState::Pl(pl::PlState::default()),
-            MethodKind::Plr => NodeState::Plr(plr::PlrState::default()),
-            MethodKind::Parix => NodeState::Parix(parix::ParixState::default()),
-            MethodKind::Cord => NodeState::Cord(cord::CordState::new(cfg)),
-            MethodKind::Tsue => NodeState::Tsue(Box::new(tsue_drv::TsueState::new(cfg))),
-        }
+/// Per-node, method-specific log state, held as a trait object on every
+/// [`crate::cluster::Osd`]. Drivers downcast to their concrete state via
+/// [`dyn NodeLogState::downcast_ref`] / [`dyn NodeLogState::downcast_mut`].
+pub trait NodeLogState: Any + Send {
+    /// Bytes of log state awaiting recycle on this node (drives the drain
+    /// loop and the paper's Fig. 6 pending-bytes accounting).
+    fn pending_bytes(&self) -> u64 {
+        0
+    }
+
+    /// In-memory footprint of the node's log structures (Fig. 6b).
+    fn memory_bytes(&self) -> u64 {
+        0
+    }
+
+    /// Whether a read of `[offset, offset + len)` in `addr` can be served
+    /// from the method's in-memory log cache, skipping the disk.
+    fn read_cache_covers(&mut self, addr: BlockAddr, offset: u32, len: u32) -> bool {
+        let _ = (addr, offset, len);
+        false
     }
 }
+
+impl dyn NodeLogState {
+    /// Downcasts to a concrete state type.
+    pub fn downcast_ref<T: NodeLogState>(&self) -> Option<&T> {
+        (self as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Downcasts to a concrete state type, mutably.
+    pub fn downcast_mut<T: NodeLogState>(&mut self) -> Option<&mut T> {
+        (self as &mut dyn Any).downcast_mut::<T>()
+    }
+}
+
+/// Log state for methods that keep none (FO, and any custom method that
+/// acknowledges synchronously).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PlainState;
+
+impl NodeLogState for PlainState {}
 
 /// One in-flight client update (a single block slice).
 #[derive(Debug, Clone, Copy)]
@@ -70,23 +96,79 @@ pub struct UpdateCtx {
     pub issued_at: SimTime,
 }
 
-/// Dispatches an update to the configured method's driver.
-pub fn begin_update(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
-    match cl.cfg.method {
-        MethodKind::Fo => fo::begin_update(sim, cl, ctx),
-        MethodKind::Fl => fl::begin_update(sim, cl, ctx),
-        MethodKind::Pl => pl::begin_update(sim, cl, ctx),
-        MethodKind::Plr => plr::begin_update(sim, cl, ctx),
-        MethodKind::Parix => parix::begin_update(sim, cl, ctx),
-        MethodKind::Cord => cord::begin_update(sim, cl, ctx),
-        MethodKind::Tsue => tsue_drv::begin_update(sim, cl, ctx),
+/// An update method: the object-safe contract every driver — built-in or
+/// out-of-tree — implements. Methods are stateless handles (all mutable
+/// state lives in per-node [`NodeLogState`]), so one `Arc<dyn UpdateMethod>`
+/// serves a whole cluster.
+pub trait UpdateMethod: Send + Sync + std::fmt::Debug {
+    /// Display name (used in results, tables, and registry lookups).
+    fn name(&self) -> &str;
+
+    /// Builds the method's per-node log state. The default keeps none.
+    fn new_node_state(&self, cfg: &ClusterConfig) -> Box<dyn NodeLogState> {
+        let _ = cfg;
+        Box::new(PlainState)
     }
+
+    /// Extra device bytes the layout must reserve adjacent to each parity
+    /// block (PLR's reserved log space; zero for everything else).
+    fn parity_reserved_bytes(&self, cfg: &ClusterConfig) -> u64 {
+        let _ = cfg;
+        0
+    }
+
+    /// Runs the method's full front-end path for one sub-block update and
+    /// eventually reports the ack via [`Cluster::finish_update`].
+    fn begin_update(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx);
+
+    /// The fresh-write path. The default books the encode-path write shared
+    /// by all methods; override only for methods with a custom ingest path.
+    fn begin_write(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
+        default_begin_write(sim, cl, ctx);
+    }
+
+    /// The read path. The default consults [`NodeLogState::read_cache_covers`]
+    /// before charging the disk.
+    fn begin_read(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
+        default_begin_read(sim, cl, ctx);
+    }
+
+    /// Schedules the flush of all outstanding log state; the caller runs
+    /// the simulation and re-invokes until [`pending_log_bytes`] hits zero.
+    fn drain(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster) {
+        let _ = (sim, cl);
+    }
+}
+
+/// Dispatches an update to the cluster's configured method.
+pub fn begin_update(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
+    let method = Arc::clone(&cl.cfg.method);
+    method.begin_update(sim, cl, ctx);
+}
+
+/// Dispatches a fresh write to the cluster's configured method.
+pub fn begin_write(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
+    let method = Arc::clone(&cl.cfg.method);
+    method.begin_write(sim, cl, ctx);
+}
+
+/// Dispatches a read to the cluster's configured method.
+pub fn begin_read(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
+    let method = Arc::clone(&cl.cfg.method);
+    method.begin_read(sim, cl, ctx);
+}
+
+/// Dispatches a drain to the cluster's configured method. Run the sim to
+/// completion afterwards.
+pub fn drain(sim: &mut Sim<Cluster>, cl: &mut Cluster) {
+    let method = Arc::clone(&cl.cfg.method);
+    method.drain(sim, cl);
 }
 
 /// The fresh-write path, identical for all methods: the client has already
 /// encoded the stripe, so the data lands as a sequential write on the data
 /// node plus an amortised `m/k` share of sequential parity writes.
-pub fn begin_write(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
+pub fn default_begin_write(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
     let (node, dev_off) = cl.layout.locate(ctx.slice.addr);
     let len = ctx.slice.len as u64;
     let now = ctx.issued_at;
@@ -99,18 +181,25 @@ pub fn begin_write(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
     );
     // Amortised parity share: the encoded parity written alongside.
     let pshare = (len * cl.cfg.code.m() as u64 / cl.cfg.code.k() as u64).max(1);
-    let parity_addrs = cl.layout.parity_addrs(ctx.slice.addr.volume, ctx.slice.addr.stripe);
+    let parity_addrs = cl
+        .layout
+        .parity_addrs(ctx.slice.addr.volume, ctx.slice.addr.stripe);
     let p0 = parity_addrs[ctx.slice.addr.stripe as usize % parity_addrs.len()];
     let (pnode, pdev) = cl.layout.locate(p0);
     let t_psend = cl.send(now, client_ep, pnode, pshare);
     let poff = pdev + (ctx.slice.offset as u64 % cl.cfg.block_bytes.saturating_sub(pshare).max(1));
-    let t_parity = cl.disk_io(pnode, t_psend, IoOp::write(poff, pshare, Pattern::Sequential));
+    let t_parity = cl.disk_io(
+        pnode,
+        t_psend,
+        IoOp::write(poff, pshare, Pattern::Sequential),
+    );
     let t_done = cl.ack(t_data.max(t_parity), node, client_ep);
     cl.finish_other(sim, ctx.client, false, t_done);
 }
 
-/// The read path: a log read-cache hit (TSUE/FL) skips the disk.
-pub fn begin_read(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
+/// The read path: a log read-cache hit (per [`NodeLogState::read_cache_covers`])
+/// skips the disk.
+pub fn default_begin_read(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
     let (node, dev_off) = cl.layout.locate(ctx.slice.addr);
     let len = ctx.slice.len as u64;
     let now = ctx.issued_at;
@@ -118,19 +207,10 @@ pub fn begin_read(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
     let t_arrive = cl.ack(now, client_ep, node);
 
     // Check the method's read cache.
-    let cache_hit = match &mut cl.nodes[node].state {
-        NodeState::Tsue(ts) => {
-            let key = ctx.slice.addr.key();
-            ts.data
-                .lookup(&key, ctx.slice.offset, ctx.slice.len)
-                .iter()
-                .map(|(_, g)| g.0 as u64)
-                .sum::<u64>()
-                >= len
-        }
-        NodeState::Fl(flst) => flst.covers(ctx.slice.addr, ctx.slice.offset, ctx.slice.len),
-        _ => false,
-    };
+    let cache_hit =
+        cl.nodes[node]
+            .state
+            .read_cache_covers(ctx.slice.addr, ctx.slice.offset, ctx.slice.len);
     let t_read = if cache_hit {
         cl.metrics.cache_read_hits += 1;
         t_arrive // served from memory
@@ -145,35 +225,9 @@ pub fn begin_read(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
     cl.finish_other(sim, ctx.client, true, t_done);
 }
 
-/// Drains all outstanding log state for the configured method; schedules
-/// the work and returns. Run the sim to completion afterwards.
-pub fn drain(sim: &mut Sim<Cluster>, cl: &mut Cluster) {
-    match cl.cfg.method {
-        MethodKind::Fo => {}
-        MethodKind::Fl => fl::drain(sim, cl),
-        MethodKind::Pl => pl::drain(sim, cl),
-        MethodKind::Plr => plr::drain(sim, cl),
-        MethodKind::Parix => parix::drain(sim, cl),
-        MethodKind::Cord => cord::drain(sim, cl),
-        MethodKind::Tsue => tsue_drv::drain(sim, cl),
-    }
-}
-
 /// Bytes of log state still pending across the cluster (drain progress).
 /// Includes a sentinel for forwarding events still in flight.
 pub fn pending_log_bytes(cl: &Cluster) -> u64 {
-    let node_bytes: u64 = cl
-        .nodes
-        .iter()
-        .map(|n| match &n.state {
-            NodeState::Plain => 0,
-            NodeState::Fl(s) => s.pending_bytes(),
-            NodeState::Pl(s) => s.pending_bytes(),
-            NodeState::Plr(s) => s.pending_bytes(),
-            NodeState::Parix(s) => s.pending_bytes(),
-            NodeState::Cord(s) => s.pending_bytes(),
-            NodeState::Tsue(s) => s.pending_bytes(),
-        })
-        .sum();
+    let node_bytes: u64 = cl.nodes.iter().map(|n| n.state.pending_bytes()).sum();
     cl.forwards_in_flight + node_bytes
 }

@@ -15,10 +15,15 @@ use simdisk::{IoOp, Pattern};
 use std::collections::HashMap;
 
 use crate::cluster::{Cluster, IntervalSet};
+use crate::config::ClusterConfig;
 use crate::layout::BlockAddr;
-use crate::methods::{NodeState, UpdateCtx};
+use crate::methods::{NodeLogState, UpdateCtx, UpdateMethod};
 use tsue::index::{MergeMode, TwoLevelIndex};
 use tsue::payload::Ghost;
+
+/// The PARIX speculative-partial-write driver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Parix;
 
 /// Per-node PARIX state.
 pub struct ParixState {
@@ -46,108 +51,128 @@ impl Default for ParixState {
     }
 }
 
-impl ParixState {
-    /// Bytes awaiting recycle.
-    pub fn pending_bytes(&self) -> u64 {
+impl NodeLogState for ParixState {
+    fn pending_bytes(&self) -> u64 {
         self.bytes
     }
 }
 
-/// Runs one PARIX update.
-pub fn begin_update(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
-    let slice = ctx.slice;
-    let len = slice.len as u64;
-    let (dnode, ddev) = cl.layout.locate(slice.addr);
-    let client_ep = cl.cfg.client_endpoint(ctx.client);
-
-    let t_arrive = cl.send(ctx.issued_at, client_ep, dnode, len);
-    // In-place data write — no read! That is PARIX's front-end saving.
-    let off = ddev + slice.offset as u64;
-    let t_write = cl.disk_io(dnode, t_arrive, IoOp::write(off, len, Pattern::Random));
-    cl.oracle_apply_data(slice.addr, slice.offset, slice.len);
-
-    // First touch since the last recycle? Then the parity side needs the
-    // original value: data node reads it and ships it — a serial extra
-    // round on the critical path.
-    let first_touch = match &mut cl.nodes[dnode].state {
-        NodeState::Parix(state) => {
-            let sent = state.old_sent.entry(slice.addr).or_default();
-            let covered = sent.covers(slice.offset as u64, slice.offset as u64 + len);
-            if !covered {
-                sent.insert(slice.offset as u64, slice.offset as u64 + len);
-            }
-            !covered
-        }
-        _ => false,
-    };
-    // NOTE: the in-place write above already clobbered the old value; real
-    // PARIX reads old before writing new on first touch. Order the read
-    // before the write for timing purposes.
-    let t_old_ready = if first_touch {
-        cl.disk_io(dnode, t_arrive, IoOp::read(off, len, Pattern::Random))
-    } else {
-        t_arrive
-    };
-
-    let mut t_done = t_write;
-    for paddr in cl.layout.parity_addrs(slice.addr.volume, slice.addr.stripe) {
-        let (pnode, _) = cl.layout.locate(paddr);
-        // Forward new data; log it sequentially.
-        let t_new = cl.send(t_arrive, dnode, pnode, len);
-        let log_off = cl.log_offset(pnode, len);
-        let mut t_append = cl.disk_io(
-            pnode,
-            t_new,
-            IoOp::write(log_off, len, Pattern::Sequential),
-        );
-        if first_touch {
-            // Serial extra round: parity asks, data node answers with the
-            // original bytes, which are logged too.
-            let t_req = cl.ack(t_append, pnode, dnode);
-            let t_old = cl.send(t_req.max(t_old_ready), dnode, pnode, len);
-            let log_off2 = cl.log_offset(pnode, len);
-            t_append = cl.disk_io(
-                pnode,
-                t_old,
-                IoOp::write(log_off2, len, Pattern::Sequential),
-            );
-        }
-        let over_threshold = if let NodeState::Parix(state) = &mut cl.nodes[pnode].state {
-            let key = paddr.key();
-            state.log.insert(key, slice.offset, Ghost(slice.len));
-            state.addr_of.insert(key, paddr);
-            state.bytes += len * if first_touch { 2 } else { 1 };
-            state.bytes >= cl.cfg.parix_threshold_for()
-        } else {
-            false
-        };
-        // Epoch boundary: the parity log reached its threshold. The hot
-        // log segment rolls over (old segments go cold and are recycled
-        // lazily), so first-touch tracking resets: the next update of each
-        // location pays the extra round again (§2.2: PARIX "does not fully
-        // exploit temporal locality"). The deferred recycle I/O itself is
-        // paid at drain time, like PL.
-        if over_threshold {
-            epoch_reset(cl, pnode);
-        }
-        t_done = t_done.max(t_append);
+impl UpdateMethod for Parix {
+    fn name(&self) -> &str {
+        "PARIX"
     }
 
-    let t_ack = cl.ack(t_done, dnode, client_ep);
-    cl.oracle_ack(slice.addr, slice.offset, slice.len);
-    cl.finish_update(sim, ctx.client, ctx.issued_at, t_ack);
+    fn new_node_state(&self, _cfg: &ClusterConfig) -> Box<dyn NodeLogState> {
+        Box::<ParixState>::default()
+    }
+
+    fn begin_update(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
+        let slice = ctx.slice;
+        let len = slice.len as u64;
+        let (dnode, ddev) = cl.layout.locate(slice.addr);
+        let client_ep = cl.cfg.client_endpoint(ctx.client);
+
+        let t_arrive = cl.send(ctx.issued_at, client_ep, dnode, len);
+        // In-place data write — no read! That is PARIX's front-end saving.
+        let off = ddev + slice.offset as u64;
+        let t_write = cl.disk_io(dnode, t_arrive, IoOp::write(off, len, Pattern::Random));
+        cl.oracle_apply_data(slice.addr, slice.offset, slice.len);
+
+        // First touch since the last recycle? Then the parity side needs the
+        // original value: data node reads it and ships it — a serial extra
+        // round on the critical path.
+        let first_touch = match cl.nodes[dnode].state.downcast_mut::<ParixState>() {
+            Some(state) => {
+                let sent = state.old_sent.entry(slice.addr).or_default();
+                let covered = sent.covers(slice.offset as u64, slice.offset as u64 + len);
+                if !covered {
+                    sent.insert(slice.offset as u64, slice.offset as u64 + len);
+                }
+                !covered
+            }
+            None => false,
+        };
+        // NOTE: the in-place write above already clobbered the old value; real
+        // PARIX reads old before writing new on first touch. Order the read
+        // before the write for timing purposes.
+        let t_old_ready = if first_touch {
+            cl.disk_io(dnode, t_arrive, IoOp::read(off, len, Pattern::Random))
+        } else {
+            t_arrive
+        };
+
+        let mut t_done = t_write;
+        for paddr in cl.layout.parity_addrs(slice.addr.volume, slice.addr.stripe) {
+            let (pnode, _) = cl.layout.locate(paddr);
+            // Forward new data; log it sequentially.
+            let t_new = cl.send(t_arrive, dnode, pnode, len);
+            let log_off = cl.log_offset(pnode, len);
+            let mut t_append =
+                cl.disk_io(pnode, t_new, IoOp::write(log_off, len, Pattern::Sequential));
+            if first_touch {
+                // Serial extra round: parity asks, data node answers with the
+                // original bytes, which are logged too.
+                let t_req = cl.ack(t_append, pnode, dnode);
+                let t_old = cl.send(t_req.max(t_old_ready), dnode, pnode, len);
+                let log_off2 = cl.log_offset(pnode, len);
+                t_append = cl.disk_io(
+                    pnode,
+                    t_old,
+                    IoOp::write(log_off2, len, Pattern::Sequential),
+                );
+            }
+            let over_threshold =
+                if let Some(state) = cl.nodes[pnode].state.downcast_mut::<ParixState>() {
+                    let key = paddr.key();
+                    state.log.insert(key, slice.offset, Ghost(slice.len));
+                    state.addr_of.insert(key, paddr);
+                    state.bytes += len * if first_touch { 2 } else { 1 };
+                    state.bytes >= cl.cfg.parix_threshold_for()
+                } else {
+                    false
+                };
+            // Epoch boundary: the parity log reached its threshold. The hot
+            // log segment rolls over (old segments go cold and are recycled
+            // lazily), so first-touch tracking resets: the next update of each
+            // location pays the extra round again (§2.2: PARIX "does not fully
+            // exploit temporal locality"). The deferred recycle I/O itself is
+            // paid at drain time, like PL.
+            if over_threshold {
+                epoch_reset(cl, pnode);
+            }
+            t_done = t_done.max(t_append);
+        }
+
+        let t_ack = cl.ack(t_done, dnode, client_ep);
+        cl.oracle_ack(slice.addr, slice.offset, slice.len);
+        cl.finish_update(sim, ctx.client, ctx.issued_at, t_ack);
+    }
+
+    fn drain(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster) {
+        let now = sim.now();
+        let mut t_end = now;
+        for node in 0..cl.cfg.nodes {
+            t_end = t_end.max(recycle_node(cl, node, now));
+        }
+        for osd in cl.nodes.iter_mut() {
+            if let Some(state) = osd.state.downcast_mut::<ParixState>() {
+                state.old_sent.clear();
+            }
+        }
+        sim.schedule_at(t_end, |_, _| {});
+    }
 }
 
 /// Rolls a parity node's log epoch: resets the first-touch tracking of
 /// every data block whose stripe logs here, and resets the byte counter
 /// (the cold segments remain accounted until drain).
 fn epoch_reset(cl: &mut Cluster, node: usize) {
-    let addrs: Vec<BlockAddr> = match &mut cl.nodes[node].state {
-        NodeState::Parix(state) => {
+    let addrs: Vec<BlockAddr> = match cl.nodes[node].state.downcast_mut::<ParixState>() {
+        Some(state) => {
             state.bytes = 0;
             state.addr_of.values().copied().collect()
         }
-        _ => return,
+        None => return,
     };
     let k = cl.cfg.code.k() as u16;
     for paddr in addrs {
@@ -158,7 +183,7 @@ fn epoch_reset(cl: &mut Cluster, node: usize) {
                 index: idx,
             };
             let dnode = cl.layout.node_of(daddr);
-            if let NodeState::Parix(ds) = &mut cl.nodes[dnode].state {
+            if let Some(ds) = cl.nodes[dnode].state.downcast_mut::<ParixState>() {
                 ds.old_sent.remove(&daddr);
             }
         }
@@ -168,14 +193,14 @@ fn epoch_reset(cl: &mut Cluster, node: usize) {
 /// Recycles one node's PARIX log: per merged location, compute the delta
 /// from the logged (original, newest) pair and RMW the parity block.
 pub fn recycle_node(cl: &mut Cluster, node: usize, from: SimTime) -> SimTime {
-    let (contents, addr_of) = match &mut cl.nodes[node].state {
-        NodeState::Parix(state) => {
+    let (contents, addr_of) = match cl.nodes[node].state.downcast_mut::<ParixState>() {
+        Some(state) => {
             let c = state.log.drain_all();
             state.bytes = 0;
             let a = std::mem::take(&mut state.addr_of);
             (c, a)
         }
-        _ => return from,
+        None => return from,
     };
     let mut t = from;
     let code = cl.cfg.code;
@@ -191,7 +216,7 @@ pub fn recycle_node(cl: &mut Cluster, node: usize, from: SimTime) -> SimTime {
                 index: idx,
             };
             let dnode = cl.layout.node_of(daddr);
-            if let NodeState::Parix(ds) = &mut cl.nodes[dnode].state {
+            if let Some(ds) = cl.nodes[dnode].state.downcast_mut::<ParixState>() {
                 ds.old_sent.remove(&daddr);
             }
         }
@@ -209,19 +234,4 @@ pub fn recycle_node(cl: &mut Cluster, node: usize, from: SimTime) -> SimTime {
         }
     }
     t
-}
-
-/// Drains every node's PARIX log and resets first-touch tracking.
-pub fn drain(sim: &mut Sim<Cluster>, cl: &mut Cluster) {
-    let now = sim.now();
-    let mut t_end = now;
-    for node in 0..cl.cfg.nodes {
-        t_end = t_end.max(recycle_node(cl, node, now));
-    }
-    for osd in cl.nodes.iter_mut() {
-        if let NodeState::Parix(state) = &mut osd.state {
-            state.old_sent.clear();
-        }
-    }
-    sim.schedule_at(t_end, |_, _| {});
 }

@@ -13,8 +13,13 @@ use simdes::{Sim, SimTime};
 use simdisk::{IoOp, Pattern};
 
 use crate::cluster::Cluster;
+use crate::config::ClusterConfig;
 use crate::layout::BlockAddr;
-use crate::methods::{NodeState, UpdateCtx};
+use crate::methods::{NodeLogState, UpdateCtx, UpdateMethod};
+
+/// The Parity-Logging driver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pl;
 
 /// One logged parity delta.
 #[derive(Debug, Clone, Copy)]
@@ -36,65 +41,83 @@ pub struct PlState {
     pub bytes: u64,
 }
 
-impl PlState {
-    /// Bytes awaiting recycle.
-    pub fn pending_bytes(&self) -> u64 {
+impl NodeLogState for PlState {
+    fn pending_bytes(&self) -> u64 {
         self.bytes
     }
 }
 
-/// Runs one PL update.
-pub fn begin_update(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
-    let slice = ctx.slice;
-    let len = slice.len as u64;
-    let (dnode, ddev) = cl.layout.locate(slice.addr);
-    let client_ep = cl.cfg.client_endpoint(ctx.client);
-
-    let t_arrive = cl.send(ctx.issued_at, client_ep, dnode, len);
-    // Write-after-read on the data block.
-    let off = ddev + slice.offset as u64;
-    let t_read = cl.disk_io(dnode, t_arrive, IoOp::read(off, len, Pattern::Random));
-    let t_write = cl.disk_io(dnode, t_read, IoOp::write(off, len, Pattern::Random));
-    cl.oracle_apply_data(slice.addr, slice.offset, slice.len);
-
-    // Parity deltas go to logs: sequential appends.
-    let mut t_done = t_write;
-    for paddr in cl.layout.parity_addrs(slice.addr.volume, slice.addr.stripe) {
-        let (pnode, _) = cl.layout.locate(paddr);
-        let t_delta = cl.send(t_write, dnode, pnode, len);
-        let log_off = cl.log_offset(pnode, len);
-        let t_append = cl.disk_io(
-            pnode,
-            t_delta,
-            IoOp::write(log_off, len, Pattern::Sequential),
-        );
-        if let NodeState::Pl(state) = &mut cl.nodes[pnode].state {
-            state.records.push(PlRecord {
-                parity: paddr,
-                offset: slice.offset,
-                len: slice.len,
-            });
-            state.bytes += len;
-        }
-        t_done = t_done.max(t_append);
+impl UpdateMethod for Pl {
+    fn name(&self) -> &str {
+        "PL"
     }
 
-    let t_ack = cl.ack(t_done, dnode, client_ep);
-    cl.oracle_ack(slice.addr, slice.offset, slice.len);
-    cl.finish_update(sim, ctx.client, ctx.issued_at, t_ack);
+    fn new_node_state(&self, _cfg: &ClusterConfig) -> Box<dyn NodeLogState> {
+        Box::<PlState>::default()
+    }
+
+    fn begin_update(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
+        let slice = ctx.slice;
+        let len = slice.len as u64;
+        let (dnode, ddev) = cl.layout.locate(slice.addr);
+        let client_ep = cl.cfg.client_endpoint(ctx.client);
+
+        let t_arrive = cl.send(ctx.issued_at, client_ep, dnode, len);
+        // Write-after-read on the data block.
+        let off = ddev + slice.offset as u64;
+        let t_read = cl.disk_io(dnode, t_arrive, IoOp::read(off, len, Pattern::Random));
+        let t_write = cl.disk_io(dnode, t_read, IoOp::write(off, len, Pattern::Random));
+        cl.oracle_apply_data(slice.addr, slice.offset, slice.len);
+
+        // Parity deltas go to logs: sequential appends.
+        let mut t_done = t_write;
+        for paddr in cl.layout.parity_addrs(slice.addr.volume, slice.addr.stripe) {
+            let (pnode, _) = cl.layout.locate(paddr);
+            let t_delta = cl.send(t_write, dnode, pnode, len);
+            let log_off = cl.log_offset(pnode, len);
+            let t_append = cl.disk_io(
+                pnode,
+                t_delta,
+                IoOp::write(log_off, len, Pattern::Sequential),
+            );
+            if let Some(state) = cl.nodes[pnode].state.downcast_mut::<PlState>() {
+                state.records.push(PlRecord {
+                    parity: paddr,
+                    offset: slice.offset,
+                    len: slice.len,
+                });
+                state.bytes += len;
+            }
+            t_done = t_done.max(t_append);
+        }
+
+        let t_ack = cl.ack(t_done, dnode, client_ep);
+        cl.oracle_ack(slice.addr, slice.offset, slice.len);
+        cl.finish_update(sim, ctx.client, ctx.issued_at, t_ack);
+    }
+
+    fn drain(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster) {
+        let now = sim.now();
+        let mut t_end = now;
+        for node in 0..cl.cfg.nodes {
+            t_end = t_end.max(recycle_node(cl, node, now));
+        }
+        // Advance the clock to the drain's completion.
+        sim.schedule_at(t_end, |_, _| {});
+    }
 }
 
 /// Recycles the parity log of one node starting at `from`; returns the
 /// completion time. Every record costs a random read of the logged delta
 /// plus a read-modify-write of the parity block — PL's recycle storm.
 pub fn recycle_node(cl: &mut Cluster, node: usize, from: SimTime) -> SimTime {
-    let records = match &mut cl.nodes[node].state {
-        NodeState::Pl(state) => {
+    let records = match cl.nodes[node].state.downcast_mut::<PlState>() {
+        Some(state) => {
             let r = std::mem::take(&mut state.records);
             state.bytes = 0;
             r
         }
-        _ => return from,
+        None => return from,
     };
     let mut t = from;
     for rec in records {
@@ -111,15 +134,4 @@ pub fn recycle_node(cl: &mut Cluster, node: usize, from: SimTime) -> SimTime {
         cl.oracle_apply_parity(rec.parity, rec.offset, rec.len);
     }
     t
-}
-
-/// Drains every node's parity log (threshold reached / end of run).
-pub fn drain(sim: &mut Sim<Cluster>, cl: &mut Cluster) {
-    let now = sim.now();
-    let mut t_end = now;
-    for node in 0..cl.cfg.nodes {
-        t_end = t_end.max(recycle_node(cl, node, now));
-    }
-    // Advance the clock to the drain's completion.
-    sim.schedule_at(t_end, |_, _| {});
 }

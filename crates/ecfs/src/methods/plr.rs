@@ -17,9 +17,13 @@ use simdisk::{IoOp, Pattern};
 use std::collections::HashMap;
 
 use crate::cluster::Cluster;
+use crate::config::ClusterConfig;
 use crate::layout::BlockAddr;
-use crate::methods::UpdateCtx;
-use crate::methods::NodeState;
+use crate::methods::{NodeLogState, UpdateCtx, UpdateMethod};
+
+/// The Parity-Logging-with-Reserved-space driver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Plr;
 
 /// Pending deltas in one parity block's reserved region.
 #[derive(Debug, Default, Clone)]
@@ -37,9 +41,8 @@ pub struct PlrState {
     pub reserved: HashMap<BlockAddr, Reserved>,
 }
 
-impl PlrState {
-    /// Bytes awaiting recycle.
-    pub fn pending_bytes(&self) -> u64 {
+impl NodeLogState for PlrState {
+    fn pending_bytes(&self) -> u64 {
         self.reserved.values().map(|r| r.used).sum()
     }
 }
@@ -53,15 +56,15 @@ fn recycle_reserved(
     pdev: u64,
     from: SimTime,
 ) -> SimTime {
-    let (used, pending) = match &mut cl.nodes[node].state {
-        NodeState::Plr(state) => {
+    let (used, pending) = match cl.nodes[node].state.downcast_mut::<PlrState>() {
+        Some(state) => {
             let r = state.reserved.entry(paddr).or_default();
             let used = r.used;
             let pending = std::mem::take(&mut r.pending);
             r.used = 0;
             (used, pending)
         }
-        _ => return from,
+        None => return from,
     };
     if pending.is_empty() {
         return from;
@@ -90,78 +93,94 @@ fn recycle_reserved(
     t
 }
 
-/// Runs one PLR update.
-pub fn begin_update(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
-    let slice = ctx.slice;
-    let len = slice.len as u64;
-    let (dnode, ddev) = cl.layout.locate(slice.addr);
-    let client_ep = cl.cfg.client_endpoint(ctx.client);
-
-    let t_arrive = cl.send(ctx.issued_at, client_ep, dnode, len);
-    let off = ddev + slice.offset as u64;
-    let t_read = cl.disk_io(dnode, t_arrive, IoOp::read(off, len, Pattern::Random));
-    let t_write = cl.disk_io(dnode, t_read, IoOp::write(off, len, Pattern::Random));
-    cl.oracle_apply_data(slice.addr, slice.offset, slice.len);
-
-    let reserved_cap = cl.cfg.plr_reserved_bytes;
-    let block = cl.cfg.block_bytes;
-    let mut t_done = t_write;
-    for paddr in cl.layout.parity_addrs(slice.addr.volume, slice.addr.stripe) {
-        let (pnode, pdev) = cl.layout.locate(paddr);
-        let t_delta = cl.send(t_write, dnode, pnode, len);
-
-        // Does the reserved region overflow? Then recycle it *first*, in
-        // the foreground — the PLR critical-path penalty.
-        let needs_recycle = match &mut cl.nodes[pnode].state {
-            NodeState::Plr(state) => {
-                let r = state.reserved.entry(paddr).or_default();
-                r.used + len > reserved_cap
-            }
-            _ => false,
-        };
-        let t_space = if needs_recycle {
-            recycle_reserved(cl, pnode, paddr, pdev, t_delta)
-        } else {
-            t_delta
-        };
-
-        // Append into the reserved region: a *random* write from the
-        // device's point of view (regions are scattered).
-        let append_off = match &mut cl.nodes[pnode].state {
-            NodeState::Plr(state) => {
-                let r = state.reserved.entry(paddr).or_default();
-                let o = pdev + block + r.used;
-                r.used += len;
-                r.pending.push((slice.offset, slice.len));
-                o
-            }
-            _ => pdev + block,
-        };
-        let t_append = cl.disk_io(pnode, t_space, IoOp::write(append_off, len, Pattern::Random));
-        t_done = t_done.max(t_append);
+impl UpdateMethod for Plr {
+    fn name(&self) -> &str {
+        "PLR"
     }
 
-    let t_ack = cl.ack(t_done, dnode, client_ep);
-    cl.oracle_ack(slice.addr, slice.offset, slice.len);
-    cl.finish_update(sim, ctx.client, ctx.issued_at, t_ack);
-}
+    fn new_node_state(&self, _cfg: &ClusterConfig) -> Box<dyn NodeLogState> {
+        Box::<PlrState>::default()
+    }
 
-/// Drains every reserved region.
-pub fn drain(sim: &mut Sim<Cluster>, cl: &mut Cluster) {
-    let now = sim.now();
-    let mut t_end = now;
-    for node in 0..cl.cfg.nodes {
-        let addrs: Vec<BlockAddr> = match &cl.nodes[node].state {
-            NodeState::Plr(state) => state.reserved.keys().copied().collect(),
-            _ => continue,
-        };
-        let mut t = now;
-        for paddr in addrs {
+    fn parity_reserved_bytes(&self, cfg: &ClusterConfig) -> u64 {
+        cfg.plr_reserved_bytes
+    }
+
+    fn begin_update(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
+        let slice = ctx.slice;
+        let len = slice.len as u64;
+        let (dnode, ddev) = cl.layout.locate(slice.addr);
+        let client_ep = cl.cfg.client_endpoint(ctx.client);
+
+        let t_arrive = cl.send(ctx.issued_at, client_ep, dnode, len);
+        let off = ddev + slice.offset as u64;
+        let t_read = cl.disk_io(dnode, t_arrive, IoOp::read(off, len, Pattern::Random));
+        let t_write = cl.disk_io(dnode, t_read, IoOp::write(off, len, Pattern::Random));
+        cl.oracle_apply_data(slice.addr, slice.offset, slice.len);
+
+        let reserved_cap = cl.cfg.plr_reserved_bytes;
+        let block = cl.cfg.block_bytes;
+        let mut t_done = t_write;
+        for paddr in cl.layout.parity_addrs(slice.addr.volume, slice.addr.stripe) {
             let (pnode, pdev) = cl.layout.locate(paddr);
-            debug_assert_eq!(pnode, node);
-            t = recycle_reserved(cl, node, paddr, pdev, t);
+            let t_delta = cl.send(t_write, dnode, pnode, len);
+
+            // Does the reserved region overflow? Then recycle it *first*, in
+            // the foreground — the PLR critical-path penalty.
+            let needs_recycle = match cl.nodes[pnode].state.downcast_mut::<PlrState>() {
+                Some(state) => {
+                    let r = state.reserved.entry(paddr).or_default();
+                    r.used + len > reserved_cap
+                }
+                None => false,
+            };
+            let t_space = if needs_recycle {
+                recycle_reserved(cl, pnode, paddr, pdev, t_delta)
+            } else {
+                t_delta
+            };
+
+            // Append into the reserved region: a *random* write from the
+            // device's point of view (regions are scattered).
+            let append_off = match cl.nodes[pnode].state.downcast_mut::<PlrState>() {
+                Some(state) => {
+                    let r = state.reserved.entry(paddr).or_default();
+                    let o = pdev + block + r.used;
+                    r.used += len;
+                    r.pending.push((slice.offset, slice.len));
+                    o
+                }
+                None => pdev + block,
+            };
+            let t_append = cl.disk_io(
+                pnode,
+                t_space,
+                IoOp::write(append_off, len, Pattern::Random),
+            );
+            t_done = t_done.max(t_append);
         }
-        t_end = t_end.max(t);
+
+        let t_ack = cl.ack(t_done, dnode, client_ep);
+        cl.oracle_ack(slice.addr, slice.offset, slice.len);
+        cl.finish_update(sim, ctx.client, ctx.issued_at, t_ack);
     }
-    sim.schedule_at(t_end, |_, _| {});
+
+    fn drain(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster) {
+        let now = sim.now();
+        let mut t_end = now;
+        for node in 0..cl.cfg.nodes {
+            let addrs: Vec<BlockAddr> = match cl.nodes[node].state.downcast_ref::<PlrState>() {
+                Some(state) => state.reserved.keys().copied().collect(),
+                None => continue,
+            };
+            let mut t = now;
+            for paddr in addrs {
+                let (pnode, pdev) = cl.layout.locate(paddr);
+                debug_assert_eq!(pnode, node);
+                t = recycle_reserved(cl, node, paddr, pdev, t);
+            }
+            t_end = t_end.max(t);
+        }
+        sim.schedule_at(t_end, |_, _| {});
+    }
 }

@@ -1,0 +1,209 @@
+//! Name-to-factory registry for [`UpdateMethod`] drivers.
+//!
+//! The registry is how experiments plug new update methods into the replay
+//! engine **without touching `ecfs` internals**: register a factory under a
+//! name, then build a cluster with
+//! [`crate::config::ClusterConfigBuilder::method_name`]. The process-wide
+//! [`MethodRegistry::global`] instance comes pre-seeded with the paper's
+//! seven built-ins (`FO`, `FL`, `PL`, `PLR`, `PARIX`, `CoRD`, `TSUE`).
+//!
+//! ```
+//! use ecfs::methods::{MethodRegistry, UpdateMethod};
+//!
+//! let reg = MethodRegistry::with_builtins();
+//! let tsue = reg.resolve("TSUE").unwrap();
+//! assert_eq!(tsue.name(), "TSUE");
+//! // Lookups are case-insensitive.
+//! assert!(reg.resolve("cord").is_some());
+//! assert!(reg.resolve("no-such-method").is_none());
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use super::UpdateMethod;
+use crate::config::MethodKind;
+
+/// Builds one method instance per call. Factories rather than instances so
+/// a registered method may carry its own per-resolution configuration.
+pub type MethodFactory = Arc<dyn Fn() -> Arc<dyn UpdateMethod> + Send + Sync>;
+
+/// Errors from registry mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The (case-folded) name is already registered.
+    Duplicate(String),
+    /// The name is empty.
+    EmptyName,
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Duplicate(name) => {
+                write!(f, "update method {name:?} is already registered")
+            }
+            RegistryError::EmptyName => write!(f, "update method name must not be empty"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// Maps method names to driver factories. Lookups fold ASCII case, so
+/// `"CoRD"`, `"CORD"` and `"cord"` resolve to the same driver.
+#[derive(Clone, Default)]
+pub struct MethodRegistry {
+    factories: BTreeMap<String, MethodFactory>,
+}
+
+impl std::fmt::Debug for MethodRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MethodRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+impl MethodRegistry {
+    /// An empty registry (no built-ins).
+    pub fn empty() -> MethodRegistry {
+        MethodRegistry::default()
+    }
+
+    /// A registry pre-seeded with the paper's seven built-in methods.
+    pub fn with_builtins() -> MethodRegistry {
+        let mut reg = MethodRegistry::empty();
+        for kind in MethodKind::ALL {
+            reg.register(kind.name(), move || kind.driver())
+                .expect("built-in names are unique");
+        }
+        reg
+    }
+
+    /// The process-wide registry used by
+    /// [`crate::config::ClusterConfigBuilder::method_name`]; pre-seeded
+    /// with the built-ins.
+    pub fn global() -> &'static Mutex<MethodRegistry> {
+        static GLOBAL: OnceLock<Mutex<MethodRegistry>> = OnceLock::new();
+        GLOBAL.get_or_init(|| Mutex::new(MethodRegistry::with_builtins()))
+    }
+
+    /// Registers `factory` under `name`. Rejects duplicates so two
+    /// experiments cannot silently shadow each other's drivers.
+    pub fn register<F>(&mut self, name: &str, factory: F) -> Result<(), RegistryError>
+    where
+        F: Fn() -> Arc<dyn UpdateMethod> + Send + Sync + 'static,
+    {
+        if name.is_empty() {
+            return Err(RegistryError::EmptyName);
+        }
+        let key = name.to_ascii_uppercase();
+        if self.factories.contains_key(&key) {
+            return Err(RegistryError::Duplicate(name.to_string()));
+        }
+        self.factories.insert(key, Arc::new(factory));
+        Ok(())
+    }
+
+    /// Builds the method registered under `name` (ASCII-case-insensitive).
+    ///
+    /// This invokes the factory. On the shared [`MethodRegistry::global`]
+    /// instance prefer [`resolve_method`], which releases the registry lock
+    /// *before* the factory runs — so factories may themselves consult the
+    /// registry (e.g. decorators wrapping a built-in).
+    pub fn resolve(&self, name: &str) -> Option<Arc<dyn UpdateMethod>> {
+        self.factory(name).map(|factory| factory())
+    }
+
+    /// The registered factory for `name`, if any (does not invoke it).
+    pub fn factory(&self, name: &str) -> Option<MethodFactory> {
+        self.factories.get(&name.to_ascii_uppercase()).cloned()
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.factories.contains_key(&name.to_ascii_uppercase())
+    }
+
+    /// All registered (case-folded) names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.factories.keys().cloned().collect()
+    }
+}
+
+/// Registers a method with the process-wide registry.
+pub fn register_method<F>(name: &str, factory: F) -> Result<(), RegistryError>
+where
+    F: Fn() -> Arc<dyn UpdateMethod> + Send + Sync + 'static,
+{
+    MethodRegistry::global()
+        .lock()
+        .expect("method registry lock")
+        .register(name, factory)
+}
+
+/// Resolves a method from the process-wide registry. The registry lock is
+/// released before the factory runs, so factories may re-enter the
+/// registry (e.g. to wrap a built-in driver).
+pub fn resolve_method(name: &str) -> Option<Arc<dyn UpdateMethod>> {
+    let factory = MethodRegistry::global()
+        .lock()
+        .expect("method registry lock")
+        .factory(name);
+    factory.map(|factory| factory())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_resolve_by_any_case() {
+        let reg = MethodRegistry::with_builtins();
+        assert_eq!(reg.names().len(), 7);
+        for kind in MethodKind::ALL {
+            let m = reg.resolve(kind.name()).expect("builtin resolves");
+            assert_eq!(m.name(), kind.name());
+        }
+        assert_eq!(reg.resolve("tsue").unwrap().name(), "TSUE");
+        assert_eq!(reg.resolve("CORD").unwrap().name(), "CoRD");
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(MethodRegistry::with_builtins().resolve("nope").is_none());
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut reg = MethodRegistry::with_builtins();
+        let err = reg
+            .register("tsue", || MethodKind::Tsue.driver())
+            .unwrap_err();
+        assert_eq!(err, RegistryError::Duplicate("tsue".to_string()));
+    }
+
+    #[test]
+    fn empty_name_rejected() {
+        let mut reg = MethodRegistry::empty();
+        assert_eq!(
+            reg.register("", || MethodKind::Fo.driver()),
+            Err(RegistryError::EmptyName)
+        );
+    }
+
+    #[test]
+    fn global_has_builtins() {
+        assert!(resolve_method("PLR").is_some());
+    }
+
+    #[test]
+    fn factories_may_reenter_the_global_registry() {
+        // A decorator-style factory consults the registry from inside its
+        // own resolution; the global lock must already be released.
+        register_method("reenter-probe", || resolve_method("TSUE").unwrap()).expect("fresh name");
+        let m = resolve_method("reenter-probe").expect("resolves");
+        assert_eq!(m.name(), "TSUE");
+    }
+}

@@ -25,13 +25,35 @@ use std::collections::HashMap;
 use crate::cluster::Cluster;
 use crate::config::ClusterConfig;
 use crate::layout::BlockAddr;
-use crate::methods::{NodeState, UpdateCtx};
+use crate::methods::{self, NodeLogState, UpdateCtx, UpdateMethod};
 use tsue::layers::{
     group_delta_jobs, group_parity_jobs, union_ranges, LogPoolSet, ParityKey, StripeBlock,
 };
 use tsue::payload::Ghost;
 use tsue::pool::AppendOutcome;
 use tsue::MergeMode;
+
+/// The paper's two-stage update driver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tsue;
+
+impl UpdateMethod for Tsue {
+    fn name(&self) -> &str {
+        "TSUE"
+    }
+
+    fn new_node_state(&self, cfg: &ClusterConfig) -> Box<dyn NodeLogState> {
+        Box::new(TsueState::new(cfg))
+    }
+
+    fn begin_update(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
+        begin_update(sim, cl, ctx);
+    }
+
+    fn drain(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster) {
+        drain(sim, cl);
+    }
+}
 
 /// Layer indices for the pending-bytes ledger.
 const DATA: usize = 0;
@@ -72,21 +94,41 @@ impl TsueState {
     }
 
     /// Bytes still buffered across the three layers.
-    pub fn pending_bytes(&self) -> u64 {
+    pub fn buffered_bytes(&self) -> u64 {
         self.pending.iter().sum()
     }
 
     /// Total log memory footprint.
-    pub fn memory_bytes(&self) -> u64 {
+    pub fn log_memory_bytes(&self) -> u64 {
         self.data.memory_bytes() + self.delta.memory_bytes() + self.parity.memory_bytes()
     }
 }
 
-fn tsue_state(cl: &mut Cluster, node: usize) -> &mut TsueState {
-    match &mut cl.nodes[node].state {
-        NodeState::Tsue(ts) => ts,
-        _ => unreachable!("TSUE driver on non-TSUE node"),
+impl NodeLogState for TsueState {
+    fn pending_bytes(&self) -> u64 {
+        self.buffered_bytes()
     }
+
+    fn memory_bytes(&self) -> u64 {
+        self.log_memory_bytes()
+    }
+
+    fn read_cache_covers(&mut self, addr: BlockAddr, offset: u32, len: u32) -> bool {
+        let key = addr.key();
+        self.data
+            .lookup(&key, offset, len)
+            .iter()
+            .map(|(_, g)| g.0 as u64)
+            .sum::<u64>()
+            >= len as u64
+    }
+}
+
+fn tsue_state(cl: &mut Cluster, node: usize) -> &mut TsueState {
+    cl.nodes[node]
+        .state
+        .downcast_mut::<TsueState>()
+        .expect("TSUE driver on non-TSUE node")
 }
 
 /// The replica node for a data log: the next live OSD on the ring.
@@ -95,7 +137,7 @@ fn replica_of(cl: &Cluster, node: usize) -> usize {
 }
 
 /// Runs one TSUE update (front end only; the back end self-schedules).
-pub fn begin_update(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
+fn begin_update(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
     let slice = ctx.slice;
     let len = slice.len as u64;
     let (dnode, _) = cl.layout.locate(slice.addr);
@@ -103,9 +145,15 @@ pub fn begin_update(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
 
     // O3 off: single log — appends are exclusive with recycling.
     if !cl.cfg.tsue.log_pool {
-        let busy = matches!(&cl.nodes[dnode].state, NodeState::Tsue(ts) if ts.recycling[DATA] > 0);
+        let busy = cl.nodes[dnode]
+            .state
+            .downcast_ref::<TsueState>()
+            .is_some_and(|ts| ts.recycling[DATA] > 0);
         if busy {
-            cl.park_on(dnode, Box::new(move |sim, cl| begin_update(sim, cl, ctx)));
+            cl.park_on(
+                dnode,
+                Box::new(move |sim, cl| methods::begin_update(sim, cl, ctx)),
+            );
             return;
         }
     }
@@ -117,7 +165,9 @@ pub fn begin_update(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
     let outcome = {
         let ts = tsue_state(cl, dnode);
         ts.addr_of.insert(key, slice.addr);
-        let (_, out) = ts.data.append(key, slice.offset, Ghost(slice.len), t_arrive);
+        let (_, out) = ts
+            .data
+            .append(key, slice.offset, Ghost(slice.len), t_arrive);
         if !matches!(out, AppendOutcome::Stalled) {
             ts.pending[DATA] += len;
         }
@@ -125,7 +175,10 @@ pub fn begin_update(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
     };
     if matches!(outcome, AppendOutcome::Stalled) {
         // Quota exhausted: the client's update waits for a recycle.
-        cl.park_on(dnode, Box::new(move |sim, cl| begin_update(sim, cl, ctx)));
+        cl.park_on(
+            dnode,
+            Box::new(move |sim, cl| methods::begin_update(sim, cl, ctx)),
+        );
         // Make sure a recycle is actually running.
         schedule_data_recycle(sim, cl, dnode, sim.now());
         return;
@@ -133,7 +186,11 @@ pub fn begin_update(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
 
     // Persist locally (sequential) and on the replica node.
     let log_off = cl.log_offset(dnode, len);
-    let t_local = cl.disk_io(dnode, t_arrive, IoOp::write(log_off, len, Pattern::Sequential));
+    let t_local = cl.disk_io(
+        dnode,
+        t_arrive,
+        IoOp::write(log_off, len, Pattern::Sequential),
+    );
     cl.metrics
         .data_residency
         .append
@@ -142,7 +199,11 @@ pub fn begin_update(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
     let rnode = replica_of(cl, dnode);
     let t_rsend = cl.send(t_arrive, dnode, rnode, len);
     let rlog_off = cl.log_offset(rnode, len);
-    let t_replica = cl.disk_io(rnode, t_rsend, IoOp::write(rlog_off, len, Pattern::Sequential));
+    let t_replica = cl.disk_io(
+        rnode,
+        t_rsend,
+        IoOp::write(rlog_off, len, Pattern::Sequential),
+    );
 
     if let AppendOutcome::AppendedAndSealed(_) = outcome {
         schedule_data_recycle(sim, cl, dnode, t_local);
@@ -267,11 +328,15 @@ pub fn recycle_data(sim: &mut Sim<Cluster>, cl: &mut Cluster, node: usize) {
             ts.data.pool_mut(pool_idx).finish_recycle(unit_id);
             ts.recycling[DATA] -= 1;
             ts.pending[DATA] = ts.pending[DATA].saturating_sub(bytes);
-            ts.data.pool(pool_idx).count_state(tsue::UnitState::Recyclable) > 0
+            ts.data
+                .pool(pool_idx)
+                .count_state(tsue::UnitState::Recyclable)
+                > 0
         };
-        cl.metrics.data_residency.recycle.record(
-            sim.now().saturating_sub(now),
-        );
+        cl.metrics
+            .data_residency
+            .recycle
+            .record(sim.now().saturating_sub(now));
         cl.wake_waiters(sim, node);
         if more {
             recycle_data(sim, cl, node);
@@ -332,8 +397,7 @@ fn forward_block_deltas(
                 let len = g.0 as u64;
                 let t_send = cl.send(now, node, pn, len);
                 let plog = cl.log_offset(pn, len);
-                let t_persist =
-                    cl.disk_io(pn, t_send, IoOp::write(plog, len, Pattern::Sequential));
+                let t_persist = cl.disk_io(pn, t_send, IoOp::write(plog, len, Pattern::Sequential));
                 let sealed = {
                     let tsp = tsue_state(cl, pn);
                     tsp.pending[PARITY] += len;
@@ -394,7 +458,10 @@ pub fn recycle_delta(sim: &mut Sim<Cluster>, cl: &mut Cluster, node: usize) {
             ts.delta.pool_mut(pool_idx).finish_recycle(unit_id);
             ts.recycling[DELTA] -= 1;
             ts.pending[DELTA] = ts.pending[DELTA].saturating_sub(bytes);
-            ts.delta.pool(pool_idx).count_state(tsue::UnitState::Recyclable) > 0
+            ts.delta
+                .pool(pool_idx)
+                .count_state(tsue::UnitState::Recyclable)
+                > 0
         };
         cl.metrics
             .delta_residency
@@ -528,7 +595,10 @@ pub fn recycle_parity(sim: &mut Sim<Cluster>, cl: &mut Cluster, node: usize) {
             ts.parity.pool_mut(pool_idx).finish_recycle(unit_id);
             ts.recycling[PARITY] -= 1;
             ts.pending[PARITY] = ts.pending[PARITY].saturating_sub(bytes);
-            ts.parity.pool(pool_idx).count_state(tsue::UnitState::Recyclable) > 0
+            ts.parity
+                .pool(pool_idx)
+                .count_state(tsue::UnitState::Recyclable)
+                > 0
         };
         cl.metrics
             .parity_residency
@@ -542,7 +612,7 @@ pub fn recycle_parity(sim: &mut Sim<Cluster>, cl: &mut Cluster, node: usize) {
 }
 
 /// Drain: repeatedly seal and recycle everything until no log bytes remain.
-pub fn drain(sim: &mut Sim<Cluster>, cl: &mut Cluster) {
+fn drain(sim: &mut Sim<Cluster>, cl: &mut Cluster) {
     drain_tick(sim, cl);
 }
 

@@ -1,14 +1,13 @@
 //! Trace replay: closed-loop clients driving the cluster, and the
 //! measurement harvest every benchmark consumes.
 
-
 use simdes::Sim;
 use std::collections::VecDeque;
 
 use traces::{OpKind, TraceFamily, WorkloadGen, WorkloadParams};
 
 use crate::cluster::Cluster;
-use crate::config::{ClusterConfig, MethodKind};
+use crate::config::ClusterConfig;
 use crate::methods::{self, UpdateCtx};
 
 /// Replay parameters.
@@ -36,6 +35,78 @@ impl ReplayConfig {
             volume_bytes: 256 << 20,
             seed: 0x7565_7374,
         }
+    }
+
+    /// A builder over [`Self::new`]'s defaults with fail-fast validation.
+    ///
+    /// ```
+    /// use ecfs::{ClusterConfig, MethodKind, ReplayConfig};
+    /// use rscode::CodeParams;
+    /// use traces::TraceFamily;
+    ///
+    /// let cluster = ClusterConfig::ssd_testbed(
+    ///     CodeParams::new(6, 3).unwrap(),
+    ///     MethodKind::Tsue,
+    /// );
+    /// let rcfg = ReplayConfig::builder(cluster, TraceFamily::AliCloud)
+    ///     .ops_per_client(500)
+    ///     .volume_bytes(64 << 20)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(rcfg.ops_per_client, 500);
+    /// ```
+    pub fn builder(cluster: ClusterConfig, family: TraceFamily) -> ReplayConfigBuilder {
+        ReplayConfigBuilder {
+            inner: ReplayConfig::new(cluster, family),
+        }
+    }
+
+    /// Validates the replay parameters and the embedded cluster config.
+    pub fn validate(&self) -> Result<(), crate::config::ConfigError> {
+        self.cluster.validate()?;
+        if self.ops_per_client == 0 {
+            return Err("ops_per_client must be positive".into());
+        }
+        // The workload generator needs at least 16 slots of 4 KiB.
+        if self.volume_bytes < 16 * 4096 {
+            return Err(crate::config::ConfigError(format!(
+                "volume_bytes = {} is below the 64 KiB workload minimum",
+                self.volume_bytes
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`ReplayConfig`] (see [`ReplayConfig::builder`]).
+#[derive(Debug, Clone)]
+pub struct ReplayConfigBuilder {
+    inner: ReplayConfig,
+}
+
+impl ReplayConfigBuilder {
+    /// Operations each client issues.
+    pub fn ops_per_client(mut self, ops: usize) -> Self {
+        self.inner.ops_per_client = ops;
+        self
+    }
+
+    /// Logical volume size per client.
+    pub fn volume_bytes(mut self, bytes: u64) -> Self {
+        self.inner.volume_bytes = bytes;
+        self
+    }
+
+    /// Base RNG seed (client `c` uses `seed + c`).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.inner.seed = seed;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<ReplayConfig, crate::config::ConfigError> {
+        self.inner.validate()?;
+        Ok(self.inner)
     }
 }
 
@@ -68,8 +139,8 @@ impl ResidencySummary {
 /// Everything a benchmark needs from one replay.
 #[derive(Debug, Clone)]
 pub struct RunResult {
-    /// Method under test.
-    pub method: MethodKind,
+    /// Display name of the method under test.
+    pub method: String,
     /// Updates acknowledged.
     pub completed_updates: u64,
     /// Reads completed.
@@ -201,7 +272,9 @@ pub fn run_update_phase(rcfg: &ReplayConfig) -> (Sim<Cluster>, Cluster) {
     // each other at every hop while the fabric sits idle in between.
     for c in 0..rcfg.cluster.clients {
         let stagger = (c as u64).wrapping_mul(137) % 4096 * simdes::units::MICROS / 8;
-        sim.schedule(stagger, move |sim, cl: &mut Cluster| client_next(sim, cl, c));
+        sim.schedule(stagger, move |sim, cl: &mut Cluster| {
+            client_next(sim, cl, c)
+        });
     }
     sim.run(&mut cl);
     (sim, cl)
@@ -237,7 +310,7 @@ pub fn run_trace(rcfg: &ReplayConfig) -> RunResult {
         0.0
     };
     RunResult {
-        method: rcfg.cluster.method,
+        method: rcfg.cluster.method.name().to_string(),
         completed_updates: m.completed_updates,
         completed_reads: m.completed_reads,
         completed_writes: m.completed_writes,
@@ -262,12 +335,5 @@ pub fn run_trace(rcfg: &ReplayConfig) -> RunResult {
 }
 
 fn log_memory(cl: &Cluster) -> u64 {
-    cl.nodes
-        .iter()
-        .map(|n| match &n.state {
-            crate::methods::NodeState::Tsue(ts) => ts.memory_bytes(),
-            _ => 0,
-        })
-        .sum()
+    cl.nodes.iter().map(|n| n.state.memory_bytes()).sum()
 }
-

@@ -1,0 +1,155 @@
+//! Builder-validation integration tests: every config builder rejects
+//! nonsense with a useful error and accepts the paper's shapes.
+
+use ecfs::prelude::*;
+use tsue::engine::EngineConfig;
+
+fn code64() -> CodeParams {
+    CodeParams::new(6, 4).unwrap()
+}
+
+#[test]
+fn cluster_builder_accepts_paper_shapes() {
+    for (k, m) in [(6, 2), (12, 2), (6, 3), (12, 3), (6, 4), (12, 4)] {
+        for kind in MethodKind::ALL {
+            let cfg = ClusterConfig::builder()
+                .code(CodeParams::new(k, m).unwrap())
+                .method(kind)
+                .build()
+                .unwrap_or_else(|e| panic!("RS({k},{m}) x {}: {e}", kind.name()));
+            assert_eq!(cfg.method.name(), kind.name());
+            assert_eq!(cfg.nodes, 16);
+        }
+    }
+}
+
+#[test]
+fn cluster_builder_rejects_with_reasons() {
+    // Too few nodes for the stripe width.
+    let err = ClusterConfig::builder()
+        .code(code64())
+        .method(MethodKind::Fo)
+        .nodes(6)
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("cannot hold"), "{err}");
+
+    // Zero clients.
+    let err = ClusterConfig::builder()
+        .code(code64())
+        .method(MethodKind::Fo)
+        .clients(0)
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("client"), "{err}");
+
+    // Unaligned block size.
+    let err = ClusterConfig::builder()
+        .code(code64())
+        .method(MethodKind::Fo)
+        .block_bytes(6000)
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("4 KiB"), "{err}");
+
+    // TSUE log unit below the slice granularity.
+    let err = ClusterConfig::builder()
+        .code(code64())
+        .method(MethodKind::Tsue)
+        .tsue_unit_bytes(100)
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("slice"), "{err}");
+
+    // Dead network.
+    let err = ClusterConfig::builder()
+        .code(code64())
+        .method(MethodKind::Tsue)
+        .net_bandwidth(0)
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("bandwidth"), "{err}");
+}
+
+#[test]
+fn cluster_builder_overrides_apply() {
+    let cfg = ClusterConfig::builder()
+        .code(code64())
+        .method(MethodKind::Tsue)
+        .nodes(24)
+        .clients(48)
+        .tsue(TsueFeatures::baseline())
+        .tsue_max_units(8)
+        .build()
+        .unwrap();
+    assert_eq!(cfg.nodes, 24);
+    assert_eq!(cfg.clients, 48);
+    assert_eq!(cfg.tsue, TsueFeatures::baseline());
+    assert_eq!(cfg.tsue_max_units, 8);
+    // A built cluster actually constructs.
+    let cl = Cluster::new(cfg);
+    assert_eq!(cl.nodes.len(), 24);
+}
+
+#[test]
+fn replay_builder_validates_ops_and_volume() {
+    let cluster = || ClusterConfig::ssd_testbed(code64(), MethodKind::Tsue);
+
+    let err = ReplayConfig::builder(cluster(), TraceFamily::AliCloud)
+        .ops_per_client(0)
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("ops_per_client"), "{err}");
+
+    let err = ReplayConfig::builder(cluster(), TraceFamily::AliCloud)
+        .volume_bytes(1024)
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("volume_bytes"), "{err}");
+
+    // An invalid embedded cluster is caught too.
+    let mut bad = cluster();
+    bad.clients = 0;
+    assert!(ReplayConfig::builder(bad, TraceFamily::AliCloud)
+        .build()
+        .is_err());
+
+    let ok = ReplayConfig::builder(cluster(), TraceFamily::TenCloud)
+        .ops_per_client(100)
+        .volume_bytes(16 << 20)
+        .seed(42)
+        .build()
+        .unwrap();
+    assert_eq!(ok.ops_per_client, 100);
+    assert_eq!(ok.seed, 42);
+}
+
+#[test]
+fn engine_builder_validates_pipeline_shape() {
+    let code = CodeParams::new(4, 2).unwrap();
+
+    let err = EngineConfig::builder(code).recycler_threads(0).build();
+    assert!(err.unwrap_err().to_string().contains("recycler_threads"));
+
+    let err = EngineConfig::builder(code).unit_bytes(16).build();
+    assert!(err.unwrap_err().to_string().contains("unit_bytes"));
+
+    let err = EngineConfig::builder(code).max_units(1).build();
+    assert!(err.unwrap_err().to_string().contains("max_units"));
+
+    let err = EngineConfig::builder(code).pools_per_layer(0).build();
+    assert!(err.unwrap_err().to_string().contains("pools_per_layer"));
+
+    let cfg = EngineConfig::builder(code)
+        .block_len(16 << 10)
+        .stripes(2)
+        .unit_bytes(8 << 10)
+        .recycler_threads(2)
+        .build()
+        .unwrap();
+    // The built config drives a working engine.
+    let engine = tsue::engine::TsueEngine::new(cfg);
+    engine.update(0, 0, 0, &[7; 64]);
+    engine.flush();
+    assert!(engine.verify_parity());
+}

@@ -35,8 +35,7 @@ fn every_method_completes_and_is_consistent() {
         );
         assert!(res.update_iops > 0.0, "{}: zero iops", method.name());
         assert!(
-            res.completed_updates + res.completed_reads + res.completed_writes
-                == 8 * 400,
+            res.completed_updates + res.completed_reads + res.completed_writes == 8 * 400,
             "{}: op count mismatch: {} + {} + {}",
             method.name(),
             res.completed_updates,

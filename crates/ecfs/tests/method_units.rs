@@ -24,9 +24,15 @@ fn fo_touches_every_parity_in_place() {
     let r2 = run(MethodKind::Fo, 2);
     let r4 = run(MethodKind::Fo, 4);
     assert_eq!(r2.drain_s, 0.0);
-    assert!(r4.disk.rw_ops() > r2.disk.rw_ops() * 4 / 3, "m scaling missing");
+    assert!(
+        r4.disk.rw_ops() > r2.disk.rw_ops() * 4 / 3,
+        "m scaling missing"
+    );
     // Every write is an in-place overwrite after the first touch.
-    assert!(r2.disk.overwrites.ops * 3 > r2.disk.writes_total(), "FO must overwrite heavily");
+    assert!(
+        r2.disk.overwrites.ops * 3 > r2.disk.writes_total(),
+        "FO must overwrite heavily"
+    );
 }
 
 #[test]
@@ -62,7 +68,12 @@ fn parix_ships_more_bytes_than_pl() {
 #[test]
 fn cord_has_lowest_network_traffic() {
     let cord = run(MethodKind::Cord, 3);
-    for other in [MethodKind::Fo, MethodKind::Pl, MethodKind::Parix, MethodKind::Tsue] {
+    for other in [
+        MethodKind::Fo,
+        MethodKind::Pl,
+        MethodKind::Parix,
+        MethodKind::Tsue,
+    ] {
         let r = run(other, 3);
         assert!(
             cord.net_gib <= r.net_gib * 1.05,
@@ -95,8 +106,7 @@ fn tsue_read_cache_serves_hot_reads() {
 
 #[test]
 fn fl_completes_and_stays_consistent() {
-    let mut cluster =
-        ClusterConfig::ssd_testbed(CodeParams::new(4, 2).unwrap(), MethodKind::Fl);
+    let mut cluster = ClusterConfig::ssd_testbed(CodeParams::new(4, 2).unwrap(), MethodKind::Fl);
     cluster.nodes = 8;
     cluster.clients = 4;
     // Low threshold so the foreground recycle path actually triggers.

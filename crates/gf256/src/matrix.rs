@@ -208,11 +208,7 @@ impl Matrix {
     pub fn mul_vec(&self, v: &[Gf]) -> Vec<Gf> {
         assert_eq!(v.len(), self.cols, "vector length mismatch in mul_vec");
         (0..self.rows)
-            .map(|i| {
-                (0..self.cols)
-                    .map(|j| self.get(i, j) * v[j])
-                    .sum::<Gf>()
-            })
+            .map(|i| (0..self.cols).map(|j| self.get(i, j) * v[j]).sum::<Gf>())
             .collect()
     }
 
@@ -430,8 +426,8 @@ mod tests {
         let as_col = Matrix::from_rows(4, 1, &[9, 200, 3, 77]);
         let prod = m.mul(&as_col);
         let prod_vec = m.mul_vec(&v);
-        for i in 0..3 {
-            assert_eq!(prod.get(i, 0), prod_vec[i]);
+        for (i, &got) in prod_vec.iter().enumerate() {
+            assert_eq!(prod.get(i, 0), got);
         }
     }
 

@@ -89,8 +89,8 @@ mod tests {
     fn generator_has_full_order() {
         // Powers of the generator must visit every non-zero element once.
         let mut seen = [false; 256];
-        for i in 0..255 {
-            let v = EXP[i] as usize;
+        for (i, &e) in EXP.iter().enumerate().take(255) {
+            let v = e as usize;
             assert_ne!(v, 0, "generator power hit zero at exponent {i}");
             assert!(!seen[v], "generator power repeated at exponent {i}");
             seen[v] = true;
@@ -124,8 +124,8 @@ mod tests {
 
     #[test]
     fn mul_by_zero_is_zero() {
-        for a in 0..=255usize {
-            assert_eq!(MUL[a][0], 0);
+        for (a, row) in MUL.iter().enumerate() {
+            assert_eq!(row[0], 0);
             assert_eq!(MUL[0][a], 0);
         }
     }

@@ -49,17 +49,13 @@ impl fmt::Display for RsError {
                 index,
                 got,
                 expected,
-            } => write!(
-                f,
-                "shard {index} has length {got}, expected {expected}"
-            ),
+            } => write!(f, "shard {index} has length {got}, expected {expected}"),
             RsError::WrongShardCount { got, expected } => {
                 write!(f, "got {got} shards, expected {expected}")
             }
-            RsError::TooManyErasures { present, needed } => write!(
-                f,
-                "only {present} shards survive but {needed} are needed"
-            ),
+            RsError::TooManyErasures { present, needed } => {
+                write!(f, "only {present} shards survive but {needed} are needed")
+            }
         }
     }
 }
@@ -244,8 +240,7 @@ impl ReedSolomon {
         self.check_shard_lengths(shards)?;
         let (data, parity) = shards.split_at_mut(self.params.k);
         let data_refs: Vec<&[u8]> = data.iter().map(|v| v.as_slice()).collect();
-        let mut parity_refs: Vec<&mut [u8]> =
-            parity.iter_mut().map(|v| v.as_mut_slice()).collect();
+        let mut parity_refs: Vec<&mut [u8]> = parity.iter_mut().map(|v| v.as_mut_slice()).collect();
         self.encode(&data_refs, &mut parity_refs)
     }
 
@@ -412,11 +407,14 @@ mod tests {
         let mut shards = make_shards(6, 4, 128);
         rs.encode_shards(&mut shards).unwrap();
         for lost in 0..10 {
-            let mut holes: Vec<Option<Vec<u8>>> =
-                shards.iter().cloned().map(Some).collect();
+            let mut holes: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
             holes[lost] = None;
             rs.reconstruct(&mut holes).unwrap();
-            assert_eq!(holes[lost].as_deref(), Some(&shards[lost][..]), "lost {lost}");
+            assert_eq!(
+                holes[lost].as_deref(),
+                Some(&shards[lost][..]),
+                "lost {lost}"
+            );
         }
     }
 
@@ -510,8 +508,7 @@ mod tests {
             let mut shards = make_shards(k, m, 256);
             rs.encode_shards(&mut shards).unwrap();
             assert!(rs.verify(&shards).unwrap());
-            let mut holes: Vec<Option<Vec<u8>>> =
-                shards.iter().cloned().map(Some).collect();
+            let mut holes: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
             for i in 0..m {
                 holes[i * 2] = None; // spread erasures over data and parity
             }

@@ -141,7 +141,11 @@ mod tests {
     fn setup(k: usize, m: usize, len: usize) -> (ReedSolomon, Vec<Vec<u8>>) {
         let rs = ReedSolomon::new(CodeParams::new(k, m).unwrap());
         let mut shards: Vec<Vec<u8>> = (0..k + m)
-            .map(|i| (0..len).map(|b| ((i * 37 + b * 11 + 3) % 256) as u8).collect())
+            .map(|i| {
+                (0..len)
+                    .map(|b| ((i * 37 + b * 11 + 3) % 256) as u8)
+                    .collect()
+            })
             .collect();
         rs.encode_shards(&mut shards).unwrap();
         (rs, shards)
@@ -239,8 +243,8 @@ mod tests {
     #[test]
     fn parity_deltas_commute() {
         let (rs, shards) = setup(4, 2, 32);
-        let d1 = data_delta(&shards[0], &vec![0xaa; 32]);
-        let d2 = data_delta(&shards[3], &vec![0x55; 32]);
+        let d1 = data_delta(&shards[0], &[0xaa; 32]);
+        let d2 = data_delta(&shards[3], &[0x55; 32]);
 
         let mut order_a = shards[4].clone();
         parity_delta(&rs, 0, 0, &d1, &mut order_a);

@@ -123,8 +123,7 @@ impl Stripe {
     /// error if reconstruction is impossible, otherwise verifies the rebuilt
     /// stripe matches the original bytes.
     pub fn drill_recovery(&self, lost: &[usize]) -> Result<bool, RsError> {
-        let mut holes: Vec<Option<Vec<u8>>> =
-            self.blocks.iter().cloned().map(Some).collect();
+        let mut holes: Vec<Option<Vec<u8>>> = self.blocks.iter().cloned().map(Some).collect();
         for &l in lost {
             holes[l] = None;
         }
@@ -158,7 +157,7 @@ mod tests {
     fn incremental_update_keeps_parity_consistent() {
         let mut s = stripe(6, 3, 256);
         s.update(0, 0, &[0xde, 0xad, 0xbe, 0xef]);
-        s.update(3, 100, &vec![0x42; 50]);
+        s.update(3, 100, &[0x42; 50]);
         s.update(5, 252, &[1, 2, 3, 4]);
         assert!(s.verify().unwrap());
     }
@@ -167,8 +166,8 @@ mod tests {
     fn incremental_matches_reencode() {
         let mut a = stripe(4, 2, 128);
         let mut b = a.clone();
-        a.update(2, 17, &vec![0x99; 31]);
-        b.blocks[2][17..48].copy_from_slice(&vec![0x99; 31]);
+        a.update(2, 17, &[0x99; 31]);
+        b.blocks[2][17..48].copy_from_slice(&[0x99; 31]);
         b.reencode().unwrap();
         assert_eq!(a.blocks, b.blocks);
     }
@@ -184,7 +183,7 @@ mod tests {
     fn recovery_drill_after_updates() {
         let mut s = stripe(6, 4, 128);
         for i in 0..6 {
-            s.update(i, i * 13, &vec![(0xa0 + i) as u8; 20]);
+            s.update(i, i * 13, &[(0xa0 + i) as u8; 20]);
         }
         // Lose a mix of data and parity up to m blocks.
         assert!(s.drill_recovery(&[0]).unwrap());

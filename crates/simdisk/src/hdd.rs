@@ -117,9 +117,7 @@ impl Hdd {
         let positioning = match op.pattern {
             Pattern::Sequential if op.offset == head || op.offset == seq_end => 0,
             Pattern::Sequential => self.cfg.min_seek,
-            Pattern::Random => {
-                self.seek_time(op.offset.abs_diff(head)) + self.cfg.rotational_delay
-            }
+            Pattern::Random => self.seek_time(op.offset.abs_diff(head)) + self.cfg.rotational_delay,
         };
         self.cfg.command_overhead + positioning + transfer
     }
@@ -235,11 +233,17 @@ mod tests {
         let before = hdd.busy_time();
         hdd.submit(0, IoOp::write(1 << 30, 4096, Pattern::Sequential));
         let cost = hdd.busy_time() - before;
-        assert!(cost >= hdd.config().min_seek, "jump must pay a seek: {cost}");
+        assert!(
+            cost >= hdd.config().min_seek,
+            "jump must pay a seek: {cost}"
+        );
         // ...while a random op at a far offset pays seek + rotation.
         let before = hdd.busy_time();
         hdd.submit(0, IoOp::write(4 << 30, 4096, Pattern::Random));
         let cost_rand = hdd.busy_time() - before;
-        assert!(cost_rand > 4 * MILLIS, "random op must seek+rotate: {cost_rand}");
+        assert!(
+            cost_rand > 4 * MILLIS,
+            "random op must seek+rotate: {cost_rand}"
+        );
     }
 }

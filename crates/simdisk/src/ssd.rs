@@ -108,8 +108,7 @@ pub struct FlashCost {
 impl Ftl {
     fn new(cfg: &SsdConfig) -> Ftl {
         let logical_pages = cfg.capacity.div_ceil(cfg.page_size);
-        let physical_pages =
-            ((logical_pages as f64) * (1.0 + cfg.over_provision)).ceil() as u64;
+        let physical_pages = ((logical_pages as f64) * (1.0 + cfg.over_provision)).ceil() as u64;
         let total_blocks = physical_pages.div_ceil(cfg.pages_per_block as u64) as usize;
         assert!(
             total_blocks >= 4,
@@ -274,10 +273,18 @@ impl Ssd {
     /// command overhead by pattern plus transfer at media bandwidth.
     pub fn service_time(&self, op: &IoOp) -> SimTime {
         let (overhead, bw) = match (op.kind, op.pattern) {
-            (IoKind::Read, Pattern::Random) => (self.cfg.rand_read_overhead, self.cfg.read_bandwidth),
-            (IoKind::Read, Pattern::Sequential) => (self.cfg.seq_read_overhead, self.cfg.read_bandwidth),
-            (IoKind::Write, Pattern::Random) => (self.cfg.rand_write_overhead, self.cfg.write_bandwidth),
-            (IoKind::Write, Pattern::Sequential) => (self.cfg.seq_write_overhead, self.cfg.write_bandwidth),
+            (IoKind::Read, Pattern::Random) => {
+                (self.cfg.rand_read_overhead, self.cfg.read_bandwidth)
+            }
+            (IoKind::Read, Pattern::Sequential) => {
+                (self.cfg.seq_read_overhead, self.cfg.read_bandwidth)
+            }
+            (IoKind::Write, Pattern::Random) => {
+                (self.cfg.rand_write_overhead, self.cfg.write_bandwidth)
+            }
+            (IoKind::Write, Pattern::Sequential) => {
+                (self.cfg.seq_write_overhead, self.cfg.write_bandwidth)
+            }
         };
         overhead + op.len * simdes::units::SECS / bw
     }
@@ -508,6 +515,9 @@ mod tests {
         let ssd = small_ssd();
         let small = ssd.service_time(&IoOp::write(0, 4096, Pattern::Sequential));
         let big = ssd.service_time(&IoOp::write(0, 1 << 20, Pattern::Sequential));
-        assert!(big > small + 800 * MICROS, "1 MiB at ~1.1 GB/s takes ~950 us");
+        assert!(
+            big > small + 800 * MICROS,
+            "1 MiB at ~1.1 GB/s takes ~950 us"
+        );
     }
 }

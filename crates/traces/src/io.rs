@@ -59,7 +59,14 @@ fn parse_kind(s: &str) -> Option<OpKind> {
 pub fn write_csv<W: Write>(mut w: W, ops: &[TraceOp]) -> Result<(), TraceIoError> {
     writeln!(w, "at_ns,offset,len,kind")?;
     for op in ops {
-        writeln!(w, "{},{},{},{}", op.at_ns, op.offset, op.len, kind_str(op.kind))?;
+        writeln!(
+            w,
+            "{},{},{},{}",
+            op.at_ns,
+            op.offset,
+            op.len,
+            kind_str(op.kind)
+        )?;
     }
     Ok(())
 }

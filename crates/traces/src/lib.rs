@@ -31,10 +31,8 @@ pub mod zipf;
 pub use workload::{ArrivalModel, TraceFamily, WorkloadGen, WorkloadParams};
 pub use zipf::Zipf;
 
-use serde::{Deserialize, Serialize};
-
 /// Request type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// First write to an address range (goes through the encode path).
     Write,
@@ -45,7 +43,7 @@ pub enum OpKind {
 }
 
 /// One trace record.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceOp {
     /// Arrival time offset in nanoseconds (0 for closed-loop replay).
     pub at_ns: u64,

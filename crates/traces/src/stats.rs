@@ -105,8 +105,7 @@ impl TraceStats {
     /// volume the update stream actually touches (Ten-Cloud: <5 % for most
     /// datasets).
     pub fn update_footprint_fraction(&self, volume_bytes: u64) -> f64 {
-        (self.update_footprint_slots as u64 * crate::workload::SLOT) as f64
-            / volume_bytes as f64
+        (self.update_footprint_slots as u64 * crate::workload::SLOT) as f64 / volume_bytes as f64
     }
 }
 
@@ -124,7 +123,11 @@ mod tests {
         let ops = g.take_ops(N);
         let s = TraceStats::from_ops(&ops);
         // Paper §2.1: 75% updates; of updates 46% = 4 KiB, 60% ≤ 16 KiB.
-        assert!((s.update_ratio() - 0.75).abs() < 0.03, "{}", s.update_ratio());
+        assert!(
+            (s.update_ratio() - 0.75).abs() < 0.03,
+            "{}",
+            s.update_ratio()
+        );
         assert!(
             (s.update_size_eq(&ops, 4 << 10) - 0.46).abs() < 0.04,
             "{}",
@@ -143,7 +146,11 @@ mod tests {
         let ops = g.take_ops(N);
         let s = TraceStats::from_ops(&ops);
         // Paper §2.1: 69% updates; of updates 69% = 4 KiB, 88% ≤ 16 KiB.
-        assert!((s.update_ratio() - 0.69).abs() < 0.03, "{}", s.update_ratio());
+        assert!(
+            (s.update_ratio() - 0.69).abs() < 0.03,
+            "{}",
+            s.update_ratio()
+        );
         assert!(
             (s.update_size_eq(&ops, 4 << 10) - 0.69).abs() < 0.04,
             "{}",

@@ -109,7 +109,7 @@ impl WorkloadParams {
             return Err(format!("size distribution sums to {sum}, not 1"));
         }
         for &(s, _) in &self.size_dist {
-            if s == 0 || s as u64 % SLOT != 0 {
+            if s == 0 || !(s as u64).is_multiple_of(SLOT) {
                 return Err(format!("size {s} not a positive multiple of {SLOT}"));
             }
         }

@@ -47,8 +47,7 @@ impl Zipf {
             (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
         } else {
             let head: f64 = (1..=10_000u64).map(|i| 1.0 / (i as f64).powf(theta)).sum();
-            let tail = ((n as f64).powf(1.0 - theta) - 10_000f64.powf(1.0 - theta))
-                / (1.0 - theta);
+            let tail = ((n as f64).powf(1.0 - theta) - 10_000f64.powf(1.0 - theta)) / (1.0 - theta);
             head + tail
         }
     }

@@ -7,37 +7,35 @@ use traces::{ArrivalModel, OpKind, WorkloadGen, WorkloadParams};
 
 fn arb_params() -> impl Strategy<Value = WorkloadParams> {
     (
-        1u64..64,          // volume MiB
-        0.1f64..0.9,       // prefilled fraction
-        0.0f64..0.9,       // update fraction
-        0.0f64..0.5,       // hot fraction (floor applied below)
-        0.0f64..1.0,       // hot access fraction
-        0.0f64..0.5,       // seq run probability
-        0.0f64..0.95,      // zipf theta
-        0u8..3,            // size mixture selector
+        1u64..64,     // volume MiB
+        0.1f64..0.9,  // prefilled fraction
+        0.0f64..0.9,  // update fraction
+        0.0f64..0.5,  // hot fraction (floor applied below)
+        0.0f64..1.0,  // hot access fraction
+        0.0f64..0.5,  // seq run probability
+        0.0f64..0.95, // zipf theta
+        0u8..3,       // size mixture selector
     )
-        .prop_map(
-            |(vol_mib, prefill, upd, hot, hot_acc, seq, theta, sizes)| {
-                let size_dist = match sizes {
-                    0 => vec![(4096u32, 1.0f64)],
-                    1 => vec![(4096, 0.5), (16 << 10, 0.5)],
-                    _ => vec![(4096, 0.3), (8 << 10, 0.3), (64 << 10, 0.4)],
-                };
-                WorkloadParams {
-                    name: "prop".into(),
-                    volume_bytes: vol_mib << 20,
-                    prefilled_fraction: prefill,
-                    update_fraction: upd.min(0.9),
-                    read_fraction: (1.0 - upd.min(0.9)).min(0.1),
-                    size_dist,
-                    zipf_theta: theta,
-                    hot_fraction: hot.max(0.01),
-                    hot_access_fraction: hot_acc,
-                    seq_run_prob: seq,
-                    arrival: ArrivalModel::ClosedLoop,
-                }
-            },
-        )
+        .prop_map(|(vol_mib, prefill, upd, hot, hot_acc, seq, theta, sizes)| {
+            let size_dist = match sizes {
+                0 => vec![(4096u32, 1.0f64)],
+                1 => vec![(4096, 0.5), (16 << 10, 0.5)],
+                _ => vec![(4096, 0.3), (8 << 10, 0.3), (64 << 10, 0.4)],
+            };
+            WorkloadParams {
+                name: "prop".into(),
+                volume_bytes: vol_mib << 20,
+                prefilled_fraction: prefill,
+                update_fraction: upd.min(0.9),
+                read_fraction: (1.0 - upd.min(0.9)).min(0.1),
+                size_dist,
+                zipf_theta: theta,
+                hot_fraction: hot.max(0.01),
+                hot_access_fraction: hot_acc,
+                seq_run_prob: seq,
+                arrival: ArrivalModel::ClosedLoop,
+            }
+        })
 }
 
 proptest! {

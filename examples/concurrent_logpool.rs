@@ -35,7 +35,9 @@ fn main() {
             std::thread::spawn(move || {
                 let mut x = 0x9e3779b97f4a7c15u64 ^ w as u64;
                 for i in 0..ops {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(w as u64 + 1);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(w as u64 + 1);
                     let stripe = (x >> 7) % 8;
                     // Each writer owns one block index: no write-write races
                     // on identical ranges (TSUE orders per block).
@@ -61,9 +63,15 @@ fn main() {
     );
 
     engine.flush();
-    println!("back end : pipeline drained in {:.2?} total", start.elapsed());
+    println!(
+        "back end : pipeline drained in {:.2?} total",
+        start.elapsed()
+    );
 
-    assert!(engine.verify_parity(), "parity mismatch after concurrent churn");
+    assert!(
+        engine.verify_parity(),
+        "parity mismatch after concurrent churn"
+    );
     println!(
         "verified : all 8 stripes' parity == fresh re-encode ({} ranges applied)",
         engine.applied_ranges()

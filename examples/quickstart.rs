@@ -23,7 +23,10 @@ fn main() {
     engine.update(0, 1, 100, b"hello TSUE");
     engine.update(0, 1, 100, b"HELLO");
     engine.update(2, 3, 0, &[0xab; 4096]);
-    println!("acked {} updates through the data log", engine.acked_updates());
+    println!(
+        "acked {} updates through the data log",
+        engine.acked_updates()
+    );
 
     // 3. Read-your-writes through the log read-cache, before any recycle.
     let read = engine.read(0, 1, 100, 10);
@@ -39,8 +42,7 @@ fn main() {
     // 5. Erasure drill: drop two blocks of stripe 0 and reconstruct them
     //    with the codec.
     let rs = ReedSolomon::new(code);
-    let mut shards: Vec<Option<Vec<u8>>> =
-        (0..6).map(|i| Some(engine.raw_block(0, i))).collect();
+    let mut shards: Vec<Option<Vec<u8>>> = (0..6).map(|i| Some(engine.raw_block(0, i))).collect();
     let ground_truth = shards.clone();
     shards[1] = None; // the data block we updated
     shards[4] = None; // one parity block

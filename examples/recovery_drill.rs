@@ -6,11 +6,7 @@
 //! cargo run --release -p tsue-examples --example recovery_drill
 //! ```
 
-use ecfs::recovery::recover_node;
-use ecfs::replay::run_update_phase;
-use ecfs::{ClusterConfig, MethodKind, ReplayConfig};
-use rscode::CodeParams;
-use traces::TraceFamily;
+use ecfs::prelude::*;
 
 fn main() {
     let code = CodeParams::new(6, 4).unwrap();
@@ -30,7 +26,10 @@ fn main() {
         cluster.clients = 8;
         // Small units keep TSUE's real-time recycling active in a short run.
         cluster.tsue_unit_bytes = 1 << 20;
-        let mut rcfg = ReplayConfig::new(cluster, TraceFamily::Msr(traces::workload::MsrVolume::Src10));
+        let mut rcfg = ReplayConfig::new(
+            cluster,
+            TraceFamily::Msr(traces::workload::MsrVolume::Src10),
+        );
         rcfg.ops_per_client = 300;
         rcfg.volume_bytes = 96 << 20;
 

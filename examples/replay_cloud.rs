@@ -5,9 +5,7 @@
 //! cargo run --release -p tsue-examples --example replay_cloud [k] [m]
 //! ```
 
-use ecfs::{run_trace, ClusterConfig, MethodKind, ReplayConfig};
-use rscode::CodeParams;
-use traces::TraceFamily;
+use ecfs::prelude::*;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -54,6 +52,10 @@ fn main() {
     }
     println!("\nTSUE speedup:");
     for (method, iops) in rows {
-        println!("  {:>5}x vs {}", format!("{:.2}", tsue_iops / iops), method.name());
+        println!(
+            "  {:>5}x vs {}",
+            format!("{:.2}", tsue_iops / iops),
+            method.name()
+        );
     }
 }

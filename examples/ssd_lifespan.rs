@@ -6,10 +6,7 @@
 //! cargo run --release -p tsue-examples --example ssd_lifespan
 //! ```
 
-use ecfs::{run_trace, ClusterConfig, DiskKind, MethodKind, ReplayConfig};
-use rscode::CodeParams;
-use simdisk::SsdConfig;
-use traces::TraceFamily;
+use ecfs::prelude::*;
 
 fn main() {
     let code = CodeParams::new(6, 4).unwrap();

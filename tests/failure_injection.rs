@@ -1,11 +1,8 @@
 //! Failure-injection tests: erasures at every pipeline stage, replica-log
 //! loss, double faults, and quota starvation.
 
-use ecfs::replay::{run_trace, run_update_phase};
-use ecfs::recovery::recover_node;
-use ecfs::{ClusterConfig, MethodKind, ReplayConfig};
-use rscode::{CodeParams, ReedSolomon, RsError};
-use traces::TraceFamily;
+use ecfs::prelude::*;
+use rscode::{ReedSolomon, RsError};
 use tsue::engine::{EngineConfig, TsueEngine};
 
 #[test]
@@ -118,7 +115,7 @@ fn oracle_catches_injected_loss() {
         index: 1,
     };
     cl.oracle_ack(addr, 0, 4096); // acked...
-    // ...but never applied anywhere.
+                                  // ...but never applied anywhere.
     let violations = cl.oracle.violations(&cl.layout);
     assert!(
         violations.len() >= 2,

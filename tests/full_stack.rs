@@ -1,12 +1,9 @@
 //! Cross-crate integration tests: trace generation → cluster replay →
 //! consistency oracle → recovery, plus engine/codec cross-checks.
 
-use ecfs::recovery::recover_node;
-use ecfs::replay::{run_trace, run_update_phase};
-use ecfs::{ClusterConfig, MethodKind, ReplayConfig};
-use rscode::{CodeParams, ReedSolomon, Stripe};
+use ecfs::prelude::*;
+use rscode::{ReedSolomon, Stripe};
 use traces::workload::MsrVolume;
-use traces::TraceFamily;
 use tsue::engine::{EngineConfig, TsueEngine};
 
 fn replay(method: MethodKind, family: TraceFamily, clients: usize) -> ReplayConfig {
@@ -158,17 +155,17 @@ fn fig7_ladder_is_monotonic_enough() {
         prev = res.update_iops;
         last = last.max(res.update_iops);
     }
-    assert!(o3_gain > 1.2, "log pool (O3) must be a clear jump: {o3_gain:.2}x");
+    assert!(
+        o3_gain > 1.2,
+        "log pool (O3) must be a clear jump: {o3_gain:.2}x"
+    );
     assert!(last > 0.0);
 }
 
 #[test]
 fn trace_csv_roundtrips_through_replay_pipeline() {
     // Generated traces survive CSV export/import unchanged.
-    let mut gen = traces::WorkloadGen::new(
-        traces::WorkloadParams::ten_cloud(32 << 20),
-        7,
-    );
+    let mut gen = traces::WorkloadGen::new(traces::WorkloadParams::ten_cloud(32 << 20), 7);
     let ops = gen.take_ops(500);
     let mut buf = Vec::new();
     traces::io::write_csv(&mut buf, &ops).unwrap();
