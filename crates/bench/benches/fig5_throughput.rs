@@ -5,9 +5,8 @@
 //! advantage grows with M (≈1.5× FO at M=2 → ≈2.9× at M=4), it is larger on
 //! Ten-Cloud than Ali-Cloud, and throughput scales with client count.
 
-use ecfs::run_trace;
 use traces::TraceFamily;
-use tsue_bench::{fig5_codes, kfmt, print_table, ssd_replay, FIG5_METHODS};
+use tsue_bench::{fig5_codes, kfmt, print_table, run_grid, ssd_replay, FIG5_METHODS};
 
 fn main() {
     let clients = if tsue_bench::full_scale() {
@@ -23,14 +22,23 @@ fn main() {
                 TraceFamily::TenCloud => "Ten-Cloud",
                 _ => unreachable!(),
             };
+            // One subplot's method x clients grid replays in parallel.
+            let grid: Vec<_> = FIG5_METHODS
+                .iter()
+                .flat_map(|&method| clients.iter().map(move |&c| (method, c)))
+                .collect();
+            let configs: Vec<_> = grid
+                .iter()
+                .map(|&(method, c)| ssd_replay(k, m, method, family, c))
+                .collect();
+            let results = run_grid(&configs);
+
             let mut rows = Vec::new();
             let mut tsue_by_clients: Vec<f64> = Vec::new();
             let mut fo_by_clients: Vec<f64> = Vec::new();
-            for method in FIG5_METHODS {
+            for (chunk, method) in results.chunks(clients.len()).zip(FIG5_METHODS) {
                 let mut row = vec![method.name().to_string()];
-                for &c in &clients {
-                    let rcfg = ssd_replay(k, m, method, family, c);
-                    let res = run_trace(&rcfg);
+                for res in chunk {
                     assert_eq!(
                         res.oracle_violations,
                         0,

@@ -8,26 +8,33 @@
 //! than PARIX/CoRD because of its replicated logs. SSDs under TSUE endure
 //! 2.5×–13× longer (erase ratio).
 
-use ecfs::{run_trace, DiskKind, MethodKind};
+use ecfs::{DiskKind, MethodKind};
 use simdisk::SsdConfig;
 use traces::TraceFamily;
-use tsue_bench::{print_table, ssd_replay};
+use tsue_bench::{print_table, run_grid, ssd_replay};
 
 fn main() {
+    let configs: Vec<_> = tsue_bench::FIG5_METHODS
+        .iter()
+        .map(|&method| {
+            let mut rcfg = ssd_replay(6, 4, method, TraceFamily::TenCloud, 16);
+            // Shrink the devices so the FTL actually cycles: wear becomes
+            // visible in one run (the paper replays far longer traces on
+            // real 400 GB drives).
+            rcfg.cluster.disk = DiskKind::Ssd(SsdConfig {
+                capacity: 768 << 20,
+                ..SsdConfig::default()
+            });
+            rcfg.volume_bytes = 96 << 20;
+            rcfg.ops_per_client = tsue_bench::ops_per_client() * 2;
+            rcfg
+        })
+        .collect();
+    let results = run_grid(&configs);
+
     let mut rows = Vec::new();
     let mut erases: Vec<(MethodKind, u64)> = Vec::new();
-    for method in tsue_bench::FIG5_METHODS {
-        let mut rcfg = ssd_replay(6, 4, method, TraceFamily::TenCloud, 16);
-        // Shrink the devices so the FTL actually cycles: wear becomes
-        // visible in one run (the paper replays far longer traces on real
-        // 400 GB drives).
-        rcfg.cluster.disk = DiskKind::Ssd(SsdConfig {
-            capacity: 768 << 20,
-            ..SsdConfig::default()
-        });
-        rcfg.volume_bytes = 96 << 20;
-        rcfg.ops_per_client = tsue_bench::ops_per_client() * 2;
-        let res = run_trace(&rcfg);
+    for (method, res) in tsue_bench::FIG5_METHODS.iter().copied().zip(&results) {
         assert_eq!(res.oracle_violations, 0);
         rows.push(vec![
             method.name().to_string(),

@@ -18,13 +18,66 @@ pub fn full_scale() -> bool {
         .unwrap_or(false)
 }
 
+/// Whether the CI smoke scale was requested (`TSUE_BENCH_SMOKE=1`): bench
+/// targets shrink their grids to finish in seconds while still exercising
+/// every code path.
+pub fn smoke() -> bool {
+    std::env::var("TSUE_BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
 /// Operations per client for the current scale.
 pub fn ops_per_client() -> usize {
-    if full_scale() {
+    if smoke() {
+        100
+    } else if full_scale() {
         2_000
     } else {
         500
     }
+}
+
+/// Runs a grid of independent replays in parallel across OS threads and
+/// returns the results in input order.
+///
+/// Each `Sim`/`Cluster` pair is self-contained and every replay is
+/// deterministic, so fanning the grid out across
+/// `std::thread::available_parallelism()` workers changes wall-clock time
+/// only — the `RunResult`s are identical to a serial loop.
+pub fn run_grid(configs: &[ReplayConfig]) -> Vec<RunResult> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    if configs.is_empty() {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(configs.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunResult>>> = configs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(rcfg) = configs.get(i) else {
+                    break;
+                };
+                let result = run_trace(rcfg);
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("worker completed every claimed slot")
+        })
+        .collect()
 }
 
 /// The six methods of Fig. 5, in the paper's order.
@@ -170,5 +223,29 @@ mod tests {
     fn kfmt_formats() {
         assert_eq!(kfmt(950.0), "950");
         assert_eq!(kfmt(25_400.0), "25.4k");
+    }
+
+    #[test]
+    fn run_grid_matches_serial_replay() {
+        // Parallel fan-out must be a pure wall-clock optimisation: results
+        // arrive in input order and match a serial run field for field.
+        let mut configs = Vec::new();
+        for method in [MethodKind::Fo, MethodKind::Pl, MethodKind::Tsue] {
+            let mut r = ssd_replay(4, 2, method, TraceFamily::AliCloud, 3);
+            r.ops_per_client = 120;
+            r.volume_bytes = 32 << 20;
+            configs.push(r);
+        }
+        let parallel = run_grid(&configs);
+        assert_eq!(parallel.len(), configs.len());
+        for (rcfg, p) in configs.iter().zip(&parallel) {
+            let s = run_trace(rcfg);
+            assert_eq!(p.method, s.method);
+            assert_eq!(p.completed_updates, s.completed_updates);
+            assert_eq!(p.net_msgs, s.net_msgs);
+            assert_eq!(p.disk.rw_ops(), s.disk.rw_ops());
+            assert!((p.update_iops - s.update_iops).abs() < 1e-9);
+            assert!((p.net_gib - s.net_gib).abs() < 1e-12);
+        }
     }
 }

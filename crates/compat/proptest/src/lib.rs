@@ -1,10 +1,13 @@
 //! Offline stand-in for `proptest`: a random-input property runner covering
 //! the macro/strategy subset this workspace uses.
 //!
-//! Differences from upstream: **no shrinking** (failures report the raw
-//! generated case via the panic message), no persistence, and a fixed
-//! deterministic seed per test function (cases still vary across the run
-//! counter, so each of the `cases` iterations sees fresh inputs).
+//! Differences from upstream: only **basic shrinking** (integers halve
+//! toward their range minimum, one component at a time; see
+//! [`Strategy::shrink`]), no persistence, and a fixed deterministic seed
+//! per test function (cases still vary across the run counter, so each of
+//! the `cases` iterations sees fresh inputs). A failing case is re-run on
+//! progressively smaller inputs while it keeps failing; the final panic
+//! reports the minimal failing input found.
 
 #![forbid(unsafe_code)]
 
@@ -52,6 +55,15 @@ pub trait Strategy {
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Proposes a strictly simpler value than `value`, or `None` when the
+    /// value is already minimal (or the strategy cannot shrink). Integer
+    /// strategies halve toward their minimum; tuples shrink the first
+    /// component that still can.
+    fn shrink(&self, value: &Self::Value) -> Option<Self::Value> {
+        let _ = value;
+        None
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
     where
@@ -74,6 +86,9 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn generate(&self, rng: &mut TestRng) -> S::Value {
         (**self).generate(rng)
     }
+    fn shrink(&self, value: &S::Value) -> Option<S::Value> {
+        (**self).shrink(value)
+    }
 }
 
 /// A boxed, type-erased strategy.
@@ -83,6 +98,9 @@ impl<T> Strategy for BoxedStrategy<T> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
         self.0.generate(rng)
+    }
+    fn shrink(&self, value: &T) -> Option<T> {
+        self.0.shrink(value)
     }
 }
 
@@ -125,6 +143,11 @@ impl<T> Strategy for Union<T> {
 pub trait Arbitrary: Sized {
     /// Draws an arbitrary value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Proposes a strictly simpler value (integers halve toward zero).
+    fn shrink_value(&self) -> Option<Self> {
+        None
+    }
 }
 
 macro_rules! impl_arbitrary_int {
@@ -132,6 +155,14 @@ macro_rules! impl_arbitrary_int {
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> $t {
                 rng.next_u64() as $t
+            }
+            fn shrink_value(&self) -> Option<$t> {
+                // Halve toward zero (also from the negative side).
+                if *self == 0 {
+                    None
+                } else {
+                    Some(*self / 2)
+                }
             }
         }
     )*};
@@ -141,6 +172,9 @@ impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> bool {
         rng.next_u64() & 1 == 1
+    }
+    fn shrink_value(&self) -> Option<bool> {
+        self.then_some(false)
     }
 }
 
@@ -158,6 +192,9 @@ impl<T: Arbitrary> Strategy for AnyStrategy<T> {
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
     }
+    fn shrink(&self, value: &T) -> Option<T> {
+        value.shrink_value()
+    }
 }
 
 /// The `any::<T>()` entry point.
@@ -165,24 +202,54 @@ pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
     AnyStrategy(std::marker::PhantomData)
 }
 
-macro_rules! impl_range_strategy {
+macro_rules! impl_int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for std::ops::Range<$t> {
             type Value = $t;
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.random_range(self.clone())
             }
+            fn shrink(&self, value: &$t) -> Option<$t> {
+                // Halve the distance to the range minimum.
+                if *value <= self.start {
+                    None
+                } else {
+                    Some(self.start + (*value - self.start) / 2)
+                }
+            }
         }
     )*};
 }
-impl_range_strategy!(u8, u16, u32, u64, usize, f64);
+impl_int_range_strategy!(u8, u16, u32, u64, usize);
+
+// Float ranges generate but do not shrink (halving need not terminate).
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
 
 macro_rules! impl_tuple_strategy {
     ($($name:ident : $idx:tt),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Option<Self::Value> {
+                // Shrink the first component that still can.
+                $(
+                    if let Some(smaller) = self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = smaller;
+                        return Some(next);
+                    }
+                )+
+                None
             }
         }
     };
@@ -240,7 +307,10 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = if self.size.start + 1 >= self.size.end {
@@ -250,6 +320,79 @@ pub mod collection {
             };
             (0..len).map(|_| self.element.generate(rng)).collect()
         }
+        fn shrink(&self, value: &Vec<S::Value>) -> Option<Vec<S::Value>> {
+            // Halve the length toward the minimum, then shrink elements.
+            if value.len() > self.size.start {
+                let keep = self.size.start + (value.len() - self.size.start) / 2;
+                return Some(value[..keep].to_vec());
+            }
+            for (i, v) in value.iter().enumerate() {
+                if let Some(smaller) = self.element.shrink(v) {
+                    let mut next = value.clone();
+                    next[i] = smaller;
+                    return Some(next);
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Extracts a human-readable message from a caught panic payload.
+fn payload_msg(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
+    }
+}
+
+/// The engine behind [`proptest!`]: runs `cases` random executions of
+/// `body`; on failure, greedily shrinks the input (re-running the body)
+/// while it keeps failing, then panics reporting the minimal failing
+/// input. Not part of the public proptest API surface.
+#[doc(hidden)]
+pub fn run_property<S, F>(cases: u32, rng: &mut TestRng, strat: &S, mut body: F)
+where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: FnMut(S::Value),
+{
+    let mut run_one = |v: S::Value| -> Result<(), Box<dyn std::any::Any + Send>> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(v)))
+    };
+    for _case in 0..cases {
+        let generated = strat.generate(rng);
+        let Err(first_payload) = run_one(generated.clone()) else {
+            continue;
+        };
+        // Shrink: accept each simpler candidate that still fails; stop at
+        // the first candidate that passes or when nothing shrinks further.
+        // The default panic hook would print a dump per shrink step, so it
+        // is silenced for the duration (like upstream proptest; racy only
+        // against another test failing in the same instant, in which case
+        // both still fail with their own reports).
+        let saved_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut minimal = generated;
+        let mut payload = first_payload;
+        while let Some(smaller) = strat.shrink(&minimal) {
+            match run_one(smaller.clone()) {
+                Err(p) => {
+                    minimal = smaller;
+                    payload = p;
+                }
+                Ok(()) => break,
+            }
+        }
+        std::panic::set_hook(saved_hook);
+        panic!(
+            "property failed: {}; minimal failing input: {:?}",
+            payload_msg(payload.as_ref()),
+            minimal
+        );
     }
 }
 
@@ -261,7 +404,8 @@ pub mod prelude {
     };
 }
 
-/// Runs each property as `cases` random executions (no shrinking).
+/// Runs each property as `cases` random executions, with basic shrinking
+/// on failure (see [`Strategy::shrink`]).
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -275,11 +419,11 @@ macro_rules! proptest {
         fn $name() {
             let cfg: $crate::ProptestConfig = $cfg;
             let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
-            for _case in 0..cfg.cases {
-                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
-                // A `prop_assume!` miss skips the case via `continue`.
-                $body
-            }
+            // All argument strategies become one tuple strategy so the
+            // runner can re-generate and shrink the case as a unit. A
+            // `prop_assume!` miss skips the case via an early return.
+            let strat = ($(($strat),)+);
+            $crate::run_property(cfg.cases, &mut rng, &strat, |($($arg,)+)| $body);
         }
     )*};
     ($($rest:tt)*) => {
@@ -299,12 +443,13 @@ macro_rules! prop_assert_eq {
     ($($t:tt)*) => { assert_eq!($($t)*) };
 }
 
-/// Skips the current case when the assumption fails.
+/// Skips the current case when the assumption fails (early return from the
+/// case body — the runner treats the case as passed).
 #[macro_export]
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !$cond {
-            continue;
+            return;
         }
     };
 }
@@ -355,6 +500,61 @@ mod tests {
         fn assume_skips(n in 0u8..10) {
             prop_assume!(n % 2 == 0);
             prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn integer_ranges_halve_toward_minimum() {
+        let s = 10u32..100;
+        assert_eq!(s.shrink(&90), Some(50)); // 10 + 80/2
+        assert_eq!(s.shrink(&11), Some(10));
+        assert_eq!(s.shrink(&10), None);
+        let a = any::<i32>();
+        assert_eq!(a.shrink(&-8), Some(-4));
+        assert_eq!(a.shrink(&7), Some(3));
+        assert_eq!(a.shrink(&0), None);
+    }
+
+    #[test]
+    fn shrink_chains_terminate() {
+        let s = 3u64..1_000_000;
+        let mut v = 999_999u64;
+        let mut steps = 0;
+        while let Some(next) = s.shrink(&v) {
+            assert!(next < v, "shrink must make progress");
+            v = next;
+            steps += 1;
+            assert!(steps < 100, "halving must terminate quickly");
+        }
+        assert_eq!(v, s.start);
+    }
+
+    #[test]
+    fn tuples_shrink_one_component_at_a_time() {
+        let s = (0u8..10, 0u8..10);
+        assert_eq!(s.shrink(&(8, 6)), Some((4, 6)));
+        assert_eq!(s.shrink(&(0, 6)), Some((0, 3)));
+        assert_eq!(s.shrink(&(0, 0)), None);
+    }
+
+    #[test]
+    fn vecs_shrink_length_then_elements() {
+        let s = crate::collection::vec(0u8..10, 1..5);
+        assert_eq!(s.shrink(&vec![7, 7, 7]), Some(vec![7, 7]));
+        assert_eq!(s.shrink(&vec![6]), Some(vec![3]));
+        assert_eq!(s.shrink(&vec![0]), None);
+    }
+
+    // The meta-test: a failing property must be reported with its shrunken
+    // (minimal) input. Any generated n >= 1 fails and halves down to 1.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        #[should_panic(expected = "minimal failing input: (1,)")]
+        fn failing_property_reports_minimal_case(n in 0u32..100_000) {
+            prop_assume!(n > 0); // 0 is legitimately skipped
+            prop_assert!(n == 0, "nonzero input {n}");
         }
     }
 }

@@ -45,7 +45,7 @@ pub struct LogPoolSet<K, P> {
     pools: Vec<LogPool<K, P>>,
 }
 
-impl<K: Hash + Eq + Clone, P: Payload> LogPoolSet<K, P> {
+impl<K: Hash + Eq + Ord + Clone, P: Payload> LogPoolSet<K, P> {
     /// Builds `n_pools` pools with identical configuration.
     ///
     /// # Panics

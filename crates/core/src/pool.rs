@@ -121,7 +121,7 @@ pub struct LogPool<K, P> {
     stats: PoolStats,
 }
 
-impl<K: Hash + Eq + Clone, P: Payload> LogPool<K, P> {
+impl<K: Hash + Eq + Ord + Clone, P: Payload> LogPool<K, P> {
     /// Builds a pool with `min_units` pre-allocated.
     ///
     /// # Panics

@@ -45,7 +45,7 @@ pub struct LogUnit<K, P> {
     pub sealed_at: Option<u64>,
 }
 
-impl<K: Hash + Eq + Clone, P: Payload> LogUnit<K, P> {
+impl<K: Hash + Eq + Ord + Clone, P: Payload> LogUnit<K, P> {
     /// New empty unit.
     pub fn new(id: u64, capacity: u64, mode: MergeMode) -> LogUnit<K, P> {
         assert!(capacity > 0, "unit capacity must be positive");
@@ -131,7 +131,11 @@ impl<K: Hash + Eq + Clone, P: Payload> LogUnit<K, P> {
     pub fn start_recycle(&mut self) -> Vec<(K, Vec<(u32, P)>)> {
         assert_eq!(self.state, UnitState::Recyclable, "unit not recyclable");
         self.state = UnitState::Recycling;
-        let keys: Vec<K> = self.index.block_keys().cloned().collect();
+        // Sorted block order keeps recycle processing deterministic across
+        // processes (the backing index iterates in hash order) and mirrors
+        // the engine-side `group_data_jobs` dispatch rule.
+        let mut keys: Vec<K> = self.index.block_keys().cloned().collect();
+        keys.sort_unstable();
         keys.into_iter()
             .map(|k| {
                 let ranges = self.index.lookup(&k, 0, u32::MAX);

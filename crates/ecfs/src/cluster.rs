@@ -210,11 +210,18 @@ impl Cluster {
         cfg.validate().expect("invalid cluster config");
         let rs = ReedSolomon::new(cfg.code);
         let parity_extra = cfg.method.parity_reserved_bytes(&cfg);
-        let layout = Layout::with_parity_extra(cfg.code, cfg.block_bytes, cfg.nodes, parity_extra);
+        let layout = Layout::with_placement(
+            cfg.code,
+            cfg.block_bytes,
+            parity_extra,
+            std::sync::Arc::clone(&cfg.placement),
+            cfg.rack_map(),
+        );
         let net = Network::new(NetConfig {
             endpoints: cfg.endpoints(),
             bandwidth: cfg.net_bandwidth,
             rpc_overhead: cfg.net_rpc_overhead,
+            topology: cfg.topology(),
         });
         let nodes = (0..cfg.nodes)
             .map(|id| Osd {

@@ -14,6 +14,7 @@ use tsue::pool::PoolConfig;
 use tsue::MergeMode;
 
 use crate::methods::{cord, fl, fo, parix, pl, plr, tsue_drv, UpdateMethod};
+use crate::placement::{FlatRotate, PlacementPolicy, RackMap};
 
 /// A rejected configuration, with the reason.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -194,6 +195,15 @@ pub struct ClusterConfig {
     pub net_bandwidth: u64,
     /// Per-RPC network overhead in nanoseconds.
     pub net_rpc_overhead: u64,
+    /// Number of racks: OSDs split into contiguous racks, clients
+    /// round-robin over them. `1` is the paper's single-switch fabric.
+    pub racks: usize,
+    /// Spine oversubscription ratio (`1.0` = full bisection; only
+    /// meaningful with `racks > 1`).
+    pub oversubscription: f64,
+    /// Block-placement policy (trait object; see
+    /// [`crate::placement::PlacementKind`] for the built-ins).
+    pub placement: Arc<dyn PlacementPolicy>,
     /// Update method under test (trait object; see [`MethodKind::driver`]
     /// for the built-ins and [`crate::methods::MethodRegistry`] for
     /// out-of-tree drivers).
@@ -238,6 +248,9 @@ impl ClusterConfig {
             disk: DiskKind::Ssd(SsdConfig::default()),
             net_bandwidth: 25_000_000_000 / 8,
             net_rpc_overhead: 100_000,
+            racks: 1,
+            oversubscription: 1.0,
+            placement: Arc::new(FlatRotate),
             method: method.into(),
             tsue: TsueFeatures::full(),
             tsue_unit_bytes: 16 << 20,
@@ -318,7 +331,28 @@ impl ClusterConfig {
         self.nodes + c
     }
 
-    /// Validates cross-field invariants.
+    /// The OSD side of the topology: nodes split into contiguous racks.
+    pub fn rack_map(&self) -> RackMap {
+        RackMap::contiguous(self.nodes, self.racks)
+    }
+
+    /// The rack hosting client `c` (clients round-robin over racks).
+    pub fn client_rack(&self, c: usize) -> usize {
+        c % self.racks
+    }
+
+    /// The full fabric topology: OSD racks from [`Self::rack_map`], client
+    /// endpoints round-robin over the same racks.
+    pub fn topology(&self) -> simnet::Topology {
+        let rm = self.rack_map();
+        let mut rack_of: Vec<usize> = (0..self.nodes).map(|n| rm.rack_of(n)).collect();
+        rack_of.extend((0..self.clients).map(|c| self.client_rack(c)));
+        simnet::Topology::racked(rack_of, self.oversubscription)
+    }
+
+    /// Validates cross-field invariants, including the network and
+    /// placement configuration — so a bad fabric is rejected at build time
+    /// rather than panicking inside `Network::new` mid-replay.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.nodes < self.code.total() {
             return Err(ConfigError(format!(
@@ -346,6 +380,24 @@ impl ClusterConfig {
         if self.net_bandwidth == 0 {
             return Err("net_bandwidth must be positive".into());
         }
+        if self.racks == 0 {
+            return Err("racks must be at least 1".into());
+        }
+        if self.racks > self.nodes {
+            return Err(ConfigError(format!(
+                "{} racks cannot be cut from {} nodes",
+                self.racks, self.nodes
+            )));
+        }
+        if !self.oversubscription.is_finite() || self.oversubscription < 1.0 {
+            return Err(ConfigError(format!(
+                "oversubscription = {} must be a finite ratio >= 1.0",
+                self.oversubscription
+            )));
+        }
+        self.placement
+            .check(self.code, &self.rack_map())
+            .map_err(ConfigError)?;
         Ok(())
     }
 }
@@ -386,6 +438,9 @@ pub struct ClusterConfigBuilder {
     disk: Option<DiskKind>,
     net_bandwidth: Option<u64>,
     net_rpc_overhead: Option<u64>,
+    racks: Option<usize>,
+    oversubscription: Option<f64>,
+    placement: Option<Arc<dyn PlacementPolicy>>,
     tsue: Option<TsueFeatures>,
     tsue_unit_bytes: Option<u64>,
     tsue_max_units: Option<usize>,
@@ -428,6 +483,10 @@ impl ClusterConfigBuilder {
         net_bandwidth: u64,
         /// Per-RPC network overhead in nanoseconds.
         net_rpc_overhead: u64,
+        /// Number of racks (OSDs split contiguously, clients round-robin).
+        racks: usize,
+        /// Spine oversubscription ratio.
+        oversubscription: f64,
         /// TSUE feature toggles.
         tsue: TsueFeatures,
         /// Log-unit size for TSUE layers.
@@ -449,6 +508,13 @@ impl ClusterConfigBuilder {
     /// The update method, as a driver or a built-in [`MethodKind`].
     pub fn method(mut self, method: impl Into<Arc<dyn UpdateMethod>>) -> Self {
         self.method = Some(MethodChoice::Driver(method.into()));
+        self
+    }
+
+    /// The block-placement policy, as a driver or a built-in
+    /// [`crate::placement::PlacementKind`].
+    pub fn placement(mut self, placement: impl Into<Arc<dyn PlacementPolicy>>) -> Self {
+        self.placement = Some(placement.into());
         self
     }
 
@@ -481,6 +547,9 @@ impl ClusterConfigBuilder {
             disk: self.disk.unwrap_or(defaults.disk),
             net_bandwidth: self.net_bandwidth.unwrap_or(defaults.net_bandwidth),
             net_rpc_overhead: self.net_rpc_overhead.unwrap_or(defaults.net_rpc_overhead),
+            racks: self.racks.unwrap_or(defaults.racks),
+            oversubscription: self.oversubscription.unwrap_or(defaults.oversubscription),
+            placement: self.placement.unwrap_or(defaults.placement),
             method,
             tsue: self.tsue.unwrap_or(defaults.tsue),
             tsue_unit_bytes: self.tsue_unit_bytes.unwrap_or(defaults.tsue_unit_bytes),

@@ -3,12 +3,16 @@
 //! Each client owns one logical volume (one large file). A volume is
 //! striped: stripe `s` covers bytes `[s·kB, (s+1)·kB)` in `k` blocks of `B`
 //! bytes, followed by `m` parity blocks. The `k + m` blocks of a stripe are
-//! placed on distinct OSDs by rotating a per-stripe hash, and each OSD
+//! placed on distinct OSDs by a pluggable [`PlacementPolicy`] (the default
+//! [`FlatRotate`] rotates a per-stripe hash over all nodes), and each OSD
 //! allocates device space for its blocks with a bump allocator.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use rscode::CodeParams;
+
+use crate::placement::{FlatRotate, PlacementPolicy, RackMap};
 
 /// Globally unique block id: `(volume, stripe, index within stripe)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -55,7 +59,10 @@ pub struct BlockSlice {
 pub struct Layout {
     code: CodeParams,
     block_bytes: u64,
-    nodes: usize,
+    /// The placement policy mapping blocks to OSDs.
+    policy: Arc<dyn PlacementPolicy>,
+    /// Node → rack assignment the policy consults.
+    racks: RackMap,
     /// Extra device bytes reserved after each parity block (PLR's reserved
     /// log space; zero for every other method).
     parity_extra: u64,
@@ -66,23 +73,48 @@ pub struct Layout {
 }
 
 impl Layout {
-    /// New layout over `nodes` OSDs.
+    /// New single-rack layout over `nodes` OSDs under [`FlatRotate`].
     pub fn new(code: CodeParams, block_bytes: u64, nodes: usize) -> Layout {
         Self::with_parity_extra(code, block_bytes, nodes, 0)
     }
 
-    /// Layout reserving `parity_extra` bytes adjacent to each parity block.
+    /// Single-rack [`FlatRotate`] layout reserving `parity_extra` bytes
+    /// adjacent to each parity block.
     pub fn with_parity_extra(
         code: CodeParams,
         block_bytes: u64,
         nodes: usize,
         parity_extra: u64,
     ) -> Layout {
-        assert!(nodes >= code.total(), "not enough nodes for a stripe");
+        Self::with_placement(
+            code,
+            block_bytes,
+            parity_extra,
+            Arc::new(FlatRotate),
+            RackMap::contiguous(nodes, 1),
+        )
+    }
+
+    /// Fully explicit layout: a placement policy over a rack map.
+    ///
+    /// # Panics
+    /// Panics if the policy rejects the `(code, racks)` shape.
+    pub fn with_placement(
+        code: CodeParams,
+        block_bytes: u64,
+        parity_extra: u64,
+        policy: Arc<dyn PlacementPolicy>,
+        racks: RackMap,
+    ) -> Layout {
+        policy
+            .check(code, &racks)
+            .expect("placement policy rejected the cluster shape");
+        let nodes = racks.nodes();
         Layout {
             code,
             block_bytes,
-            nodes,
+            policy,
+            racks,
             parity_extra,
             cursors: vec![0; nodes],
             table: HashMap::new(),
@@ -92,6 +124,16 @@ impl Layout {
     /// The code shape.
     pub fn code(&self) -> CodeParams {
         self.code
+    }
+
+    /// The placement policy in force.
+    pub fn placement(&self) -> &Arc<dyn PlacementPolicy> {
+        &self.policy
+    }
+
+    /// The node → rack assignment.
+    pub fn racks(&self) -> &RackMap {
+        &self.racks
     }
 
     /// Block size in bytes.
@@ -127,14 +169,15 @@ impl Layout {
         out
     }
 
-    /// The OSD hosting a block: stripes rotate around the ring so load
-    /// spreads evenly; the `k + m` blocks of one stripe always land on
-    /// distinct nodes.
+    /// The OSD hosting a block, per the configured [`PlacementPolicy`];
+    /// the `k + m` blocks of one stripe always land on distinct nodes.
     pub fn node_of(&self, addr: BlockAddr) -> usize {
-        let base = (addr.volume as u64)
-            .wrapping_mul(0x9e3779b97f4a7c15)
-            .wrapping_add(addr.stripe.wrapping_mul(0xd1b54a32d192ed03));
-        ((base as usize) + addr.index as usize) % self.nodes
+        self.policy.node_of(addr, self.code, &self.racks)
+    }
+
+    /// The rack hosting a block.
+    pub fn rack_of(&self, addr: BlockAddr) -> usize {
+        self.racks.rack_of(self.node_of(addr))
     }
 
     /// Node and device offset of a block, allocating on first touch.
@@ -153,6 +196,12 @@ impl Layout {
         self.cursors[node] += span;
         self.table.insert(addr, (node, dev_off));
         (node, dev_off)
+    }
+
+    /// Re-homes a block (recovery rebuilt it elsewhere): subsequent
+    /// [`Self::locate`] and [`Self::blocks_on`] see the new location.
+    pub fn relocate(&mut self, addr: BlockAddr, node: usize, dev_off: u64) {
+        self.table.insert(addr, (node, dev_off));
     }
 
     /// Device bytes allocated on `node` so far.

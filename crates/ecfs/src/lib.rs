@@ -29,6 +29,7 @@ pub mod cluster;
 pub mod config;
 pub mod layout;
 pub mod methods;
+pub mod placement;
 pub mod recovery;
 pub mod replay;
 
@@ -37,6 +38,7 @@ pub use config::{
     ClusterConfig, ClusterConfigBuilder, ConfigError, DiskKind, MethodKind, TsueFeatures,
 };
 pub use methods::{MethodRegistry, NodeLogState, UpdateCtx, UpdateMethod};
+pub use placement::{PlacementKind, PlacementPolicy, RackMap};
 pub use replay::{run_trace, ReplayConfig, ReplayConfigBuilder, RunResult};
 
 /// The coherent public surface, re-exported for one-line imports in
@@ -59,7 +61,12 @@ pub mod prelude {
         register_method, resolve_method, MethodRegistry, NodeLogState, PlainState, RegistryError,
         UpdateCtx, UpdateMethod,
     };
-    pub use crate::recovery::{recover_node, RecoveryResult};
+    pub use crate::placement::{
+        FlatRotate, PlacementKind, PlacementPolicy, RackAware, RackLocal, RackMap,
+    };
+    pub use crate::recovery::{
+        recover_node, recover_rack, recover_scope, RecoveryError, RecoveryResult,
+    };
     pub use crate::replay::{
         run_trace, run_update_phase, ReplayConfig, ReplayConfigBuilder, ResidencySummary, RunResult,
     };

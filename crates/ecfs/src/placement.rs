@@ -1,0 +1,468 @@
+//! Pluggable block placement: the policy deciding which OSD hosts each
+//! block of a stripe, rack-aware where the topology has racks.
+//!
+//! The MDS's placement decision used to be a hard-coded hash rotation in
+//! [`crate::layout::Layout`]; it is now an object-safe [`PlacementPolicy`]
+//! so clusters can trade fault tolerance against cross-rack traffic:
+//!
+//! | policy | stripe blocks | rack failure | cross-rack update traffic |
+//! |---|---|---|---|
+//! | [`FlatRotate`] | hash-rotated over all nodes | may lose > m blocks | topology-blind |
+//! | [`RackAware`]  | round-robin across racks | loses ≤ ⌈(k+m)/racks⌉ blocks | high (parity spread out) |
+//! | [`RackLocal`]  | parity co-racked, data spread | parity rack loses all m | low (parity deltas stay in one rack) |
+//!
+//! [`RackAware`] is the Rashmi-style availability placement; [`RackLocal`]
+//! follows the clustered-network-coding argument (Kermarrec et al.): keep
+//! the update-heavy parity group behind one top-of-rack switch so the
+//! spine only carries the data-block delta once.
+//!
+//! Every policy must map the `k + m` blocks of one stripe to distinct
+//! nodes. [`FlatRotate`] on a single rack is the default and reproduces the
+//! pre-policy placement bit-for-bit.
+
+use std::sync::Arc;
+
+use rscode::CodeParams;
+
+use crate::layout::BlockAddr;
+
+/// Node → rack assignment used by placement decisions (the OSD side of the
+/// fabric's [`simnet::Topology`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RackMap {
+    rack_of: Vec<usize>,
+    members: Vec<Vec<usize>>,
+}
+
+impl RackMap {
+    /// Splits `nodes` OSDs into `racks` contiguous racks (sizes differ by
+    /// at most one).
+    ///
+    /// # Panics
+    /// Panics if `racks == 0` or `racks > nodes`.
+    pub fn contiguous(nodes: usize, racks: usize) -> RackMap {
+        assert!(racks > 0, "need at least one rack");
+        assert!(racks <= nodes, "more racks than nodes");
+        let rack_of: Vec<usize> = (0..nodes).map(|n| n * racks / nodes).collect();
+        let mut members = vec![Vec::new(); racks];
+        for (n, &r) in rack_of.iter().enumerate() {
+            members[r].push(n);
+        }
+        RackMap { rack_of, members }
+    }
+
+    /// Number of OSD nodes.
+    pub fn nodes(&self) -> usize {
+        self.rack_of.len()
+    }
+
+    /// Number of racks.
+    pub fn racks(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The rack hosting `node`.
+    pub fn rack_of(&self, node: usize) -> usize {
+        self.rack_of[node]
+    }
+
+    /// The nodes in `rack`, ascending.
+    pub fn members(&self, rack: usize) -> &[usize] {
+        &self.members[rack]
+    }
+
+    /// The smallest rack's size.
+    pub fn min_rack_size(&self) -> usize {
+        self.members.iter().map(Vec::len).min().unwrap_or(0)
+    }
+}
+
+/// An object-safe block-placement policy. Implementations must be pure
+/// functions of `(addr, code, racks)` — the layout caches nothing about
+/// them — and must place the `k + m` blocks of any one stripe on distinct
+/// nodes.
+pub trait PlacementPolicy: std::fmt::Debug + Send + Sync {
+    /// Display name (used in benches and tables).
+    fn name(&self) -> &str;
+
+    /// The OSD hosting `addr`.
+    fn node_of(&self, addr: BlockAddr, code: CodeParams, racks: &RackMap) -> usize;
+
+    /// Rejects shapes the policy cannot place (e.g. more blocks per rack
+    /// than the rack has nodes). The default only requires enough nodes.
+    fn check(&self, code: CodeParams, racks: &RackMap) -> Result<(), String> {
+        if racks.nodes() < code.total() {
+            return Err(format!(
+                "{} nodes cannot hold RS({},{}) stripes",
+                racks.nodes(),
+                code.k(),
+                code.m()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The per-stripe base hash every built-in policy rotates from.
+fn stripe_base(addr: BlockAddr) -> u64 {
+    (addr.volume as u64)
+        .wrapping_mul(0x9e3779b97f4a7c15)
+        .wrapping_add(addr.stripe.wrapping_mul(0xd1b54a32d192ed03))
+}
+
+/// Topology-blind hash rotation over all nodes — the pre-policy behaviour
+/// and the default. A stripe's blocks land on consecutive nodes of a
+/// per-stripe-rotated ring, so load spreads evenly; racks are ignored, so
+/// a rack failure can take out more than `m` blocks of one stripe.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlatRotate;
+
+impl PlacementPolicy for FlatRotate {
+    fn name(&self) -> &str {
+        "flat-rotate"
+    }
+
+    fn node_of(&self, addr: BlockAddr, _code: CodeParams, racks: &RackMap) -> usize {
+        ((stripe_base(addr) as usize) + addr.index as usize) % racks.nodes()
+    }
+}
+
+/// Rack-fault-tolerant spread: consecutive blocks of a stripe round-robin
+/// across racks, rotating within each rack, so any one rack holds at most
+/// `⌈(k+m)/racks⌉` blocks of a stripe. Once `racks ≥ ⌈(k+m)/m⌉` that bound
+/// drops to `m`, so a whole-rack failure stays reconstructible.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RackAware;
+
+impl PlacementPolicy for RackAware {
+    fn name(&self) -> &str {
+        "rack-aware"
+    }
+
+    fn node_of(&self, addr: BlockAddr, _code: CodeParams, racks: &RackMap) -> usize {
+        let base = stripe_base(addr) as usize;
+        let nr = racks.racks();
+        let rack = (base + addr.index as usize) % nr;
+        let members = racks.members(rack);
+        // Blocks i and j land in the same rack iff i ≡ j (mod racks), so
+        // rotating by i / racks keeps same-rack blocks on distinct nodes as
+        // long as the per-rack block count fits the rack (see `check`).
+        let slot = (base / nr + addr.index as usize / nr) % members.len();
+        members[slot]
+    }
+
+    fn check(&self, code: CodeParams, racks: &RackMap) -> Result<(), String> {
+        if racks.nodes() < code.total() {
+            return Err(format!(
+                "{} nodes cannot hold RS({},{}) stripes",
+                racks.nodes(),
+                code.k(),
+                code.m()
+            ));
+        }
+        let per_rack = code.total().div_ceil(racks.racks());
+        if per_rack > racks.min_rack_size() {
+            return Err(format!(
+                "rack-aware placement needs {} slots per rack but the smallest rack has {}",
+                per_rack,
+                racks.min_rack_size()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Update-traffic-minimising placement: a stripe's `m` parity blocks share
+/// one rack (rotated per stripe), so parity-delta forwarding — the bulk of
+/// every logging method's background traffic — stays behind a single
+/// top-of-rack switch; data blocks round-robin over the remaining racks.
+/// The price is availability: losing the parity rack costs all `m` parity
+/// blocks of the stripes homed there.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RackLocal;
+
+impl PlacementPolicy for RackLocal {
+    fn name(&self) -> &str {
+        "rack-local"
+    }
+
+    fn node_of(&self, addr: BlockAddr, code: CodeParams, racks: &RackMap) -> usize {
+        let base = stripe_base(addr) as usize;
+        let nr = racks.racks();
+        if nr == 1 {
+            // Degenerate single-rack case: plain rotation (≡ FlatRotate).
+            return (base + addr.index as usize) % racks.nodes();
+        }
+        let parity_rack = base % nr;
+        let i = addr.index as usize;
+        let k = code.k();
+        if i >= k {
+            // Parity block p on the stripe's parity rack.
+            let members = racks.members(parity_rack);
+            let p = i - k;
+            return members[(base / nr + p) % members.len()];
+        }
+        // Data blocks round-robin over the other racks.
+        let rack = (parity_rack + 1 + (base + i) % (nr - 1)) % nr;
+        let members = racks.members(rack);
+        // Data blocks i and j share a rack iff i ≡ j (mod racks - 1).
+        let slot = (base / nr + i / (nr - 1)) % members.len();
+        members[slot]
+    }
+
+    fn check(&self, code: CodeParams, racks: &RackMap) -> Result<(), String> {
+        if racks.nodes() < code.total() {
+            return Err(format!(
+                "{} nodes cannot hold RS({},{}) stripes",
+                racks.nodes(),
+                code.k(),
+                code.m()
+            ));
+        }
+        let nr = racks.racks();
+        if nr == 1 {
+            return Ok(());
+        }
+        if code.m() > racks.min_rack_size() {
+            return Err(format!(
+                "rack-local placement co-racks {} parity blocks but the smallest rack has {} nodes",
+                code.m(),
+                racks.min_rack_size()
+            ));
+        }
+        let data_per_rack = code.k().div_ceil(nr - 1);
+        if data_per_rack > racks.min_rack_size() {
+            return Err(format!(
+                "rack-local placement needs {} data slots per rack but the smallest rack has {}",
+                data_per_rack,
+                racks.min_rack_size()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The built-in placement policies, as a convenience selector mirroring
+/// [`crate::config::MethodKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlacementKind {
+    /// Topology-blind hash rotation (the default).
+    FlatRotate,
+    /// Spread each stripe across racks for rack fault tolerance.
+    RackAware,
+    /// Co-rack each stripe's parity to minimise cross-rack update traffic.
+    RackLocal,
+}
+
+impl PlacementKind {
+    /// All built-in policies.
+    pub const ALL: [PlacementKind; 3] = [
+        PlacementKind::FlatRotate,
+        PlacementKind::RackAware,
+        PlacementKind::RackLocal,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlacementKind::FlatRotate => "flat-rotate",
+            PlacementKind::RackAware => "rack-aware",
+            PlacementKind::RackLocal => "rack-local",
+        }
+    }
+
+    /// Builds the policy object.
+    pub fn policy(&self) -> Arc<dyn PlacementPolicy> {
+        match self {
+            PlacementKind::FlatRotate => Arc::new(FlatRotate),
+            PlacementKind::RackAware => Arc::new(RackAware),
+            PlacementKind::RackLocal => Arc::new(RackLocal),
+        }
+    }
+}
+
+impl From<PlacementKind> for Arc<dyn PlacementPolicy> {
+    fn from(kind: PlacementKind) -> Arc<dyn PlacementPolicy> {
+        kind.policy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(volume: u32, stripe: u64, index: u16) -> BlockAddr {
+        BlockAddr {
+            volume,
+            stripe,
+            index,
+        }
+    }
+
+    fn stripe_nodes(
+        policy: &dyn PlacementPolicy,
+        code: CodeParams,
+        racks: &RackMap,
+        volume: u32,
+        stripe: u64,
+    ) -> Vec<usize> {
+        (0..code.total() as u16)
+            .map(|i| policy.node_of(addr(volume, stripe, i), code, racks))
+            .collect()
+    }
+
+    fn assert_distinct(policy: &dyn PlacementPolicy, code: CodeParams, racks: &RackMap) {
+        for volume in 0..3u32 {
+            for stripe in 0..200u64 {
+                let nodes = stripe_nodes(policy, code, racks, volume, stripe);
+                let mut sorted = nodes.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(
+                    sorted.len(),
+                    code.total(),
+                    "{} vol {volume} stripe {stripe}: {nodes:?}",
+                    policy.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn contiguous_rack_map_shapes() {
+        let rm = RackMap::contiguous(16, 3);
+        assert_eq!(rm.nodes(), 16);
+        assert_eq!(rm.racks(), 3);
+        assert_eq!(rm.min_rack_size(), 5);
+        let total: usize = (0..3).map(|r| rm.members(r).len()).sum();
+        assert_eq!(total, 16);
+        for r in 0..3 {
+            for &n in rm.members(r) {
+                assert_eq!(rm.rack_of(n), r);
+            }
+        }
+        // Contiguity: members are consecutive node ids.
+        for r in 0..3 {
+            let m = rm.members(r);
+            for w in m.windows(2) {
+                assert_eq!(w[1], w[0] + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn all_policies_place_stripes_on_distinct_nodes() {
+        let code = CodeParams::new(6, 3).unwrap();
+        for racks in [1usize, 2, 3, 4] {
+            let rm = RackMap::contiguous(16, racks);
+            for kind in PlacementKind::ALL {
+                let policy = kind.policy();
+                policy.check(code, &rm).unwrap();
+                assert_distinct(policy.as_ref(), code, &rm);
+            }
+        }
+    }
+
+    #[test]
+    fn flat_rotate_matches_legacy_hash() {
+        // The pre-policy Layout::node_of formula, verbatim.
+        let legacy = |a: BlockAddr, nodes: usize| {
+            let base = (a.volume as u64)
+                .wrapping_mul(0x9e3779b97f4a7c15)
+                .wrapping_add(a.stripe.wrapping_mul(0xd1b54a32d192ed03));
+            ((base as usize) + a.index as usize) % nodes
+        };
+        let code = CodeParams::new(6, 3).unwrap();
+        let rm = RackMap::contiguous(16, 1);
+        for volume in 0..4u32 {
+            for stripe in 0..100u64 {
+                for index in 0..9u16 {
+                    let a = addr(volume, stripe, index);
+                    assert_eq!(FlatRotate.node_of(a, code, &rm), legacy(a, 16));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_rack_policies_degenerate_to_flat_rotate() {
+        let code = CodeParams::new(6, 3).unwrap();
+        let rm = RackMap::contiguous(16, 1);
+        for stripe in 0..50u64 {
+            for index in 0..9u16 {
+                let a = addr(1, stripe, index);
+                let flat = FlatRotate.node_of(a, code, &rm);
+                assert_eq!(RackAware.node_of(a, code, &rm), flat);
+                assert_eq!(RackLocal.node_of(a, code, &rm), flat);
+            }
+        }
+    }
+
+    #[test]
+    fn rack_aware_bounds_blocks_per_rack() {
+        let code = CodeParams::new(6, 3).unwrap();
+        let rm = RackMap::contiguous(16, 4);
+        let cap = code.total().div_ceil(4); // 3
+        for stripe in 0..200u64 {
+            let nodes = stripe_nodes(&RackAware, code, &rm, 0, stripe);
+            let mut per_rack = vec![0usize; 4];
+            for n in nodes {
+                per_rack[rm.rack_of(n)] += 1;
+            }
+            assert!(
+                per_rack.iter().all(|&c| c <= cap),
+                "stripe {stripe}: {per_rack:?}"
+            );
+            // ≤ m blocks per rack here, so any single rack loss is
+            // reconstructible from the surviving k.
+            assert!(per_rack.iter().all(|&c| c <= code.m()));
+        }
+    }
+
+    #[test]
+    fn rack_local_co_racks_parity_and_rotates_racks() {
+        let code = CodeParams::new(6, 3).unwrap();
+        let rm = RackMap::contiguous(16, 4);
+        let mut parity_racks_seen = std::collections::HashSet::new();
+        for stripe in 0..100u64 {
+            let nodes = stripe_nodes(&RackLocal, code, &rm, 0, stripe);
+            let parity_racks: Vec<usize> =
+                nodes[code.k()..].iter().map(|&n| rm.rack_of(n)).collect();
+            assert!(
+                parity_racks.iter().all(|&r| r == parity_racks[0]),
+                "stripe {stripe}: parity split across racks {parity_racks:?}"
+            );
+            parity_racks_seen.insert(parity_racks[0]);
+            // Data never shares the parity rack (racks > 1).
+            for &n in &nodes[..code.k()] {
+                assert_ne!(rm.rack_of(n), parity_racks[0], "stripe {stripe}");
+            }
+        }
+        assert!(
+            parity_racks_seen.len() > 1,
+            "parity rack must rotate across stripes"
+        );
+    }
+
+    #[test]
+    fn checks_reject_infeasible_shapes() {
+        let code = CodeParams::new(12, 4).unwrap();
+        // 16 nodes in 8 racks of 2: rack-aware wants ceil(16/8) = 2 ≤ 2, ok;
+        // rack-local wants 4 parity slots in one rack — impossible.
+        let rm = RackMap::contiguous(16, 8);
+        assert!(RackAware.check(code, &rm).is_ok());
+        assert!(RackLocal.check(code, &rm).is_err());
+        // Too few nodes is rejected by every policy.
+        let tiny = RackMap::contiguous(8, 2);
+        for kind in PlacementKind::ALL {
+            assert!(kind.policy().check(code, &tiny).is_err());
+        }
+    }
+
+    #[test]
+    fn kind_names_match_policies() {
+        for kind in PlacementKind::ALL {
+            assert_eq!(kind.policy().name(), kind.name());
+        }
+    }
+}

@@ -1,10 +1,17 @@
-//! Node-failure recovery (Fig. 8b): drain outstanding logs, then rebuild
-//! every block of the failed node from `k` survivors per stripe.
+//! Failure recovery (Fig. 8b): drain outstanding logs, then rebuild every
+//! block of the failed scope — one node, or a whole rack — from `k`
+//! survivors per stripe.
 //!
 //! The paper's §2.3.2 argument materialises here: methods that defer log
 //! recycling must replay their logs *before* reconstruction can start, so
 //! their effective recovery bandwidth drops; TSUE's real-time recycling
 //! leaves almost nothing to drain and recovers at FO-like speed.
+//!
+//! Rack drills add the topology dimension: whether a rack failure is
+//! recoverable at all depends on the [`crate::placement::PlacementPolicy`]
+//! (rack-aware placement bounds a stripe's per-rack block count; the flat
+//! default does not), and the rebuild streams cross the spine, so the
+//! drill reports its spine traffic alongside the timing breakdown.
 
 use simdes::Sim;
 use simdisk::{IoOp, Pattern};
@@ -25,11 +32,73 @@ pub struct RecoveryResult {
     pub rebuild_s: f64,
     /// Effective recovery bandwidth, MiB/s, over drain + rebuild.
     pub bandwidth_mib_s: f64,
+    /// Spine (cross-rack) traffic the drill itself generated, GiB. Zero on
+    /// a flat topology.
+    pub cross_rack_gib: f64,
 }
 
-/// Fails `node`, drains logs, and reconstructs its blocks onto the other
-/// nodes (round-robin). Returns the timing breakdown.
+/// A block that cannot be reconstructed: the failure scope ate into its
+/// stripe beyond the code's `m`-erasure budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryError {
+    /// The unreconstructible block.
+    pub addr: crate::layout::BlockAddr,
+    /// Survivors available for its stripe.
+    pub survivors: usize,
+    /// Survivors needed (`k`).
+    pub needed: usize,
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "data loss: block {:?} has {} survivors but reconstruction needs {}",
+            self.addr, self.survivors, self.needed
+        )
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// The Fig. 8b drill: drains logs, fails `node`, and reconstructs its
+/// blocks onto the other nodes (round-robin). Returns the timing
+/// breakdown.
+///
+/// # Panics
+/// Panics if some stripe cannot be reconstructed (impossible for a single
+/// node failure with `m >= 1`; use [`recover_scope`] for fallible drills).
 pub fn recover_node(sim: &mut Sim<Cluster>, cl: &mut Cluster, node: usize) -> RecoveryResult {
+    recover_scope(sim, cl, &[node]).expect("not enough survivors")
+}
+
+/// The top-of-rack-switch / PDU failure drill: drains outstanding logs
+/// (the §2.3.2 consistency prerequisite — charged to the recovery clock,
+/// like every drill here), then fails every node in `rack` simultaneously
+/// and reconstructs cross-rack. Fails with [`RecoveryError`] when the
+/// placement policy left more than `m` blocks of some stripe in the rack.
+pub fn recover_rack(
+    sim: &mut Sim<Cluster>,
+    cl: &mut Cluster,
+    rack: usize,
+) -> Result<RecoveryResult, RecoveryError> {
+    let victims: Vec<usize> = cl.layout.racks().members(rack).to_vec();
+    recover_scope(sim, cl, &victims)
+}
+
+/// The general drill: drains logs, fails an arbitrary set of nodes, and
+/// reconstructs every lost block from `k` survivors per stripe onto the
+/// remaining live nodes, re-homing each rebuilt block in the layout.
+/// Drills compose: nodes failed by earlier drills stay failed, and blocks
+/// they lost are found at their rebuild targets.
+pub fn recover_scope(
+    sim: &mut Sim<Cluster>,
+    cl: &mut Cluster,
+    victims: &[usize],
+) -> Result<RecoveryResult, RecoveryError> {
+    assert!(!victims.is_empty(), "recovery needs a failure scope");
+    let cross_before = cl.net.traffic().cross_rack_bytes();
+
     // Phase 1: logs must be consistent before reconstruction (§2.3.2).
     let drain_start = sim.now();
     methods::drain(sim, cl);
@@ -43,10 +112,49 @@ pub fn recover_node(sim: &mut Sim<Cluster>, cl: &mut Cluster, node: usize) -> Re
     }
     let drain_end = sim.now();
 
-    cl.nodes[node].failed = true;
-    let lost = cl.layout.blocks_on(node);
+    // Nodes downed by earlier drills stay down: they are neither survivors
+    // nor rebuild targets for this one.
+    let mut failed: Vec<bool> = cl.nodes.iter().map(|n| n.failed).collect();
+    for &v in victims {
+        cl.nodes[v].failed = true;
+        failed[v] = true;
+    }
+    assert!(
+        failed.iter().any(|&f| !f),
+        "cannot fail every node in the cluster"
+    );
+    let mut lost = Vec::new();
+    for &v in victims {
+        lost.extend(cl.layout.blocks_on(v));
+    }
     let block_bytes = cl.cfg.block_bytes;
     let k = cl.cfg.code.k();
+    let anchor = victims[0];
+
+    // Every stripe must still be reconstructible before any I/O is booked.
+    // `locate` (not `node_of`) honours relocations from earlier drills:
+    // a block rebuilt off a previously failed node counts as a survivor at
+    // its new home.
+    for (addr, _) in &lost {
+        let survivors = (0..cl.cfg.code.total() as u16)
+            .filter(|&idx| idx != addr.index)
+            .filter(|&idx| {
+                let saddr = crate::layout::BlockAddr {
+                    volume: addr.volume,
+                    stripe: addr.stripe,
+                    index: idx,
+                };
+                !failed[cl.layout.locate(saddr).0]
+            })
+            .count();
+        if survivors < k {
+            return Err(RecoveryError {
+                addr: *addr,
+                survivors,
+                needed: k,
+            });
+        }
+    }
 
     // Phase 2: for each lost block, stream k survivor blocks to a rebuild
     // target and write the reconstruction sequentially.
@@ -55,8 +163,8 @@ pub fn recover_node(sim: &mut Sim<Cluster>, cl: &mut Cluster, node: usize) -> Re
     for (i, (addr, _)) in lost.iter().enumerate() {
         let target = {
             // Next live node round-robin.
-            let mut t = (node + 1 + i) % cl.cfg.nodes;
-            while t == node {
+            let mut t = (anchor + 1 + i) % cl.cfg.nodes;
+            while failed[t] {
                 t = (t + 1) % cl.cfg.nodes;
             }
             t
@@ -73,7 +181,7 @@ pub fn recover_node(sim: &mut Sim<Cluster>, cl: &mut Cluster, node: usize) -> Re
                 index: idx,
             };
             let (snode, sdev) = cl.layout.locate(saddr);
-            if snode == node {
+            if failed[snode] {
                 continue;
             }
             sources.push((snode, sdev));
@@ -81,7 +189,7 @@ pub fn recover_node(sim: &mut Sim<Cluster>, cl: &mut Cluster, node: usize) -> Re
                 break;
             }
         }
-        assert!(sources.len() >= k, "not enough survivors");
+        debug_assert_eq!(sources.len(), k, "survivor pre-check missed a stripe");
         let mut ready = drain_end;
         for &(snode, sdev) in &sources {
             let t_read = cl.disk_io(
@@ -101,6 +209,9 @@ pub fn recover_node(sim: &mut Sim<Cluster>, cl: &mut Cluster, node: usize) -> Re
             ready + decode_ns,
             IoOp::write(rebuilt_off, block_bytes, Pattern::Sequential),
         );
+        // Re-home the block so later drills (and diagnostics) see it at
+        // its rebuild target, not on the dead node.
+        cl.layout.relocate(*addr, target, rebuilt_off);
         rebuilt += block_bytes;
         t_end = t_end.max(t_write);
     }
@@ -108,7 +219,8 @@ pub fn recover_node(sim: &mut Sim<Cluster>, cl: &mut Cluster, node: usize) -> Re
     let drain_s = simdes::units::as_secs_f64(drain_end.saturating_sub(drain_start));
     let rebuild_s = simdes::units::as_secs_f64(t_end.saturating_sub(drain_end));
     let total_s = drain_s + rebuild_s;
-    RecoveryResult {
+    let cross_after = cl.net.traffic().cross_rack_bytes();
+    Ok(RecoveryResult {
         blocks: lost.len(),
         rebuilt_bytes: rebuilt,
         drain_s,
@@ -118,5 +230,6 @@ pub fn recover_node(sim: &mut Sim<Cluster>, cl: &mut Cluster, node: usize) -> Re
         } else {
             0.0
         },
-    }
+        cross_rack_gib: (cross_after - cross_before) as f64 / (1u64 << 30) as f64,
+    })
 }

@@ -159,6 +159,8 @@ pub struct RunResult {
     pub disk: simdisk::DeviceStats,
     /// Network traffic (GiB).
     pub net_gib: f64,
+    /// Traffic that crossed the spine (GiB); zero on a flat topology.
+    pub net_cross_rack_gib: f64,
     /// Network messages.
     pub net_msgs: u64,
     /// Total NAND erases.
@@ -320,6 +322,7 @@ pub fn run_trace(rcfg: &ReplayConfig) -> RunResult {
         latency_p99_us: m.update_latency.quantile(0.99) as f64 / 1_000.0,
         disk: cl.disk_stats(),
         net_gib: cl.net.traffic().total_gib(),
+        net_cross_rack_gib: cl.net.traffic().cross_rack_gib(),
         net_msgs: cl.net.traffic().total_messages(),
         erases: cl.total_erases(),
         series: m.completions.rates_per_sec(),

@@ -69,6 +69,73 @@ fn cluster_builder_rejects_with_reasons() {
         .build()
         .unwrap_err();
     assert!(err.to_string().contains("bandwidth"), "{err}");
+
+    // Zero racks.
+    let err = ClusterConfig::builder()
+        .code(code64())
+        .method(MethodKind::Fo)
+        .racks(0)
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("racks"), "{err}");
+
+    // More racks than nodes.
+    let err = ClusterConfig::builder()
+        .code(code64())
+        .method(MethodKind::Fo)
+        .racks(17)
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("racks"), "{err}");
+
+    // Sub-unity (and non-finite) oversubscription.
+    for bad in [0.5, 0.0, f64::NAN, f64::INFINITY] {
+        let err = ClusterConfig::builder()
+            .code(code64())
+            .method(MethodKind::Fo)
+            .racks(4)
+            .oversubscription(bad)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("oversubscription"), "{err}");
+    }
+
+    // A placement the rack shape cannot satisfy: RS(6,4) rack-local needs
+    // 4 parity slots in one rack, but 16 nodes / 8 racks = 2 per rack.
+    let err = ClusterConfig::builder()
+        .code(code64())
+        .method(MethodKind::Fo)
+        .racks(8)
+        .placement(PlacementKind::RackLocal)
+        .build()
+        .unwrap_err();
+    assert!(err.to_string().contains("rack-local"), "{err}");
+}
+
+#[test]
+fn cluster_builder_topology_overrides_apply() {
+    let cfg = ClusterConfig::builder()
+        .code(code64())
+        .method(MethodKind::Tsue)
+        .racks(4)
+        .oversubscription(4.0)
+        .placement(PlacementKind::RackAware)
+        .build()
+        .unwrap();
+    assert_eq!(cfg.racks, 4);
+    assert_eq!(cfg.placement.name(), "rack-aware");
+    let topo = cfg.topology();
+    assert_eq!(topo.racks(), 4);
+    assert_eq!(topo.endpoints(), cfg.endpoints());
+    // OSDs 0..16 split 4-per-rack contiguously; clients round-robin.
+    assert_eq!(topo.rack_of(0), 0);
+    assert_eq!(topo.rack_of(15), 3);
+    assert_eq!(topo.rack_of(cfg.client_endpoint(0)), 0);
+    assert_eq!(topo.rack_of(cfg.client_endpoint(5)), 1);
+    // The racked cluster constructs and places across racks.
+    let cl = Cluster::new(cfg);
+    assert_eq!(cl.layout.racks().racks(), 4);
+    assert_eq!(cl.net.topology().racks(), 4);
 }
 
 #[test]
