@@ -1,16 +1,17 @@
 //! The simulated cluster: OSD nodes, network, metrics, and the consistency
 //! oracle shared by every update-method driver.
 
-use simdes::stats::{Histogram, TimeSeries};
+use simdes::stats::{Histogram, SampleLog, TimeSeries};
 use simdes::{Sim, SimTime};
 use simdisk::{Disk, Hdd, IoOp, Ssd};
-use simnet::{NetConfig, Network};
+use simnet::{FlowClass, NetConfig, Network};
 
 use rscode::ReedSolomon;
 
 use crate::config::{ClusterConfig, DiskKind};
+use crate::fault::FaultState;
 use crate::layout::{BlockAddr, Layout};
-use crate::methods::NodeLogState;
+use crate::methods::{NodeLogState, UpdateCtx};
 
 /// A half-open byte interval set with merging — the consistency oracle's
 /// bookkeeping unit.
@@ -98,6 +99,15 @@ pub struct Metrics {
     pub delta_residency: LayerResidency,
     /// ParityLog residency (TSUE / PL-family logs).
     pub parity_residency: LayerResidency,
+    /// Reads served by decoding the lost block from `k` survivors.
+    pub degraded_reads: u64,
+    /// Bytes produced by degraded-read decoding.
+    pub degraded_bytes_decoded: u64,
+    /// Client ops aborted because their stripe lost more than `m` blocks.
+    pub failed_ops: u64,
+    /// Timestamped update latencies, attached only when a fault plan is
+    /// active (enables degraded-window vs steady-state quantiles).
+    pub latency_samples: Option<SampleLog>,
 }
 
 impl Default for Metrics {
@@ -114,6 +124,10 @@ impl Default for Metrics {
             data_residency: LayerResidency::default(),
             delta_residency: LayerResidency::default(),
             parity_residency: LayerResidency::default(),
+            degraded_reads: 0,
+            degraded_bytes_decoded: 0,
+            failed_ops: 0,
+            latency_samples: None,
         }
     }
 }
@@ -199,6 +213,9 @@ pub struct Cluster {
     pub client_ops: Vec<std::collections::VecDeque<(u64, u32, traces::OpKind)>>,
     /// Scheduled-but-not-yet-executed log-forwarding events (drain guard).
     pub forwards_in_flight: u64,
+    /// Fault-timeline state: injected failures, the repair queue, and
+    /// availability counters.
+    pub faults: FaultState,
 }
 
 impl Cluster {
@@ -248,6 +265,7 @@ impl Cluster {
             stripe_names: std::collections::HashMap::new(),
             client_ops: Vec::new(),
             forwards_in_flight: 0,
+            faults: FaultState::default(),
             cfg,
         }
     }
@@ -284,37 +302,50 @@ impl Cluster {
         self.net.send(now, src, dst, bytes)
     }
 
+    /// Sends rebuild `bytes` between endpoints: reserves the same fabric
+    /// resources as [`Self::send`] but is accounted as repair traffic.
+    pub fn send_repair(&mut self, now: SimTime, src: usize, dst: usize, bytes: u64) -> SimTime {
+        self.net
+            .send_classed(now, src, dst, bytes, FlowClass::Repair)
+    }
+
     /// Small control message (ack) between endpoints.
     pub fn ack(&mut self, now: SimTime, src: usize, dst: usize) -> SimTime {
         self.net.rpc(now, src, dst)
     }
 
-    /// Records an update completion and drives the client's next op.
-    pub fn finish_update(
-        &mut self,
-        sim: &mut Sim<Cluster>,
-        client: usize,
-        issued_at: SimTime,
-        done_at: SimTime,
-    ) {
-        self.metrics.completed_updates += 1;
-        self.metrics
-            .update_latency
-            .record(done_at.saturating_sub(issued_at));
-        self.metrics.completions.record(done_at, 1);
-        self.metrics.last_completion = self.metrics.last_completion.max(done_at);
+    /// Schedules the op's client to issue its next op at `done_at`, if
+    /// this op is the one driving the closed loop (`ctx.drive`).
+    fn drive_client(&mut self, sim: &mut Sim<Cluster>, ctx: UpdateCtx, done_at: SimTime) {
+        if !ctx.drive {
+            return;
+        }
         if let Some(driver) = self.client_driver {
+            let client = ctx.client;
             sim.schedule_at(done_at.max(sim.now()), move |sim, cl: &mut Cluster| {
                 driver(sim, cl, client);
             });
         }
     }
 
+    /// Records an update completion and drives the client's next op.
+    pub fn finish_update(&mut self, sim: &mut Sim<Cluster>, ctx: UpdateCtx, done_at: SimTime) {
+        self.metrics.completed_updates += 1;
+        let latency = done_at.saturating_sub(ctx.issued_at);
+        self.metrics.update_latency.record(latency);
+        if let Some(log) = &mut self.metrics.latency_samples {
+            log.record(done_at, latency);
+        }
+        self.metrics.completions.record(done_at, 1);
+        self.metrics.last_completion = self.metrics.last_completion.max(done_at);
+        self.drive_client(sim, ctx, done_at);
+    }
+
     /// Records a non-update completion and drives the client's next op.
     pub fn finish_other(
         &mut self,
         sim: &mut Sim<Cluster>,
-        client: usize,
+        ctx: UpdateCtx,
         is_read: bool,
         done_at: SimTime,
     ) {
@@ -324,11 +355,55 @@ impl Cluster {
             self.metrics.completed_writes += 1;
         }
         self.metrics.last_completion = self.metrics.last_completion.max(done_at);
-        if let Some(driver) = self.client_driver {
-            sim.schedule_at(done_at.max(sim.now()), move |sim, cl: &mut Cluster| {
-                driver(sim, cl, client);
-            });
+        self.drive_client(sim, ctx, done_at);
+    }
+
+    /// Records an op aborted by data loss (its stripe fell below `k`
+    /// survivors — an EIO to the client) and drives the client's next op:
+    /// availability failures must not wedge the closed loop.
+    ///
+    /// `kind` re-credits the completion counter for background slices:
+    /// the replay's issue path pre-decrements it expecting a completion
+    /// that a failed op never delivers.
+    pub fn finish_failed(
+        &mut self,
+        sim: &mut Sim<Cluster>,
+        ctx: UpdateCtx,
+        kind: traces::OpKind,
+        done_at: SimTime,
+    ) {
+        self.metrics.failed_ops += 1;
+        if !ctx.drive {
+            let counter = match kind {
+                traces::OpKind::Update => &mut self.metrics.completed_updates,
+                traces::OpKind::Write => &mut self.metrics.completed_writes,
+                traces::OpKind::Read => &mut self.metrics.completed_reads,
+            };
+            *counter = counter.wrapping_add(1);
         }
+        self.metrics.last_completion = self.metrics.last_completion.max(done_at);
+        self.drive_client(sim, ctx, done_at);
+    }
+
+    /// Picks a live node to host a rebuilt or degraded-placed block,
+    /// scanning from `after + 1` with a rotating salt so consecutive
+    /// rebuilds spread over the cluster instead of piling onto one
+    /// neighbour.
+    ///
+    /// # Panics
+    /// Panics if every node is failed.
+    pub fn next_live_target(&mut self, after: usize) -> usize {
+        let n = self.cfg.nodes;
+        let salt = (self.faults.rebuild_seq as usize) % n;
+        self.faults.rebuild_seq += 1;
+        let mut t = (after + 1 + salt) % n;
+        let mut guard = 0;
+        while self.nodes[t].failed {
+            t = (t + 1) % n;
+            guard += 1;
+            assert!(guard <= n, "no live node to host a rebuilt block");
+        }
+        t
     }
 
     /// Parks a continuation on `node` until its logs make progress.

@@ -204,6 +204,44 @@ impl Layout {
         self.table.insert(addr, (node, dev_off));
     }
 
+    /// Whether the block has been allocated device space (placed or
+    /// relocated) — i.e. whether it may hold data.
+    pub fn is_placed(&self, addr: BlockAddr) -> bool {
+        self.table.contains_key(&addr)
+    }
+
+    /// The node currently hosting a block: its relocation target if it was
+    /// re-homed, otherwise its placement-policy home. Never allocates.
+    pub fn current_node(&self, addr: BlockAddr) -> usize {
+        match self.table.get(&addr) {
+            Some(&(n, _)) => n,
+            None => self.node_of(addr),
+        }
+    }
+
+    /// Forces a not-yet-placed block onto `node` (degraded placement: its
+    /// policy home is dead, so the MDS homes it on a live node instead),
+    /// allocating device space there. Returns the device offset.
+    ///
+    /// # Panics
+    /// Panics if the block is already placed — relocation of live data
+    /// goes through [`Self::relocate`] after a rebuild.
+    pub fn place_on(&mut self, addr: BlockAddr, node: usize) -> u64 {
+        assert!(
+            !self.is_placed(addr),
+            "place_on called on an already-placed block"
+        );
+        let dev_off = self.cursors[node];
+        let span = if addr.is_data(self.code) {
+            self.block_bytes
+        } else {
+            self.block_bytes + self.parity_extra
+        };
+        self.cursors[node] += span;
+        self.table.insert(addr, (node, dev_off));
+        dev_off
+    }
+
     /// Device bytes allocated on `node` so far.
     pub fn allocated(&self, node: usize) -> u64 {
         self.cursors[node]
@@ -362,6 +400,56 @@ mod tests {
         }
         let total: usize = (0..16).map(|n| l.blocks_on(n).len()).sum();
         assert_eq!(total, 180);
+    }
+
+    #[test]
+    fn current_node_tracks_relocation() {
+        let mut l = layout();
+        let a = BlockAddr {
+            volume: 0,
+            stripe: 7,
+            index: 2,
+        };
+        let policy_home = l.node_of(a);
+        assert_eq!(l.current_node(a), policy_home, "unplaced: policy home");
+        assert!(!l.is_placed(a));
+        let (node, _) = l.locate(a);
+        assert_eq!(node, policy_home);
+        assert!(l.is_placed(a));
+        let target = (policy_home + 1) % 16;
+        l.relocate(a, target, 42);
+        assert_eq!(l.current_node(a), target);
+        assert_eq!(l.locate(a), (target, 42));
+    }
+
+    #[test]
+    fn place_on_forces_home_and_allocates() {
+        let mut l = layout();
+        let a = BlockAddr {
+            volume: 0,
+            stripe: 3,
+            index: 1,
+        };
+        let target = (l.node_of(a) + 5) % 16;
+        let before = l.allocated(target);
+        let off = l.place_on(a, target);
+        assert_eq!(off, before);
+        assert_eq!(l.allocated(target), before + (1 << 20));
+        assert_eq!(l.current_node(a), target);
+        assert_eq!(l.locate(a), (target, off));
+    }
+
+    #[test]
+    #[should_panic(expected = "already-placed")]
+    fn place_on_rejects_placed_blocks() {
+        let mut l = layout();
+        let a = BlockAddr {
+            volume: 0,
+            stripe: 0,
+            index: 0,
+        };
+        l.locate(a);
+        l.place_on(a, 3);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 pub mod cluster;
 pub mod config;
+pub mod fault;
 pub mod layout;
 pub mod methods;
 pub mod placement;
@@ -37,6 +38,7 @@ pub use cluster::Cluster;
 pub use config::{
     ClusterConfig, ClusterConfigBuilder, ConfigError, DiskKind, MethodKind, TsueFeatures,
 };
+pub use fault::{FaultEvent, FaultPlan, FaultScope};
 pub use methods::{MethodRegistry, NodeLogState, UpdateCtx, UpdateMethod};
 pub use placement::{PlacementKind, PlacementPolicy, RackMap};
 pub use replay::{run_trace, ReplayConfig, ReplayConfigBuilder, RunResult};
@@ -56,6 +58,7 @@ pub mod prelude {
     pub use crate::config::{
         ClusterConfig, ClusterConfigBuilder, ConfigError, DiskKind, MethodKind, TsueFeatures,
     };
+    pub use crate::fault::{FaultEvent, FaultPlan, FaultScope, FaultState, InjectedFault};
     pub use crate::layout::{BlockAddr, BlockSlice, Layout};
     pub use crate::methods::{
         register_method, resolve_method, MethodRegistry, NodeLogState, PlainState, RegistryError,
@@ -65,7 +68,7 @@ pub mod prelude {
         FlatRotate, PlacementKind, PlacementPolicy, RackAware, RackLocal, RackMap,
     };
     pub use crate::recovery::{
-        recover_node, recover_rack, recover_scope, RecoveryError, RecoveryResult,
+        inject_fault, recover_node, recover_rack, recover_scope, RecoveryError, RecoveryResult,
     };
     pub use crate::replay::{
         run_trace, run_update_phase, ReplayConfig, ReplayConfigBuilder, ResidencySummary, RunResult,

@@ -104,7 +104,7 @@ impl UpdateMethod for Cord {
         let (dnode, ddev) = cl.layout.locate(slice.addr);
         let client_ep = cl.cfg.client_endpoint(ctx.client);
 
-        let t_arrive = cl.send(ctx.issued_at, client_ep, dnode, len);
+        let t_arrive = cl.send(ctx.start_at, client_ep, dnode, len);
         // Write-after-read on the data block (CoRD keeps the delta path).
         let off = ddev + slice.offset as u64;
         let t_read = cl.disk_io(dnode, t_arrive, IoOp::read(off, len, Pattern::Random));
@@ -165,15 +165,20 @@ impl UpdateMethod for Cord {
 
         let t_ack = cl.ack(t_logged, collector, client_ep);
         cl.oracle_ack(slice.addr, slice.offset, slice.len);
-        cl.finish_update(sim, ctx.client, ctx.issued_at, t_ack);
+        cl.finish_update(sim, ctx, t_ack);
     }
 
     fn drain(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster) {
+        self.drain_until(sim, cl);
+    }
+
+    fn drain_until(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster) -> SimTime {
         let now = sim.now();
         let mut t_end = now;
         for node in 0..cl.cfg.nodes {
             t_end = t_end.max(flush_collector(cl, node, now));
         }
         sim.schedule_at(t_end, |_, _| {});
+        t_end
     }
 }

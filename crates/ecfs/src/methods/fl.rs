@@ -80,13 +80,19 @@ fn recycle_node(cl: &mut Cluster, node: usize, from: SimTime) -> SimTime {
     for (key, ranges) in contents {
         let addr = addr_of[&key];
         let (bnode, bdev) = cl.layout.locate(addr);
-        debug_assert_eq!(bnode, node);
         for (off, g) in ranges {
             let len = g.0 as u64;
             let boff = bdev + off as u64;
+            // A failure may have re-homed the block since it was logged:
+            // the folded range then crosses the network to its new home.
+            let t_at = if bnode != node {
+                cl.send(t, node, bnode, len)
+            } else {
+                t
+            };
             // Data blocks: read old + write new. Parity blocks: RMW too.
-            t = cl.disk_io(node, t, IoOp::read(boff, len, Pattern::Random));
-            t = cl.disk_io(node, t, IoOp::write(boff, len, Pattern::Random));
+            t = cl.disk_io(bnode, t_at, IoOp::read(boff, len, Pattern::Random));
+            t = cl.disk_io(bnode, t, IoOp::write(boff, len, Pattern::Random));
             if addr.is_data(code) {
                 cl.oracle_apply_data(addr, off, g.0);
             } else {
@@ -125,7 +131,7 @@ impl UpdateMethod for Fl {
             return;
         }
 
-        let t_arrive = cl.send(ctx.issued_at, client_ep, dnode, len);
+        let t_arrive = cl.send(ctx.start_at, client_ep, dnode, len);
         // Append new data to the local log (sequential).
         let log_off = cl.log_offset(dnode, len);
         let t_local = cl.disk_io(
@@ -175,15 +181,20 @@ impl UpdateMethod for Fl {
 
         let t_ack = cl.ack(t_done, dnode, client_ep);
         cl.oracle_ack(slice.addr, slice.offset, slice.len);
-        cl.finish_update(sim, ctx.client, ctx.issued_at, t_ack);
+        cl.finish_update(sim, ctx, t_ack);
     }
 
     fn drain(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster) {
+        self.drain_until(sim, cl);
+    }
+
+    fn drain_until(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster) -> SimTime {
         let now = sim.now();
         let mut t_end = now;
         for node in 0..cl.cfg.nodes {
             t_end = t_end.max(recycle_node(cl, node, now));
         }
         sim.schedule_at(t_end, |_, _| {});
+        t_end
     }
 }

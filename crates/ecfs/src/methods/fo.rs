@@ -28,7 +28,7 @@ impl UpdateMethod for Fo {
         let client_ep = cl.cfg.client_endpoint(ctx.client);
 
         // Client -> data node.
-        let t_arrive = cl.send(ctx.issued_at, client_ep, dnode, len);
+        let t_arrive = cl.send(ctx.start_at, client_ep, dnode, len);
         // Write-after-read on the data block (delta computation, Eq. 2).
         let off = ddev + slice.offset as u64;
         let t_read = cl.disk_io(dnode, t_arrive, IoOp::read(off, len, Pattern::Random));
@@ -50,6 +50,6 @@ impl UpdateMethod for Fo {
 
         let t_ack = cl.ack(t_done, dnode, client_ep);
         cl.oracle_ack(slice.addr, slice.offset, slice.len);
-        cl.finish_update(sim, ctx.client, ctx.issued_at, t_ack);
+        cl.finish_update(sim, ctx, t_ack);
     }
 }

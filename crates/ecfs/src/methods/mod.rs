@@ -85,15 +85,38 @@ pub struct PlainState;
 
 impl NodeLogState for PlainState {}
 
-/// One in-flight client update (a single block slice).
+/// One in-flight client op (a single block slice).
 #[derive(Debug, Clone, Copy)]
 pub struct UpdateCtx {
     /// Issuing client.
     pub client: usize,
     /// The block range being updated.
     pub slice: BlockSlice,
-    /// Issue time.
+    /// Issue time — the latency anchor: client-observed latency is always
+    /// measured from here.
     pub issued_at: SimTime,
+    /// When service may begin. Equals [`Self::issued_at`] on the normal
+    /// path; the degraded dispatch pushes it forward when the op first had
+    /// to wait for an inline rebuild, so the rebuild delay lands in the
+    /// client's latency without letting the method book I/O in the past.
+    pub start_at: SimTime,
+    /// Whether this op's completion drives the client's next op. The first
+    /// slice of a multi-slice op drives; background remainder slices
+    /// complete without touching the closed loop.
+    pub drive: bool,
+}
+
+impl UpdateCtx {
+    /// A driving op issued (and startable) at `now`.
+    pub fn new(client: usize, slice: BlockSlice, now: SimTime) -> UpdateCtx {
+        UpdateCtx {
+            client,
+            slice,
+            issued_at: now,
+            start_at: now,
+            drive: true,
+        }
+    }
 }
 
 /// An update method: the object-safe contract every driver — built-in or
@@ -138,22 +161,67 @@ pub trait UpdateMethod: Send + Sync + std::fmt::Debug {
     fn drain(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster) {
         let _ = (sim, cl);
     }
+
+    /// Schedules replay of the log state outstanding *now* — the paper's
+    /// §2.3.2 consistency prerequisite before reconstruction can start —
+    /// and returns the simulation time at which that state is durably
+    /// applied. Appends arriving later need not be included: mid-replay
+    /// repair gates only on the backlog that existed at failure time.
+    ///
+    /// The default covers methods with no log state (drain is a no-op and
+    /// reconstruction can start immediately); deferred-recycling drivers
+    /// override it to return their booked flush completion.
+    fn drain_until(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster) -> SimTime {
+        self.drain(sim, cl);
+        sim.now()
+    }
 }
 
-/// Dispatches an update to the cluster's configured method.
+/// Dispatches an update to the cluster's configured method. On a degraded
+/// cluster the dispatch first restores the stripe's write path: blocks
+/// homed on dead nodes are rebuilt-and-relocated inline (or freshly placed
+/// on live nodes), and the method runs once everything it will touch is
+/// live again.
 pub fn begin_update(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
+    if cl.faults.degraded_mode
+        && prepare_write_path(sim, cl, ctx, traces::OpKind::Update, begin_update)
+    {
+        return;
+    }
     let method = Arc::clone(&cl.cfg.method);
     method.begin_update(sim, cl, ctx);
 }
 
-/// Dispatches a fresh write to the cluster's configured method.
+/// Dispatches a fresh write to the cluster's configured method (degraded
+/// handling as in [`begin_update`]).
 pub fn begin_write(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
+    if cl.faults.degraded_mode
+        && prepare_write_path(sim, cl, ctx, traces::OpKind::Write, begin_write)
+    {
+        return;
+    }
     let method = Arc::clone(&cl.cfg.method);
     method.begin_write(sim, cl, ctx);
 }
 
-/// Dispatches a read to the cluster's configured method.
+/// Dispatches a read to the cluster's configured method. A read whose
+/// target block sits on a dead node is served degraded: the lost block is
+/// decoded from `k` survivors, charged as `k` transfers on the fabric.
 pub fn begin_read(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
+    if cl.faults.degraded_mode {
+        let addr = ctx.slice.addr;
+        let home = cl.layout.current_node(addr);
+        if cl.nodes[home].failed {
+            if cl.layout.is_placed(addr) {
+                degraded_read(sim, cl, ctx);
+                return;
+            }
+            // Never written: nothing to decode. The MDS homes it on a
+            // live node and the read proceeds normally.
+            let target = cl.next_live_target(home);
+            cl.layout.place_on(addr, target);
+        }
+    }
     let method = Arc::clone(&cl.cfg.method);
     method.begin_read(sim, cl, ctx);
 }
@@ -165,13 +233,119 @@ pub fn drain(sim: &mut Sim<Cluster>, cl: &mut Cluster) {
     method.drain(sim, cl);
 }
 
+/// Dispatches [`UpdateMethod::drain_until`]: schedules replay of the log
+/// backlog outstanding now and returns when it is durably applied.
+pub fn drain_until(sim: &mut Sim<Cluster>, cl: &mut Cluster) -> SimTime {
+    let method = Arc::clone(&cl.cfg.method);
+    method.drain_until(sim, cl)
+}
+
+/// Restores the write path of `ctx`'s stripe on a degraded cluster: every
+/// block the update path may touch (the data block and all `m` parity
+/// blocks) must live on a live node before the method books I/O.
+///
+/// * dead home, never written → the block is re-homed onto a live node at
+///   metadata cost only;
+/// * dead home, written → the block is rebuilt inline from `k` survivors
+///   (write-triggered recovery, racing the background repair scheduler)
+///   and relocated to its rebuild target;
+/// * stripe below `k` survivors → the op fails (EIO) and is counted in
+///   [`crate::cluster::Metrics::failed_ops`].
+///
+/// Returns `true` when the op was consumed (deferred behind a rebuild, or
+/// failed); `false` when every home is live and the caller should
+/// dispatch immediately.
+fn prepare_write_path(
+    sim: &mut Sim<Cluster>,
+    cl: &mut Cluster,
+    ctx: UpdateCtx,
+    kind: traces::OpKind,
+    redispatch: fn(&mut Sim<Cluster>, &mut Cluster, UpdateCtx),
+) -> bool {
+    let addr = ctx.slice.addr;
+    let mut needed = vec![addr];
+    needed.extend(cl.layout.parity_addrs(addr.volume, addr.stripe));
+    let mut ready = ctx.start_at;
+    for a in needed {
+        let home = cl.layout.current_node(a);
+        if !cl.nodes[home].failed {
+            continue;
+        }
+        if !cl.layout.is_placed(a) {
+            let target = cl.next_live_target(home);
+            cl.layout.place_on(a, target);
+            continue;
+        }
+        match crate::recovery::rebuild_block(cl, a, ctx.start_at) {
+            Ok(t_rebuilt) => {
+                cl.faults.inline_rebuilds += 1;
+                ready = ready.max(t_rebuilt);
+            }
+            Err(_) => {
+                cl.finish_failed(sim, ctx, kind, ctx.start_at);
+                return true;
+            }
+        }
+    }
+    if ready > ctx.start_at {
+        // The op waited for its stripe to heal: re-enter the dispatch at
+        // the rebuild's completion with the wait charged to the client.
+        let mut deferred = ctx;
+        deferred.start_at = ready;
+        sim.schedule_at(ready.max(sim.now()), move |sim, cl: &mut Cluster| {
+            redispatch(sim, cl, deferred);
+        });
+        return true;
+    }
+    false
+}
+
+/// Serves a read of a block whose home died before it could be rebuilt:
+/// the client gathers the addressed range from `k` surviving blocks of the
+/// stripe (each a disk read plus a transfer on the shared fabric) and
+/// decodes the lost range locally.
+fn degraded_read(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
+    let slice = ctx.slice;
+    let len = slice.len as u64;
+    let k = cl.cfg.code.k();
+    let client_ep = cl.cfg.client_endpoint(ctx.client);
+    let now = ctx.start_at;
+
+    let survivors = match crate::recovery::select_survivors(cl, slice.addr) {
+        Ok(s) => s,
+        Err(_) => {
+            // The stripe lost more than m blocks: unrecoverable, EIO.
+            cl.finish_failed(sim, ctx, traces::OpKind::Read, now);
+            return;
+        }
+    };
+
+    let mut ready = now;
+    for saddr in survivors {
+        let (snode, sdev) = cl.layout.locate(saddr);
+        let t_req = cl.ack(now, client_ep, snode);
+        let t_read = cl.disk_io(
+            snode,
+            t_req,
+            IoOp::read(sdev + slice.offset as u64, len, Pattern::Random),
+        );
+        let t_recv = cl.send(t_read, snode, client_ep, len);
+        ready = ready.max(t_recv);
+    }
+    // Decoding combines k inputs per output byte (~10 GB/s per stream).
+    let decode_ns = len * k as u64 / 10;
+    cl.metrics.degraded_reads += 1;
+    cl.metrics.degraded_bytes_decoded += len;
+    cl.finish_other(sim, ctx, true, ready + decode_ns);
+}
+
 /// The fresh-write path, identical for all methods: the client has already
 /// encoded the stripe, so the data lands as a sequential write on the data
 /// node plus an amortised `m/k` share of sequential parity writes.
 pub fn default_begin_write(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
     let (node, dev_off) = cl.layout.locate(ctx.slice.addr);
     let len = ctx.slice.len as u64;
-    let now = ctx.issued_at;
+    let now = ctx.start_at;
     let client_ep = cl.cfg.client_endpoint(ctx.client);
     let t_arrive = cl.send(now, client_ep, node, len);
     let t_data = cl.disk_io(
@@ -194,7 +368,7 @@ pub fn default_begin_write(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: Update
         IoOp::write(poff, pshare, Pattern::Sequential),
     );
     let t_done = cl.ack(t_data.max(t_parity), node, client_ep);
-    cl.finish_other(sim, ctx.client, false, t_done);
+    cl.finish_other(sim, ctx, false, t_done);
 }
 
 /// The read path: a log read-cache hit (per [`NodeLogState::read_cache_covers`])
@@ -202,7 +376,7 @@ pub fn default_begin_write(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: Update
 pub fn default_begin_read(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
     let (node, dev_off) = cl.layout.locate(ctx.slice.addr);
     let len = ctx.slice.len as u64;
-    let now = ctx.issued_at;
+    let now = ctx.start_at;
     let client_ep = cl.cfg.client_endpoint(ctx.client);
     let t_arrive = cl.ack(now, client_ep, node);
 
@@ -222,7 +396,7 @@ pub fn default_begin_read(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateC
         )
     };
     let t_done = cl.send(t_read, node, client_ep, len);
-    cl.finish_other(sim, ctx.client, true, t_done);
+    cl.finish_other(sim, ctx, true, t_done);
 }
 
 /// Bytes of log state still pending across the cluster (drain progress).

@@ -72,7 +72,7 @@ impl UpdateMethod for Parix {
         let (dnode, ddev) = cl.layout.locate(slice.addr);
         let client_ep = cl.cfg.client_endpoint(ctx.client);
 
-        let t_arrive = cl.send(ctx.issued_at, client_ep, dnode, len);
+        let t_arrive = cl.send(ctx.start_at, client_ep, dnode, len);
         // In-place data write — no read! That is PARIX's front-end saving.
         let off = ddev + slice.offset as u64;
         let t_write = cl.disk_io(dnode, t_arrive, IoOp::write(off, len, Pattern::Random));
@@ -145,10 +145,14 @@ impl UpdateMethod for Parix {
 
         let t_ack = cl.ack(t_done, dnode, client_ep);
         cl.oracle_ack(slice.addr, slice.offset, slice.len);
-        cl.finish_update(sim, ctx.client, ctx.issued_at, t_ack);
+        cl.finish_update(sim, ctx, t_ack);
     }
 
     fn drain(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster) {
+        self.drain_until(sim, cl);
+    }
+
+    fn drain_until(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster) -> SimTime {
         let now = sim.now();
         let mut t_end = now;
         for node in 0..cl.cfg.nodes {
@@ -160,6 +164,7 @@ impl UpdateMethod for Parix {
             }
         }
         sim.schedule_at(t_end, |_, _| {});
+        t_end
     }
 }
 
@@ -182,7 +187,7 @@ fn epoch_reset(cl: &mut Cluster, node: usize) {
                 stripe: paddr.stripe,
                 index: idx,
             };
-            let dnode = cl.layout.node_of(daddr);
+            let dnode = cl.layout.current_node(daddr);
             if let Some(ds) = cl.nodes[dnode].state.downcast_mut::<ParixState>() {
                 ds.old_sent.remove(&daddr);
             }
@@ -215,21 +220,25 @@ pub fn recycle_node(cl: &mut Cluster, node: usize, from: SimTime) -> SimTime {
                 stripe: paddr.stripe,
                 index: idx,
             };
-            let dnode = cl.layout.node_of(daddr);
+            let dnode = cl.layout.current_node(daddr);
             if let Some(ds) = cl.nodes[dnode].state.downcast_mut::<ParixState>() {
                 ds.old_sent.remove(&daddr);
             }
         }
         let (pnode, pdev) = cl.layout.locate(paddr);
-        debug_assert_eq!(pnode, node);
         for (off, g) in ranges {
             let len = g.0 as u64;
-            // Read logged pair (sequential log scan piece), then parity RMW.
+            // Read logged pair (sequential log scan piece), then parity RMW
+            // — at the block's current home, which a rebuild may have moved
+            // off this node (the replayed delta then crosses the network).
             let log_off = cl.log_offset(node, 2 * len);
-            t = cl.disk_io(node, t, IoOp::read(log_off, 2 * len, Pattern::Random));
+            let mut t_pair = cl.disk_io(node, t, IoOp::read(log_off, 2 * len, Pattern::Random));
+            if pnode != node {
+                t_pair = cl.send(t_pair, node, pnode, 2 * len);
+            }
             let poff = pdev + *off as u64;
-            t = cl.disk_io(node, t, IoOp::read(poff, len, Pattern::Random));
-            t = cl.disk_io(node, t, IoOp::write(poff, len, Pattern::Random));
+            t = cl.disk_io(pnode, t_pair, IoOp::read(poff, len, Pattern::Random));
+            t = cl.disk_io(pnode, t, IoOp::write(poff, len, Pattern::Random));
             cl.oracle_apply_parity(paddr, *off, g.0);
         }
     }

@@ -62,7 +62,7 @@ impl UpdateMethod for Pl {
         let (dnode, ddev) = cl.layout.locate(slice.addr);
         let client_ep = cl.cfg.client_endpoint(ctx.client);
 
-        let t_arrive = cl.send(ctx.issued_at, client_ep, dnode, len);
+        let t_arrive = cl.send(ctx.start_at, client_ep, dnode, len);
         // Write-after-read on the data block.
         let off = ddev + slice.offset as u64;
         let t_read = cl.disk_io(dnode, t_arrive, IoOp::read(off, len, Pattern::Random));
@@ -93,10 +93,14 @@ impl UpdateMethod for Pl {
 
         let t_ack = cl.ack(t_done, dnode, client_ep);
         cl.oracle_ack(slice.addr, slice.offset, slice.len);
-        cl.finish_update(sim, ctx.client, ctx.issued_at, t_ack);
+        cl.finish_update(sim, ctx, t_ack);
     }
 
     fn drain(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster) {
+        self.drain_until(sim, cl);
+    }
+
+    fn drain_until(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster) -> SimTime {
         let now = sim.now();
         let mut t_end = now;
         for node in 0..cl.cfg.nodes {
@@ -104,6 +108,7 @@ impl UpdateMethod for Pl {
         }
         // Advance the clock to the drain's completion.
         sim.schedule_at(t_end, |_, _| {});
+        t_end
     }
 }
 
@@ -125,12 +130,17 @@ pub fn recycle_node(cl: &mut Cluster, node: usize, from: SimTime) -> SimTime {
         // Read the delta back from the log (random: the log interleaves
         // deltas of many parity blocks).
         let log_off = cl.log_offset(node, len);
-        t = cl.disk_io(node, t, IoOp::read(log_off, len, Pattern::Random));
+        let mut t_delta = cl.disk_io(node, t, IoOp::read(log_off, len, Pattern::Random));
         let (pnode, pdev) = cl.layout.locate(rec.parity);
-        debug_assert_eq!(pnode, node);
+        // A failure may have re-homed the parity block since the delta was
+        // logged: the replayed delta then crosses the network to the
+        // block's rebuild target.
+        if pnode != node {
+            t_delta = cl.send(t_delta, node, pnode, len);
+        }
         let poff = pdev + rec.offset as u64;
-        t = cl.disk_io(node, t, IoOp::read(poff, len, Pattern::Random));
-        t = cl.disk_io(node, t, IoOp::write(poff, len, Pattern::Random));
+        t = cl.disk_io(pnode, t_delta, IoOp::read(poff, len, Pattern::Random));
+        t = cl.disk_io(pnode, t, IoOp::write(poff, len, Pattern::Random));
         cl.oracle_apply_parity(rec.parity, rec.offset, rec.len);
     }
     t

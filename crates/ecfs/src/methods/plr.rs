@@ -47,15 +47,11 @@ impl NodeLogState for PlrState {
     }
 }
 
-/// Applies one parity block's reserved log: read deltas + RMW the parity
-/// block. Returns completion time.
-fn recycle_reserved(
-    cl: &mut Cluster,
-    node: usize,
-    paddr: BlockAddr,
-    pdev: u64,
-    from: SimTime,
-) -> SimTime {
+/// Applies one parity block's reserved log (tracked on `node`): read
+/// deltas + RMW the parity block at its *current* home — a failure may
+/// have re-homed the block, in which case the replayed deltas cross the
+/// network to the rebuild target. Returns completion time.
+fn recycle_reserved(cl: &mut Cluster, node: usize, paddr: BlockAddr, from: SimTime) -> SimTime {
     let (used, pending) = match cl.nodes[node].state.downcast_mut::<PlrState>() {
         Some(state) => {
             let r = state.reserved.entry(paddr).or_default();
@@ -69,27 +65,33 @@ fn recycle_reserved(
     if pending.is_empty() {
         return from;
     }
+    let (pnode, pdev) = cl.layout.locate(paddr);
     let block = cl.cfg.block_bytes;
     // The reserved region sits directly after the parity block, so reading
-    // it back is one access with a short seek (sequential-ish).
+    // it back is one access with a short seek (sequential-ish). The logged
+    // deltas live on `node`; when the block was re-homed by a rebuild they
+    // cross the network to its new host before being applied.
     let mut t = cl.disk_io(
         node,
         from,
         IoOp::read(pdev + block, used.max(1), Pattern::Sequential),
     );
+    if pnode != node {
+        t = cl.send(t, node, pnode, used.max(1));
+    }
     // Apply each logged delta: parity read-modify-write (random within the
     // block; PLR has no merging index).
     for (off, len) in pending {
         let poff = pdev + off as u64;
-        t = cl.disk_io(node, t, IoOp::read(poff, len as u64, Pattern::Random));
-        t = cl.disk_io(node, t, IoOp::write(poff, len as u64, Pattern::Random));
+        t = cl.disk_io(pnode, t, IoOp::read(poff, len as u64, Pattern::Random));
+        t = cl.disk_io(pnode, t, IoOp::write(poff, len as u64, Pattern::Random));
         cl.oracle_apply_parity(paddr, off, len);
     }
     // The reserved region is a *fixed* device extent: reusing it requires
     // erasing its flash blocks (no FTL remapping for in-place log space).
     // This is PLR's lifespan and latency killer on SSDs.
     let reserved = cl.cfg.plr_reserved_bytes.max(1);
-    t = cl.nodes[node].disk.erase_region(t, pdev + block, reserved);
+    t = cl.nodes[pnode].disk.erase_region(t, pdev + block, reserved);
     t
 }
 
@@ -112,7 +114,7 @@ impl UpdateMethod for Plr {
         let (dnode, ddev) = cl.layout.locate(slice.addr);
         let client_ep = cl.cfg.client_endpoint(ctx.client);
 
-        let t_arrive = cl.send(ctx.issued_at, client_ep, dnode, len);
+        let t_arrive = cl.send(ctx.start_at, client_ep, dnode, len);
         let off = ddev + slice.offset as u64;
         let t_read = cl.disk_io(dnode, t_arrive, IoOp::read(off, len, Pattern::Random));
         let t_write = cl.disk_io(dnode, t_read, IoOp::write(off, len, Pattern::Random));
@@ -135,7 +137,7 @@ impl UpdateMethod for Plr {
                 None => false,
             };
             let t_space = if needs_recycle {
-                recycle_reserved(cl, pnode, paddr, pdev, t_delta)
+                recycle_reserved(cl, pnode, paddr, t_delta)
             } else {
                 t_delta
             };
@@ -162,25 +164,31 @@ impl UpdateMethod for Plr {
 
         let t_ack = cl.ack(t_done, dnode, client_ep);
         cl.oracle_ack(slice.addr, slice.offset, slice.len);
-        cl.finish_update(sim, ctx.client, ctx.issued_at, t_ack);
+        cl.finish_update(sim, ctx, t_ack);
     }
 
     fn drain(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster) {
+        self.drain_until(sim, cl);
+    }
+
+    fn drain_until(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster) -> SimTime {
         let now = sim.now();
         let mut t_end = now;
         for node in 0..cl.cfg.nodes {
-            let addrs: Vec<BlockAddr> = match cl.nodes[node].state.downcast_ref::<PlrState>() {
+            let mut addrs: Vec<BlockAddr> = match cl.nodes[node].state.downcast_ref::<PlrState>() {
                 Some(state) => state.reserved.keys().copied().collect(),
                 None => continue,
             };
+            // HashMap iteration order is nondeterministic; sorted replay
+            // keeps the drain reproducible.
+            addrs.sort_unstable();
             let mut t = now;
             for paddr in addrs {
-                let (pnode, pdev) = cl.layout.locate(paddr);
-                debug_assert_eq!(pnode, node);
-                t = recycle_reserved(cl, node, paddr, pdev, t);
+                t = recycle_reserved(cl, node, paddr, t);
             }
             t_end = t_end.max(t);
         }
         sim.schedule_at(t_end, |_, _| {});
+        t_end
     }
 }

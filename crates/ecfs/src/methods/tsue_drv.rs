@@ -53,6 +53,20 @@ impl UpdateMethod for Tsue {
     fn drain(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster) {
         drain(sim, cl);
     }
+
+    fn drain_until(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster) -> SimTime {
+        // TSUE recycles in real time, so the backlog at a failure is at
+        // most the active log units. The recycle chains are event-driven
+        // (their exact completion is not known up front), so the recovery
+        // gate charges the backlog at a conservative replay rate — the
+        // paper's point survives intact: this is typically megabytes,
+        // versus the gigabytes deferred methods must replay.
+        let backlog = methods::pending_log_bytes(cl);
+        drain(sim, cl);
+        // ~2 GB/s replay (sequential log scan + merged RMW), plus one
+        // scheduling quantum.
+        sim.now() + backlog / 2 + simdes::units::MILLIS
+    }
 }
 
 /// Layer indices for the pending-bytes ledger.
@@ -133,7 +147,15 @@ fn tsue_state(cl: &mut Cluster, node: usize) -> &mut TsueState {
 
 /// The replica node for a data log: the next live OSD on the ring.
 fn replica_of(cl: &Cluster, node: usize) -> usize {
-    (node + 1) % cl.cfg.nodes
+    let n = cl.cfg.nodes;
+    let mut r = (node + 1) % n;
+    let mut guard = 0;
+    while cl.nodes[r].failed {
+        r = (r + 1) % n;
+        guard += 1;
+        assert!(guard <= n, "no live replica node");
+    }
+    r
 }
 
 /// Runs one TSUE update (front end only; the back end self-schedules).
@@ -158,7 +180,7 @@ fn begin_update(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
         }
     }
 
-    let t_arrive = cl.send(ctx.issued_at, client_ep, dnode, len);
+    let t_arrive = cl.send(ctx.start_at, client_ep, dnode, len);
     let key = slice.addr.key();
 
     // Append to the DataLog.
@@ -221,7 +243,7 @@ fn begin_update(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
         );
     }
     cl.oracle_ack(slice.addr, slice.offset, slice.len);
-    cl.finish_update(sim, ctx.client, ctx.issued_at, t_ack);
+    cl.finish_update(sim, ctx, t_ack);
 }
 
 fn schedule_data_recycle(sim: &mut Sim<Cluster>, _cl: &mut Cluster, node: usize, at: SimTime) {
@@ -289,13 +311,20 @@ pub fn recycle_data(sim: &mut Sim<Cluster>, cl: &mut Cluster, node: usize) {
     for (key, ranges) in &taken.contents {
         let addr = tsue_state(cl, node).addr_of[key];
         let (bnode, bdev) = cl.layout.locate(addr);
-        debug_assert_eq!(bnode, node);
         for (off, g) in ranges {
             let len = g.0 as u64;
             if use_merged {
+                // A failure may have re-homed the block since its updates
+                // were logged: the merged range is then folded at its
+                // rebuild target, one network hop away.
                 let boff = bdev + *off as u64;
-                let t_r = cl.disk_io(node, t_io, IoOp::read(boff, len, Pattern::Random));
-                t_io = cl.disk_io(node, t_r, IoOp::write(boff, len, Pattern::Random));
+                let t_at = if bnode != node {
+                    cl.send(t_io, node, bnode, len)
+                } else {
+                    t_io
+                };
+                let t_r = cl.disk_io(bnode, t_at, IoOp::read(boff, len, Pattern::Random));
+                t_io = cl.disk_io(bnode, t_r, IoOp::write(boff, len, Pattern::Random));
             } else {
                 // O1 off: write-after-read per raw record, not per range.
                 for _ in 0..ops_per_range {
@@ -555,12 +584,18 @@ pub fn recycle_parity(sim: &mut Sim<Cluster>, cl: &mut Cluster, node: usize) {
                 index: cl.cfg.code.k() as u16 + job.parity.parity_idx,
             };
             let (pn, pdev) = cl.layout.locate(paddr);
-            debug_assert_eq!(pn, node);
             for (off, g) in &job.ranges {
                 let len = g.0 as u64;
                 let poff = pdev + *off as u64;
-                let t_r = cl.disk_io(node, t_end.max(now), IoOp::read(poff, len, Pattern::Random));
-                t_end = cl.disk_io(node, t_r, IoOp::write(poff, len, Pattern::Random));
+                // Fold at the parity block's current home (a rebuild may
+                // have moved it off this node mid-replay).
+                let t_at = if pn != node {
+                    cl.send(t_end.max(now), node, pn, len)
+                } else {
+                    t_end.max(now)
+                };
+                let t_r = cl.disk_io(pn, t_at, IoOp::read(poff, len, Pattern::Random));
+                t_end = cl.disk_io(pn, t_r, IoOp::write(poff, len, Pattern::Random));
                 cl.oracle_apply_parity(paddr, *off, g.0);
             }
         }

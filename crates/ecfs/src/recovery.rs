@@ -1,6 +1,7 @@
-//! Failure recovery (Fig. 8b): drain outstanding logs, then rebuild every
-//! block of the failed scope — one node, or a whole rack — from `k`
-//! survivors per stripe.
+//! Failure recovery: post-replay drills (Fig. 8b) and the mid-replay
+//! fault timeline — failures injected while clients are still issuing,
+//! with a repair scheduler whose rebuild streams compete with foreground
+//! traffic on the same disks and fabric.
 //!
 //! The paper's §2.3.2 argument materialises here: methods that defer log
 //! recycling must replay their logs *before* reconstruction can start, so
@@ -12,11 +13,31 @@
 //! (rack-aware placement bounds a stripe's per-rack block count; the flat
 //! default does not), and the rebuild streams cross the spine, so the
 //! drill reports its spine traffic alongside the timing breakdown.
+//!
+//! Mid-replay, [`inject_fault`] marks the scope dead and schedules
+//! repair on the shared [`Sim`] timeline: after the plan's detection lag,
+//! the method's outstanding log backlog is replayed
+//! ([`crate::methods::UpdateMethod::drain_until`], the §2.3.2 gate), then
+//! lost blocks rebuild one per event — every survivor read, repair
+//! transfer ([`simnet::FlowClass::Repair`]), and rebuilt-block write is
+//! booked at the simulation present, so it genuinely queues against
+//! client I/O. Ops that reach a dead block in the meantime take the
+//! degraded paths in [`crate::methods`].
+//!
+//! Modeling simplification: log state held by a dead node is treated as
+//! recoverable (TSUE replicates its DataLog; the other methods' logs
+//! stand in for journals with equivalent durability), and its §2.3.2
+//! replay is charged to the dead node's now-uncontended disk rather than
+//! to the replica holders — which understates the gate's contention with
+//! foreground traffic. Charging replica-side replay (and re-replicating
+//! the replica chain itself) is a recorded ROADMAP follow-up.
 
-use simdes::Sim;
+use simdes::{Sim, SimTime};
 use simdisk::{IoOp, Pattern};
 
 use crate::cluster::Cluster;
+use crate::fault::{FaultScope, InjectedFault};
+use crate::layout::BlockAddr;
 use crate::methods;
 
 /// Outcome of a recovery drill.
@@ -119,6 +140,7 @@ pub fn recover_scope(
         cl.nodes[v].failed = true;
         failed[v] = true;
     }
+    cl.faults.degraded_mode = true;
     assert!(
         failed.iter().any(|&f| !f),
         "cannot fail every node in the cluster"
@@ -232,4 +254,200 @@ pub fn recover_scope(
         },
         cross_rack_gib: (cross_after - cross_before) as f64 / (1u64 << 30) as f64,
     })
+}
+
+/// Injects a failure *now*, mid-replay: marks the scope's nodes dead (ops
+/// reaching them take the degraded path from this instant) and schedules
+/// the repair to start after the fault plan's detection lag.
+pub fn inject_fault(sim: &mut Sim<Cluster>, cl: &mut Cluster, scope: FaultScope) {
+    let victims: Vec<usize> = match scope {
+        FaultScope::Node(n) => vec![n],
+        FaultScope::Rack(r) => cl.layout.racks().members(r).to_vec(),
+    }
+    .into_iter()
+    .filter(|&v| !cl.nodes[v].failed)
+    .collect();
+    cl.faults.degraded_mode = true;
+    for &v in &victims {
+        cl.nodes[v].failed = true;
+    }
+    assert!(
+        cl.nodes.iter().any(|n| !n.failed),
+        "fault injection killed every node"
+    );
+    let idx = cl.faults.injected.len();
+    cl.faults.injected.push(InjectedFault {
+        at: sim.now(),
+        victims,
+        outstanding: 0,
+        repair_done: None,
+    });
+    let delay = cl.faults.recovery_delay;
+    sim.schedule(delay, move |sim, cl: &mut Cluster| {
+        repair_start(sim, cl, idx);
+    });
+}
+
+/// Starts the repair of injected fault `idx`: replays the log backlog
+/// outstanding now (the §2.3.2 consistency gate — deferred-recycling
+/// methods pay their whole backlog here, on a cluster still serving
+/// clients), then enqueues the lost blocks for the rebuild pump.
+fn repair_start(sim: &mut Sim<Cluster>, cl: &mut Cluster, idx: usize) {
+    let gate = methods::drain_until(sim, cl);
+    sim.schedule_at(gate.max(sim.now()), move |sim, cl: &mut Cluster| {
+        enqueue_rebuilds(sim, cl, idx);
+    });
+}
+
+fn enqueue_rebuilds(sim: &mut Sim<Cluster>, cl: &mut Cluster, idx: usize) {
+    let victims = cl.faults.injected[idx].victims.clone();
+    let mut lost: Vec<BlockAddr> = Vec::new();
+    for v in victims {
+        lost.extend(cl.layout.blocks_on(v).into_iter().map(|(a, _)| a));
+    }
+    if lost.is_empty() {
+        let now = sim.now();
+        cl.faults.injected[idx].repair_done = Some(now);
+        return;
+    }
+    cl.faults.injected[idx].outstanding = lost.len();
+    for addr in lost {
+        cl.faults.queue.push_back((addr, idx));
+    }
+    pump_repair(sim, cl);
+}
+
+/// The rebuild pump: one lost block per event, so every booking lands at
+/// the simulation present and queues against foreground I/O on the shared
+/// disk and fabric resources. The next block starts when this one's
+/// rebuild completes — or later, when the fault plan throttles repair
+/// bandwidth.
+fn pump_repair(sim: &mut Sim<Cluster>, cl: &mut Cluster) {
+    if cl.faults.pump_active {
+        return;
+    }
+    // Loop (not recursion): a rack failure can queue thousands of blocks
+    // that are skipped (already re-homed inline) or unrecoverable in a
+    // row, and each costs no simulated time.
+    loop {
+        let Some((addr, idx)) = cl.faults.queue.pop_front() else {
+            return;
+        };
+        let now = sim.now();
+        // An inline (write-triggered) rebuild may have re-homed the block
+        // already; data-loss blocks are recorded and skipped.
+        let home = cl.layout.current_node(addr);
+        if !cl.nodes[home].failed {
+            cl.faults.block_done(idx, now);
+            continue;
+        }
+        match rebuild_block(cl, addr, now) {
+            Ok(t_done) => {
+                cl.faults.pump_active = true;
+                cl.faults.repaired_blocks += 1;
+                cl.faults.repaired_bytes += cl.cfg.block_bytes;
+                let next = match cl.faults.repair_bandwidth {
+                    Some(bw) => {
+                        let pace = cl.cfg.block_bytes * simdes::units::SECS / bw.max(1);
+                        t_done.max(now + pace)
+                    }
+                    None => t_done,
+                };
+                sim.schedule_at(next.max(now), move |sim, cl: &mut Cluster| {
+                    cl.faults.block_done(idx, sim.now());
+                    cl.faults.pump_active = false;
+                    pump_repair(sim, cl);
+                });
+                return;
+            }
+            Err(_) => {
+                cl.faults.data_loss_blocks += 1;
+                cl.faults.block_done(idx, now);
+            }
+        }
+    }
+}
+
+/// Rebuilds one lost block from `k` survivors onto a live target and
+/// re-homes it in the layout, booking every read, repair transfer, and
+/// write starting at `from` on the shared resources. Returns the rebuild
+/// completion time, or the data-loss report when fewer than `k` survivors
+/// remain.
+///
+/// Shared by the background repair pump and the degraded write path
+/// (write-triggered inline rebuilds).
+pub(crate) fn rebuild_block(
+    cl: &mut Cluster,
+    addr: BlockAddr,
+    from: SimTime,
+) -> Result<SimTime, RecoveryError> {
+    let block_bytes = cl.cfg.block_bytes;
+    let survivors = select_survivors(cl, addr)?;
+    let home = cl.layout.current_node(addr);
+    let target = cl.next_live_target(home);
+    let mut ready = from;
+    for saddr in survivors {
+        let (snode, sdev) = cl.layout.locate(saddr);
+        let t_read = cl.disk_io(
+            snode,
+            from,
+            IoOp::read(sdev, block_bytes, Pattern::Sequential),
+        );
+        let t_net = cl.send_repair(t_read, snode, target, block_bytes);
+        ready = ready.max(t_net);
+    }
+    // Decode (matrix multiply) is bandwidth-bound on memory: charge a
+    // small per-byte cost, then write the rebuilt block. A parity block
+    // re-allocates its method-reserved adjacent extent (PLR's log space)
+    // at the new home, so reserved-region replays stay within bounds.
+    let decode_ns = block_bytes / 10; // ~10 bytes per ns ≈ 10 GB/s
+    let span = if addr.is_data(cl.cfg.code) {
+        block_bytes
+    } else {
+        block_bytes + cl.cfg.method.parity_reserved_bytes(&cl.cfg)
+    };
+    let rebuilt_off = cl.log_offset(target, span);
+    let t_write = cl.disk_io(
+        target,
+        ready + decode_ns,
+        IoOp::write(rebuilt_off, block_bytes, Pattern::Sequential),
+    );
+    cl.layout.relocate(addr, target, rebuilt_off);
+    Ok(t_write)
+}
+
+/// Picks `k` surviving blocks of `addr`'s stripe (live current homes, in
+/// stripe-index order — the deterministic selection shared by the repair
+/// pump, inline rebuilds, and degraded reads), or reports data loss.
+pub(crate) fn select_survivors(
+    cl: &mut Cluster,
+    addr: BlockAddr,
+) -> Result<Vec<BlockAddr>, RecoveryError> {
+    let k = cl.cfg.code.k();
+    let mut survivors = Vec::with_capacity(k);
+    for idx in 0..cl.cfg.code.total() as u16 {
+        if idx == addr.index {
+            continue;
+        }
+        let saddr = BlockAddr {
+            volume: addr.volume,
+            stripe: addr.stripe,
+            index: idx,
+        };
+        if cl.nodes[cl.layout.current_node(saddr)].failed {
+            continue;
+        }
+        survivors.push(saddr);
+        if survivors.len() == k {
+            break;
+        }
+    }
+    if survivors.len() < k {
+        return Err(RecoveryError {
+            addr,
+            survivors: survivors.len(),
+            needed: k,
+        });
+    }
+    Ok(survivors)
 }

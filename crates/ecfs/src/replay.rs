@@ -1,6 +1,7 @@
 //! Trace replay: closed-loop clients driving the cluster, and the
 //! measurement harvest every benchmark consumes.
 
+use simdes::stats::SampleLog;
 use simdes::Sim;
 use std::collections::VecDeque;
 
@@ -8,7 +9,9 @@ use traces::{OpKind, TraceFamily, WorkloadGen, WorkloadParams};
 
 use crate::cluster::Cluster;
 use crate::config::ClusterConfig;
+use crate::fault::FaultPlan;
 use crate::methods::{self, UpdateCtx};
+use crate::recovery;
 
 /// Replay parameters.
 #[derive(Debug, Clone)]
@@ -23,6 +26,10 @@ pub struct ReplayConfig {
     pub volume_bytes: u64,
     /// Base RNG seed (client `c` uses `seed + c`).
     pub seed: u64,
+    /// Scheduled mid-replay failures and the repair policy. The default
+    /// (empty) plan reproduces the pre-fault-timeline replay byte for
+    /// byte.
+    pub faults: FaultPlan,
 }
 
 impl ReplayConfig {
@@ -34,6 +41,7 @@ impl ReplayConfig {
             ops_per_client: 2_000,
             volume_bytes: 256 << 20,
             seed: 0x7565_7374,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -74,6 +82,7 @@ impl ReplayConfig {
                 self.volume_bytes
             )));
         }
+        self.faults.validate(&self.cluster)?;
         Ok(())
     }
 }
@@ -100,6 +109,26 @@ impl ReplayConfigBuilder {
     /// Base RNG seed (client `c` uses `seed + c`).
     pub fn seed(mut self, seed: u64) -> Self {
         self.inner.seed = seed;
+        self
+    }
+
+    /// Scheduled mid-replay failures and the repair policy.
+    ///
+    /// ```
+    /// use ecfs::prelude::*;
+    ///
+    /// let cluster = ClusterConfig::ssd_testbed(
+    ///     CodeParams::new(6, 3).unwrap(),
+    ///     MethodKind::Tsue,
+    /// );
+    /// let rcfg = ReplayConfig::builder(cluster, TraceFamily::AliCloud)
+    ///     .faults(FaultPlan::new().fail_node(10_000_000, 3))
+    ///     .build()
+    ///     .unwrap();
+    /// assert!(!rcfg.faults.is_empty());
+    /// ```
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.inner.faults = plan;
         self
     }
 
@@ -183,6 +212,31 @@ pub struct RunResult {
     pub drain_s: f64,
     /// Consistency-oracle violations (must be 0).
     pub oracle_violations: usize,
+    /// Reads served by decoding the lost block from `k` survivors.
+    pub degraded_reads: u64,
+    /// Bytes produced by degraded-read decoding.
+    pub degraded_bytes_decoded: u64,
+    /// Ops aborted because their stripe lost more than `m` blocks (EIO).
+    pub failed_ops: u64,
+    /// Blocks rebuilt inline by the degraded write path.
+    pub inline_rebuilds: u64,
+    /// Blocks rebuilt by the background repair scheduler.
+    pub repaired_blocks: u64,
+    /// Bytes rebuilt by the background repair scheduler.
+    pub repaired_bytes: u64,
+    /// Lost blocks that could not be rebuilt (data loss).
+    pub data_loss_blocks: u64,
+    /// Fabric traffic carried for repair flows (GiB).
+    pub net_repair_gib: f64,
+    /// Worst failure-to-repair-completion time over the fault plan,
+    /// seconds (0 without faults).
+    pub mttr_s: f64,
+    /// p99 update latency (µs) *inside* degraded windows — between a
+    /// failure and the end of its repair. 0 without faults.
+    pub degraded_p99_us: f64,
+    /// p99 update latency (µs) outside degraded windows. Equals
+    /// [`Self::latency_p99_us`] without faults.
+    pub steady_p99_us: f64,
 }
 
 impl RunResult {
@@ -204,43 +258,34 @@ fn client_next(sim: &mut Sim<Cluster>, cl: &mut Cluster, client: usize) {
     let slices = cl.layout.slices(client as u32, offset, len);
     // Multi-block ops are issued as their first slice only for latency
     // accounting; the remaining slices are issued concurrently and complete
-    // in the background (rare: ops cross 4 MiB boundaries).
+    // in the background (rare: ops cross 4 MiB boundaries). `ctx.drive`
+    // marks the driving slice, so a background slice never advances the
+    // closed loop — even when its dispatch is deferred by a park or a
+    // degraded-path rebuild.
     for (i, slice) in slices.into_iter().enumerate() {
-        let ctx = UpdateCtx {
-            client,
-            slice,
-            issued_at: now,
-        };
+        let mut ctx = UpdateCtx::new(client, slice, now);
+        ctx.drive = i == 0;
+        // Background slices are counted once per op: the completion-side
+        // increment is cancelled here at issue. Wrapping because a parked
+        // or degraded-deferred dispatch completes *later* — the transient
+        // dip below zero corrects itself at that completion.
         match kind {
             OpKind::Update => {
-                if i == 0 {
-                    methods::begin_update(sim, cl, ctx);
-                } else {
-                    // Background remainder: no client-driver completion.
-                    let saved = cl.client_driver.take();
-                    methods::begin_update(sim, cl, ctx);
-                    cl.client_driver = saved;
-                    cl.metrics.completed_updates -= 1; // counted once per op
+                methods::begin_update(sim, cl, ctx);
+                if i > 0 {
+                    cl.metrics.completed_updates = cl.metrics.completed_updates.wrapping_sub(1);
                 }
             }
             OpKind::Write => {
-                if i == 0 {
-                    methods::begin_write(sim, cl, ctx);
-                } else {
-                    let saved = cl.client_driver.take();
-                    methods::begin_write(sim, cl, ctx);
-                    cl.client_driver = saved;
-                    cl.metrics.completed_writes -= 1;
+                methods::begin_write(sim, cl, ctx);
+                if i > 0 {
+                    cl.metrics.completed_writes = cl.metrics.completed_writes.wrapping_sub(1);
                 }
             }
             OpKind::Read => {
-                if i == 0 {
-                    methods::begin_read(sim, cl, ctx);
-                } else {
-                    let saved = cl.client_driver.take();
-                    methods::begin_read(sim, cl, ctx);
-                    cl.client_driver = saved;
-                    cl.metrics.completed_reads -= 1;
+                methods::begin_read(sim, cl, ctx);
+                if i > 0 {
+                    cl.metrics.completed_reads = cl.metrics.completed_reads.wrapping_sub(1);
                 }
             }
         }
@@ -267,6 +312,22 @@ pub fn run_update_phase(rcfg: &ReplayConfig) -> (Sim<Cluster>, Cluster) {
         cl.client_ops.push(ops);
     }
     cl.client_driver = Some(client_next);
+
+    // Arm the fault timeline. With the (default) empty plan nothing is
+    // scheduled and no state changes: the replay is byte-for-byte the
+    // pre-fault-timeline replay.
+    if !rcfg.faults.is_empty() {
+        cl.faults.recovery_delay = rcfg.faults.recovery_delay_ns;
+        cl.faults.repair_bandwidth = rcfg.faults.repair_bandwidth;
+        // Timestamped latencies enable degraded-window vs steady quantiles.
+        cl.metrics.latency_samples = Some(SampleLog::new());
+        for ev in &rcfg.faults.events {
+            let scope = ev.scope;
+            sim.schedule_at(ev.at_ns, move |sim, cl: &mut Cluster| {
+                recovery::inject_fault(sim, cl, scope);
+            });
+        }
+    }
 
     // Kick the clients with staggered start times. In a fully deterministic
     // simulation, identical service times would otherwise keep all clients
@@ -305,6 +366,26 @@ pub fn run_trace(rcfg: &ReplayConfig) -> RunResult {
 
     let violations = cl.oracle.violations(&cl.layout);
 
+    // Availability harvest: degraded windows run from each injected fault
+    // to its repair completion (or the end of the simulation when repair
+    // never finished).
+    let sim_end = sim.now();
+    let windows = cl.faults.windows(sim_end);
+    let (degraded_p99_us, steady_p99_us) = match &cl.metrics.latency_samples {
+        Some(log) => {
+            let (inside, outside) = log.split(&windows);
+            (
+                inside.quantile(0.99) as f64 / 1_000.0,
+                outside.quantile(0.99) as f64 / 1_000.0,
+            )
+        }
+        None => (
+            0.0,
+            cl.metrics.update_latency.quantile(0.99) as f64 / 1_000.0,
+        ),
+    };
+    let mttr_s = cl.faults.mttr_s(sim_end);
+
     let m = &cl.metrics;
     let update_iops = if duration_s > 0.0 {
         m.completed_updates as f64 / duration_s
@@ -334,6 +415,17 @@ pub fn run_trace(rcfg: &ReplayConfig) -> RunResult {
         cache_read_hits: m.cache_read_hits,
         drain_s,
         oracle_violations: violations.len(),
+        degraded_reads: m.degraded_reads,
+        degraded_bytes_decoded: m.degraded_bytes_decoded,
+        failed_ops: m.failed_ops,
+        inline_rebuilds: cl.faults.inline_rebuilds,
+        repaired_blocks: cl.faults.repaired_blocks,
+        repaired_bytes: cl.faults.repaired_bytes,
+        data_loss_blocks: cl.faults.data_loss_blocks,
+        net_repair_gib: cl.net.traffic().repair_gib(),
+        mttr_s,
+        degraded_p99_us,
+        steady_p99_us,
     }
 }
 

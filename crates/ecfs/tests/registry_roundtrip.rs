@@ -49,7 +49,7 @@ impl UpdateMethod for Teleport {
         let (dnode, ddev) = cl.layout.locate(slice.addr);
         let client_ep = cl.cfg.client_endpoint(ctx.client);
 
-        let t_arrive = cl.send(ctx.issued_at, client_ep, dnode, len);
+        let t_arrive = cl.send(ctx.start_at, client_ep, dnode, len);
         let t_write = cl.disk_io(
             dnode,
             t_arrive,
@@ -66,7 +66,7 @@ impl UpdateMethod for Teleport {
 
         let t_ack = cl.ack(t_write, dnode, client_ep);
         cl.oracle_ack(slice.addr, slice.offset, slice.len);
-        cl.finish_update(sim, ctx.client, ctx.issued_at, t_ack);
+        cl.finish_update(sim, ctx, t_ack);
     }
 }
 

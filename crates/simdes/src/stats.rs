@@ -184,6 +184,108 @@ impl Histogram {
     }
 }
 
+/// A set of half-open `[start, end)` time windows, merged on insert — the
+/// unit of phase-aware measurement (e.g. "degraded windows" between a
+/// failure injection and the end of its repair).
+#[derive(Debug, Clone, Default)]
+pub struct WindowSet {
+    /// Sorted, disjoint `(start, end)` windows.
+    spans: Vec<(SimTime, SimTime)>,
+}
+
+impl WindowSet {
+    /// Empty window set.
+    pub fn new() -> WindowSet {
+        WindowSet::default()
+    }
+
+    /// Inserts `[start, end)`, merging overlapping and touching windows.
+    ///
+    /// # Panics
+    /// Panics if `start >= end`.
+    pub fn insert(&mut self, start: SimTime, end: SimTime) {
+        assert!(start < end, "empty window");
+        let idx = self.spans.partition_point(|&(_, e)| e < start);
+        let mut new = (start, end);
+        let mut remove_to = idx;
+        while remove_to < self.spans.len() && self.spans[remove_to].0 <= new.1 {
+            new.0 = new.0.min(self.spans[remove_to].0);
+            new.1 = new.1.max(self.spans[remove_to].1);
+            remove_to += 1;
+        }
+        self.spans.splice(idx..remove_to, [new]);
+    }
+
+    /// Whether `t` falls inside some window.
+    pub fn contains(&self, t: SimTime) -> bool {
+        let idx = self.spans.partition_point(|&(_, e)| e <= t);
+        self.spans.get(idx).is_some_and(|&(s, _)| s <= t)
+    }
+
+    /// Whether no window has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Number of disjoint windows.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Total covered time.
+    pub fn total(&self) -> SimTime {
+        self.spans.iter().map(|&(s, e)| e - s).sum()
+    }
+}
+
+/// A log of `(time, value)` samples that can be re-aggregated against a
+/// [`WindowSet`] after the fact — latency quantiles *during* rebuild
+/// windows vs steady state, without deciding the windows up front.
+///
+/// Memory grows with the sample count, so replay engines only attach one
+/// when a fault plan makes phase-aware aggregation necessary.
+#[derive(Debug, Clone, Default)]
+pub struct SampleLog {
+    samples: Vec<(SimTime, u64)>,
+}
+
+impl SampleLog {
+    /// Empty log.
+    pub fn new() -> SampleLog {
+        SampleLog::default()
+    }
+
+    /// Records one sample at time `t`.
+    pub fn record(&mut self, t: SimTime, value: u64) {
+        self.samples.push((t, value));
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Splits the samples into `(inside, outside)` histograms against the
+    /// window set.
+    pub fn split(&self, windows: &WindowSet) -> (Histogram, Histogram) {
+        let mut inside = Histogram::new();
+        let mut outside = Histogram::new();
+        for &(t, v) in &self.samples {
+            if windows.contains(t) {
+                inside.record(v);
+            } else {
+                outside.record(v);
+            }
+        }
+        (inside, outside)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +360,63 @@ mod tests {
         assert_eq!(a.count(), 2);
         assert_eq!(a.min(), 10);
         assert_eq!(a.max(), 1000);
+    }
+
+    #[test]
+    fn window_set_merges_and_contains() {
+        let mut w = WindowSet::new();
+        assert!(w.is_empty());
+        w.insert(100, 200);
+        w.insert(300, 400);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.total(), 200);
+        assert!(w.contains(100));
+        assert!(w.contains(199));
+        assert!(!w.contains(200), "windows are half-open");
+        assert!(!w.contains(250));
+        assert!(w.contains(399));
+        // Bridging insert merges all three.
+        w.insert(150, 350);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.total(), 300);
+        assert!(w.contains(250));
+    }
+
+    #[test]
+    fn window_set_adjacent_merge() {
+        let mut w = WindowSet::new();
+        w.insert(0, 10);
+        w.insert(10, 20);
+        assert_eq!(w.len(), 1);
+        assert!(w.contains(10));
+        assert!(!w.contains(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty window")]
+    fn window_set_rejects_empty() {
+        WindowSet::new().insert(5, 5);
+    }
+
+    #[test]
+    fn sample_log_splits_on_windows() {
+        let mut log = SampleLog::new();
+        for t in 0..100u64 {
+            // Samples inside [40, 60) are 10x larger.
+            let v = if (40..60).contains(&t) { 1000 } else { 100 };
+            log.record(t, v);
+        }
+        assert_eq!(log.len(), 100);
+        let mut w = WindowSet::new();
+        w.insert(40, 60);
+        let (inside, outside) = log.split(&w);
+        assert_eq!(inside.count(), 20);
+        assert_eq!(outside.count(), 80);
+        assert!(inside.mean() > outside.mean() * 5.0);
+        // Empty window set: everything is outside.
+        let (ins, outs) = log.split(&WindowSet::new());
+        assert_eq!(ins.count(), 0);
+        assert_eq!(outs.count(), 100);
     }
 
     #[test]

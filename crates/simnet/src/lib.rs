@@ -155,7 +155,21 @@ impl NetConfig {
     }
 }
 
-/// Accumulated traffic between endpoint pairs, tiered by rack locality.
+/// The class of a bulk transfer: foreground (client-visible work) or
+/// repair (rebuild streams competing with it). Classes share the exact
+/// same link/rack/spine resources — the class only tags the *accounting*,
+/// so a replay can report how much of the fabric the rebuild consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlowClass {
+    /// Client-visible traffic (the default for [`Network::send`]).
+    #[default]
+    Foreground,
+    /// Background rebuild/repair streams.
+    Repair,
+}
+
+/// Accumulated traffic between endpoint pairs, tiered by rack locality
+/// and split by [`FlowClass`].
 #[derive(Debug, Clone)]
 pub struct TrafficMatrix {
     n: usize,
@@ -165,6 +179,10 @@ pub struct TrafficMatrix {
     tier_bytes: [u64; 2],
     /// `[intra-rack, cross-rack]` message totals.
     tier_messages: [u64; 2],
+    /// `[foreground, repair]` byte totals.
+    class_bytes: [u64; 2],
+    /// `[foreground, repair]` message totals.
+    class_messages: [u64; 2],
 }
 
 impl TrafficMatrix {
@@ -175,6 +193,8 @@ impl TrafficMatrix {
             messages: vec![0; n * n],
             tier_bytes: [0; 2],
             tier_messages: [0; 2],
+            class_bytes: [0; 2],
+            class_messages: [0; 2],
         }
     }
 
@@ -228,12 +248,40 @@ impl TrafficMatrix {
         self.cross_rack_bytes() as f64 / (1u64 << 30) as f64
     }
 
-    fn record(&mut self, src: usize, dst: usize, bytes: u64, cross: bool) {
+    /// Bytes carried for foreground (client-visible) flows.
+    pub fn foreground_bytes(&self) -> u64 {
+        self.class_bytes[0]
+    }
+
+    /// Bytes carried for repair (rebuild) flows.
+    pub fn repair_bytes(&self) -> u64 {
+        self.class_bytes[1]
+    }
+
+    /// Messages carried for foreground flows.
+    pub fn foreground_messages(&self) -> u64 {
+        self.class_messages[0]
+    }
+
+    /// Messages carried for repair flows.
+    pub fn repair_messages(&self) -> u64 {
+        self.class_messages[1]
+    }
+
+    /// Repair bytes in GiB.
+    pub fn repair_gib(&self) -> f64 {
+        self.repair_bytes() as f64 / (1u64 << 30) as f64
+    }
+
+    fn record(&mut self, src: usize, dst: usize, bytes: u64, cross: bool, class: FlowClass) {
         self.bytes[src * self.n + dst] += bytes;
         self.messages[src * self.n + dst] += 1;
         let tier = cross as usize;
         self.tier_bytes[tier] += bytes;
         self.tier_messages[tier] += 1;
+        let cls = (class == FlowClass::Repair) as usize;
+        self.class_bytes[cls] += bytes;
+        self.class_messages[cls] += 1;
     }
 }
 
@@ -323,6 +371,24 @@ impl Network {
     /// # Panics
     /// Panics on out-of-range endpoints.
     pub fn send(&mut self, now: SimTime, src: usize, dst: usize, bytes: u64) -> SimTime {
+        self.send_classed(now, src, dst, bytes, FlowClass::Foreground)
+    }
+
+    /// [`Self::send`] with an explicit [`FlowClass`]. Repair flows reserve
+    /// the *same* egress/uplink/downlink/ingress resources as foreground
+    /// traffic — background rebuilds genuinely compete for the fabric —
+    /// and differ only in which accounting bucket they land in.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints.
+    pub fn send_classed(
+        &mut self,
+        now: SimTime,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        class: FlowClass,
+    ) -> SimTime {
         assert!(
             src < self.cfg.endpoints && dst < self.cfg.endpoints,
             "endpoint out of range"
@@ -331,7 +397,7 @@ impl Network {
             return now;
         }
         let cross = self.cfg.topology.crosses_spine(src, dst);
-        self.traffic.record(src, dst, bytes, cross);
+        self.traffic.record(src, dst, bytes, cross, class);
         let dur = self.wire_time(bytes);
         let tx_end = self.egress[src].reserve(now, dur);
         let (spine_end, spine_dur) = if cross {
@@ -369,7 +435,8 @@ impl Network {
             return now;
         }
         let cross = self.cfg.topology.crosses_spine(src, dst);
-        self.traffic.record(src, dst, 64, cross);
+        self.traffic
+            .record(src, dst, 64, cross, FlowClass::Foreground);
         let hops = if cross { 2 } else { 1 };
         now + self.wire_time(64) + hops * self.cfg.rpc_overhead
     }
@@ -485,6 +552,45 @@ mod tests {
         assert_eq!(n.traffic().bytes(2, 0), 42);
         assert_eq!(n.traffic().total_bytes(), 1542);
         assert_eq!(n.traffic().total_messages(), 3);
+    }
+
+    #[test]
+    fn flow_classes_partition_totals_and_share_resources() {
+        let mut n = net(3);
+        let bytes = 100 << 20;
+        let t1 = n.send(0, 0, 1, bytes);
+        // A repair flow out of the same endpoint queues behind the
+        // foreground flow: classes share the egress link.
+        let t2 = n.send_classed(0, 0, 2, bytes, FlowClass::Repair);
+        assert!(t2 >= t1 + n.wire_time(bytes) - 1, "t1 {t1} t2 {t2}");
+        n.rpc(0, 1, 2);
+        let t = n.traffic();
+        assert_eq!(t.foreground_bytes(), bytes + 64);
+        assert_eq!(t.repair_bytes(), bytes);
+        assert_eq!(t.foreground_bytes() + t.repair_bytes(), t.total_bytes());
+        assert_eq!(t.foreground_messages(), 2);
+        assert_eq!(t.repair_messages(), 1);
+        assert_eq!(
+            t.foreground_messages() + t.repair_messages(),
+            t.total_messages()
+        );
+    }
+
+    #[test]
+    fn repair_class_does_not_change_timing() {
+        // Identical flows, classed differently, must book identical times:
+        // the class is pure accounting.
+        let bytes = 64 << 20;
+        let mut a = racked_net(2.0);
+        let fg = a.send(0, 0, 2, bytes);
+        let mut b = racked_net(2.0);
+        let rep = b.send_classed(0, 0, 2, bytes, FlowClass::Repair);
+        assert_eq!(fg, rep);
+        assert_eq!(
+            a.traffic().cross_rack_bytes(),
+            b.traffic().cross_rack_bytes(),
+            "tier accounting is class-independent"
+        );
     }
 
     #[test]
