@@ -8,7 +8,8 @@
 //! clients. Reported per cell: throughput, MTTR (failure → last block
 //! rebuilt, including the §2.3.2 log-replay gate), repair traffic,
 //! degraded reads, and foreground p99 inside the degraded window vs
-//! steady state.
+//! steady state — for updates *and* for reads (the availability SLO:
+//! a read inside a degraded window may pay a k-survivor decode).
 //!
 //! Expected shape: TSUE's real-time recycling leaves almost no log
 //! backlog to replay before reconstruction, so its MTTR stays near the
@@ -111,6 +112,8 @@ fn main() {
             format!("{}", res.degraded_reads),
             format!("{:.0}", res.steady_p99_us),
             format!("{:.0}", res.degraded_p99_us),
+            format!("{:.0}", res.steady_read_p99_us),
+            format!("{:.0}", res.degraded_read_p99_us),
         ]);
     }
     print_table(
@@ -126,6 +129,8 @@ fn main() {
             "deg reads",
             "p99 us",
             "deg p99 us",
+            "rd p99 us",
+            "deg rd p99 us",
         ],
         &rows,
     );
@@ -145,6 +150,28 @@ fn main() {
         assert_eq!(baseline.mttr_s, 0.0, "no faults, no MTTR");
         assert_eq!(baseline.repaired_blocks + baseline.inline_rebuilds, 0);
         assert_eq!(baseline.net_repair_gib, 0.0);
+        // Without faults the read SLO split degenerates: everything is
+        // steady state.
+        assert_eq!(baseline.degraded_read_p99_us, 0.0, "{}", method.name());
+        assert_eq!(
+            baseline.steady_read_p99_us,
+            baseline.read_p99_us,
+            "{}",
+            method.name()
+        );
+        // A rack failure makes some reads pay the k-survivor decode: the
+        // degraded-window read p99 must not undercut steady state while
+        // degraded reads actually happened.
+        let rack = cell(method, Plan::Rack);
+        if rack.degraded_reads > 0 {
+            assert!(
+                rack.degraded_read_p99_us >= rack.steady_read_p99_us,
+                "{}: degraded-window read p99 ({:.0} us) below steady ({:.0} us)",
+                method.name(),
+                rack.degraded_read_p99_us,
+                rack.steady_read_p99_us
+            );
+        }
         let node = cell(method, Plan::Node);
         assert!(node.repaired_blocks + node.inline_rebuilds > 0);
         assert!(node.mttr_s > 0.0);

@@ -1,7 +1,7 @@
 //! The simulated cluster: OSD nodes, network, metrics, and the consistency
 //! oracle shared by every update-method driver.
 
-use simdes::stats::{Histogram, SampleLog, TimeSeries};
+use simdes::stats::{Gauge, Histogram, SampleLog, TimeSeries};
 use simdes::{Sim, SimTime};
 use simdisk::{Disk, Hdd, IoOp, Ssd};
 use simnet::{FlowClass, NetConfig, Network};
@@ -108,6 +108,12 @@ pub struct Metrics {
     /// Timestamped update latencies, attached only when a fault plan is
     /// active (enables degraded-window vs steady-state quantiles).
     pub latency_samples: Option<SampleLog>,
+    /// Client-observed read latency (includes degraded decodes).
+    pub read_latency: Histogram,
+    /// Timestamped read latencies, attached only when a fault plan is
+    /// active — the availability-SLO split: read p99 *inside* degraded
+    /// windows vs steady state.
+    pub read_latency_samples: Option<SampleLog>,
 }
 
 impl Default for Metrics {
@@ -128,6 +134,45 @@ impl Default for Metrics {
             degraded_bytes_decoded: 0,
             failed_ops: 0,
             latency_samples: None,
+            read_latency: Histogram::new(),
+            read_latency_samples: None,
+        }
+    }
+}
+
+/// Runtime state of an open-loop replay: the bounded per-client
+/// outstanding-op window, the admission queues behind it, and the
+/// offered-load accounting the saturation metrics are harvested from.
+/// `None` on the (default) closed-loop path.
+#[derive(Debug, Clone)]
+pub struct OpenLoopRt {
+    /// Maximum ops a client keeps outstanding.
+    pub window: usize,
+    /// Ops currently outstanding per client.
+    pub outstanding: Vec<usize>,
+    /// Arrival times of admitted-but-not-yet-issued ops per client.
+    pub admission: Vec<std::collections::VecDeque<SimTime>>,
+    /// Admission-queue delay per op (0 for ops issued on arrival).
+    pub queue_delay: Histogram,
+    /// Total ops waiting in admission queues (current + peak).
+    pub queue_depth: Gauge,
+    /// Ops the schedule offered.
+    pub offered: u64,
+    /// Arrival time of the last scheduled op (the offered-rate horizon).
+    pub horizon: SimTime,
+}
+
+impl OpenLoopRt {
+    /// Fresh state for `clients` clients.
+    pub fn new(clients: usize, window: usize, offered: u64, horizon: SimTime) -> OpenLoopRt {
+        OpenLoopRt {
+            window,
+            outstanding: vec![0; clients],
+            admission: vec![std::collections::VecDeque::new(); clients],
+            queue_delay: Histogram::new(),
+            queue_depth: Gauge::new(),
+            offered,
+            horizon,
         }
     }
 }
@@ -213,6 +258,9 @@ pub struct Cluster {
     pub client_ops: Vec<std::collections::VecDeque<(u64, u32, traces::OpKind)>>,
     /// Scheduled-but-not-yet-executed log-forwarding events (drain guard).
     pub forwards_in_flight: u64,
+    /// Open-loop runtime state (window, admission queues, offered-load
+    /// accounting); `None` on the closed-loop path.
+    pub open_loop: Option<OpenLoopRt>,
     /// Fault-timeline state: injected failures, the repair queue, and
     /// availability counters.
     pub faults: FaultState,
@@ -265,6 +313,7 @@ impl Cluster {
             stripe_names: std::collections::HashMap::new(),
             client_ops: Vec::new(),
             forwards_in_flight: 0,
+            open_loop: None,
             faults: FaultState::default(),
             cfg,
         }
@@ -351,6 +400,11 @@ impl Cluster {
     ) {
         if is_read {
             self.metrics.completed_reads += 1;
+            let latency = done_at.saturating_sub(ctx.issued_at);
+            self.metrics.read_latency.record(latency);
+            if let Some(log) = &mut self.metrics.read_latency_samples {
+                log.record(done_at, latency);
+            }
         } else {
             self.metrics.completed_writes += 1;
         }

@@ -41,7 +41,7 @@ pub use config::{
 pub use fault::{FaultEvent, FaultPlan, FaultScope};
 pub use methods::{MethodRegistry, NodeLogState, UpdateCtx, UpdateMethod};
 pub use placement::{PlacementKind, PlacementPolicy, RackMap};
-pub use replay::{run_trace, ReplayConfig, ReplayConfigBuilder, RunResult};
+pub use replay::{run_trace, ReplayConfig, ReplayConfigBuilder, RunResult, Workload};
 
 /// The coherent public surface, re-exported for one-line imports in
 /// benches, examples, and integration tests:
@@ -71,10 +71,16 @@ pub mod prelude {
         inject_fault, recover_node, recover_rack, recover_scope, RecoveryError, RecoveryResult,
     };
     pub use crate::replay::{
-        run_trace, run_update_phase, ReplayConfig, ReplayConfigBuilder, ResidencySummary, RunResult,
+        run_trace, run_update_phase, ReplayConfig, ReplayConfigBuilder, ResidencySummary,
+        RunResult, Workload, SATURATION_GOODPUT_RATIO,
     };
     // The foreign types every experiment needs alongside the cluster.
     pub use rscode::CodeParams;
     pub use simdisk::{HddConfig, SsdConfig};
     pub use traces::{TraceFamily, WorkloadGen, WorkloadParams};
+    // The open-loop offered-load engine (crate `workload`).
+    pub use workload::{
+        ArrivalGen, BaseProcess, ClientPicker, ClientSkew, OffsetSkew, OpenLoopSpec, RateCurve,
+        TimedOp, TimedStream,
+    };
 }

@@ -1,17 +1,55 @@
-//! Trace replay: closed-loop clients driving the cluster, and the
-//! measurement harvest every benchmark consumes.
+//! Trace replay: closed-loop clients driving the cluster, the open-loop
+//! offered-load engine, and the measurement harvest every benchmark
+//! consumes.
 
 use simdes::stats::SampleLog;
-use simdes::Sim;
+use simdes::{Sim, SimTime};
 use std::collections::VecDeque;
 
 use traces::{OpKind, TraceFamily, WorkloadGen, WorkloadParams};
+use workload::{OpenLoopSpec, TimedStream};
 
-use crate::cluster::Cluster;
+use crate::cluster::{Cluster, OpenLoopRt};
 use crate::config::ClusterConfig;
 use crate::fault::FaultPlan;
 use crate::methods::{self, UpdateCtx};
 use crate::recovery;
+
+/// Goodput below this fraction of the offered rate marks a run saturated —
+/// provided the admission queues actually backed up (at least one full
+/// window population waiting at peak): the cluster fell behind the
+/// schedule instead of riding it. The backlog condition keeps the flag off
+/// for short streams whose completion tail alone depresses the ratio.
+pub const SATURATION_GOODPUT_RATIO: f64 = 0.9;
+
+/// How the replay offers load to the cluster.
+#[derive(Debug, Clone, Default)]
+pub enum Workload {
+    /// Closed loop (the paper's client model and the default): each client
+    /// issues its next op the instant the previous one completes. This
+    /// path is byte-for-byte the pre-open-loop replay.
+    #[default]
+    ClosedLoop,
+    /// Open loop: ops arrive on the spec's own schedule whether or not
+    /// earlier ops finished; each client holds at most `spec.window` ops
+    /// outstanding and queues the rest at admission.
+    Open(OpenLoopSpec),
+    /// Open-loop replay of a pre-built timed stream — e.g. an imported
+    /// MSR/Alibaba trace with its *real* arrival times.
+    Timed {
+        /// The offered ops, time-sorted.
+        stream: TimedStream,
+        /// Per-client outstanding-op window.
+        window: usize,
+    },
+}
+
+impl Workload {
+    /// Whether this is the closed-loop default.
+    pub fn is_closed_loop(&self) -> bool {
+        matches!(self, Workload::ClosedLoop)
+    }
+}
 
 /// Replay parameters.
 #[derive(Debug, Clone)]
@@ -30,6 +68,9 @@ pub struct ReplayConfig {
     /// (empty) plan reproduces the pre-fault-timeline replay byte for
     /// byte.
     pub faults: FaultPlan,
+    /// How load is offered: the closed-loop default (byte-for-byte the
+    /// legacy replay) or an open-loop source.
+    pub workload: Workload,
 }
 
 impl ReplayConfig {
@@ -42,6 +83,7 @@ impl ReplayConfig {
             volume_bytes: 256 << 20,
             seed: 0x7565_7374,
             faults: FaultPlan::default(),
+            workload: Workload::ClosedLoop,
         }
     }
 
@@ -83,6 +125,18 @@ impl ReplayConfig {
             )));
         }
         self.faults.validate(&self.cluster)?;
+        match &self.workload {
+            Workload::ClosedLoop => {}
+            Workload::Open(spec) => spec.validate().map_err(crate::config::ConfigError)?,
+            Workload::Timed { stream, window } => {
+                if *window == 0 {
+                    return Err("open-loop window must admit at least one op".into());
+                }
+                stream
+                    .validate(self.cluster.clients, self.volume_bytes)
+                    .map_err(crate::config::ConfigError)?;
+            }
+        }
         Ok(())
     }
 }
@@ -129,6 +183,27 @@ impl ReplayConfigBuilder {
     /// ```
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.inner.faults = plan;
+        self
+    }
+
+    /// How load is offered (closed loop, an open-loop spec, or a timed
+    /// stream).
+    ///
+    /// ```
+    /// use ecfs::prelude::*;
+    ///
+    /// let cluster = ClusterConfig::ssd_testbed(
+    ///     CodeParams::new(6, 3).unwrap(),
+    ///     MethodKind::Tsue,
+    /// );
+    /// let rcfg = ReplayConfig::builder(cluster, TraceFamily::AliCloud)
+    ///     .workload(Workload::Open(OpenLoopSpec::poisson(20_000.0)))
+    ///     .build()
+    ///     .unwrap();
+    /// assert!(!rcfg.workload.is_closed_loop());
+    /// ```
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.inner.workload = workload;
         self
     }
 
@@ -237,6 +312,33 @@ pub struct RunResult {
     /// p99 update latency (µs) outside degraded windows. Equals
     /// [`Self::latency_p99_us`] without faults.
     pub steady_p99_us: f64,
+    /// p99 client-observed read latency (µs), degraded decodes included.
+    pub read_p99_us: f64,
+    /// p99 read latency (µs) inside degraded windows — the availability
+    /// SLO a fault sweep reports. 0 without faults.
+    pub degraded_read_p99_us: f64,
+    /// p99 read latency (µs) outside degraded windows. Equals
+    /// [`Self::read_p99_us`] without faults.
+    pub steady_read_p99_us: f64,
+    /// Ops the open-loop schedule offered (0 on the closed-loop path).
+    pub offered_ops: u64,
+    /// Offered arrival rate over the schedule horizon (ops/s; 0 on the
+    /// closed-loop path).
+    pub offered_ops_per_s: f64,
+    /// Client-acked ops per second over the full run — the goodput an
+    /// open-loop sweep compares against the offered rate.
+    pub goodput_ops_per_s: f64,
+    /// Mean admission-queue delay (µs; open loop only, 0 otherwise).
+    pub queue_delay_mean_us: f64,
+    /// p99 admission-queue delay (µs; open loop only). This is the
+    /// queueing-collapse signature: it explodes past the saturation knee.
+    pub queue_delay_p99_us: f64,
+    /// Peak total admission-queue depth across all clients.
+    pub peak_queue_depth: u64,
+    /// Whether the offered load exceeded sustainable throughput: goodput
+    /// fell below [`SATURATION_GOODPUT_RATIO`] of the offered rate *and*
+    /// the admission queues backed up past one full window population.
+    pub saturated: bool,
 }
 
 impl RunResult {
@@ -251,6 +353,14 @@ impl RunResult {
 }
 
 fn client_next(sim: &mut Sim<Cluster>, cl: &mut Cluster, client: usize) {
+    issue_next_op(sim, cl, client, sim.now());
+}
+
+/// Pops and issues `client`'s next op. `issued_at` anchors the
+/// client-observed latency: on the closed loop it is always `sim.now()`;
+/// on the open loop it is the op's *arrival* time, so admission-queue
+/// delay lands in the latency the client sees.
+fn issue_next_op(sim: &mut Sim<Cluster>, cl: &mut Cluster, client: usize, issued_at: SimTime) {
     let Some((offset, len, kind)) = cl.client_ops[client].pop_front() else {
         return; // this client is done
     };
@@ -264,6 +374,7 @@ fn client_next(sim: &mut Sim<Cluster>, cl: &mut Cluster, client: usize) {
     // degraded-path rebuild.
     for (i, slice) in slices.into_iter().enumerate() {
         let mut ctx = UpdateCtx::new(client, slice, now);
+        ctx.issued_at = issued_at;
         ctx.drive = i == 0;
         // Background slices are counted once per op: the completion-side
         // increment is cancelled here at issue. Wrapping because a parked
@@ -292,26 +403,100 @@ fn client_next(sim: &mut Sim<Cluster>, cl: &mut Cluster, client: usize) {
     }
 }
 
-/// Runs only the update phase: builds the cluster, replays every client's
-/// trace closed-loop to completion, and returns the live `(sim, cluster)`
-/// pair *without draining logs* — the starting state for recovery
-/// experiments (Fig. 8b fails a node exactly here).
+/// One op's scheduled arrival on the open loop: issue immediately while
+/// the client's outstanding window has room, otherwise wait in the
+/// admission queue (the wait is the measured queue delay).
+fn open_loop_arrive(sim: &mut Sim<Cluster>, cl: &mut Cluster, client: usize) {
+    let now = sim.now();
+    let ol = cl.open_loop.as_mut().expect("open-loop replay state");
+    if ol.outstanding[client] < ol.window {
+        ol.outstanding[client] += 1;
+        ol.queue_delay.record(0);
+        issue_next_op(sim, cl, client, now);
+    } else {
+        ol.admission[client].push_back(now);
+        ol.queue_depth.inc();
+    }
+}
+
+/// Completion driver on the open loop: admit the client's oldest queued
+/// arrival (charging its queue delay), or shrink the outstanding count
+/// when the queue is empty.
+fn open_loop_next(sim: &mut Sim<Cluster>, cl: &mut Cluster, client: usize) {
+    let now = sim.now();
+    let ol = cl.open_loop.as_mut().expect("open-loop replay state");
+    match ol.admission[client].pop_front() {
+        Some(arrived) => {
+            ol.queue_depth.dec();
+            ol.queue_delay.record(now.saturating_sub(arrived));
+            issue_next_op(sim, cl, client, arrived);
+        }
+        None => ol.outstanding[client] = ol.outstanding[client].saturating_sub(1),
+    }
+}
+
+/// Installs a timed stream into the cluster: per-client op content in
+/// arrival order, one scheduled arrival event per op, the open-loop
+/// completion driver, and the window/queue state.
+fn install_stream(sim: &mut Sim<Cluster>, cl: &mut Cluster, stream: &TimedStream, window: usize) {
+    let clients = cl.cfg.clients;
+    cl.client_ops = vec![VecDeque::new(); clients];
+    for t in stream.ops() {
+        cl.client_ops[t.client].push_back((t.op.offset, t.op.len, t.op.kind));
+        let client = t.client;
+        sim.schedule_at(t.op.at_ns, move |sim, cl: &mut Cluster| {
+            open_loop_arrive(sim, cl, client);
+        });
+    }
+    cl.client_driver = Some(open_loop_next);
+    cl.open_loop = Some(OpenLoopRt::new(
+        clients,
+        window,
+        stream.len() as u64,
+        stream.horizon_ns(),
+    ));
+}
+
+/// Runs only the update phase: builds the cluster, offers every client's
+/// trace (closed-loop by default, open-loop when
+/// [`ReplayConfig::workload`] says so) to completion, and returns the
+/// live `(sim, cluster)` pair *without draining logs* — the starting
+/// state for recovery experiments (Fig. 8b fails a node exactly here).
 pub fn run_update_phase(rcfg: &ReplayConfig) -> (Sim<Cluster>, Cluster) {
     let mut cl = Cluster::new(rcfg.cluster.clone());
     let mut sim: Sim<Cluster> = Sim::new();
 
-    // Generate each client's op stream up front (deterministic).
-    for c in 0..rcfg.cluster.clients {
-        let params = WorkloadParams::for_family(rcfg.family, rcfg.volume_bytes);
-        let mut gen = WorkloadGen::new(params, rcfg.seed + c as u64);
-        let ops: VecDeque<(u64, u32, OpKind)> = gen
-            .take_ops(rcfg.ops_per_client)
-            .into_iter()
-            .map(|op| (op.offset, op.len, op.kind))
-            .collect();
-        cl.client_ops.push(ops);
+    match &rcfg.workload {
+        Workload::ClosedLoop => {
+            // Generate each client's op stream up front (deterministic).
+            for c in 0..rcfg.cluster.clients {
+                let params = WorkloadParams::for_family(rcfg.family, rcfg.volume_bytes);
+                let mut gen = WorkloadGen::new(params, rcfg.seed + c as u64);
+                let ops: VecDeque<(u64, u32, OpKind)> = gen
+                    .take_ops(rcfg.ops_per_client)
+                    .into_iter()
+                    .map(|op| (op.offset, op.len, op.kind))
+                    .collect();
+                cl.client_ops.push(ops);
+            }
+            cl.client_driver = Some(client_next);
+        }
+        Workload::Open(spec) => {
+            // Same per-client content seeding as the closed loop, so an
+            // unsaturated open-loop run replays statistically the same ops.
+            let params = WorkloadParams::for_family(rcfg.family, rcfg.volume_bytes);
+            let stream = spec.materialize(
+                &params,
+                rcfg.cluster.clients,
+                rcfg.cluster.clients * rcfg.ops_per_client,
+                rcfg.seed,
+            );
+            install_stream(&mut sim, &mut cl, &stream, spec.window);
+        }
+        Workload::Timed { stream, window } => {
+            install_stream(&mut sim, &mut cl, stream, *window);
+        }
     }
-    cl.client_driver = Some(client_next);
 
     // Arm the fault timeline. With the (default) empty plan nothing is
     // scheduled and no state changes: the replay is byte-for-byte the
@@ -321,6 +506,7 @@ pub fn run_update_phase(rcfg: &ReplayConfig) -> (Sim<Cluster>, Cluster) {
         cl.faults.repair_bandwidth = rcfg.faults.repair_bandwidth;
         // Timestamped latencies enable degraded-window vs steady quantiles.
         cl.metrics.latency_samples = Some(SampleLog::new());
+        cl.metrics.read_latency_samples = Some(SampleLog::new());
         for ev in &rcfg.faults.events {
             let scope = ev.scope;
             sim.schedule_at(ev.at_ns, move |sim, cl: &mut Cluster| {
@@ -329,15 +515,18 @@ pub fn run_update_phase(rcfg: &ReplayConfig) -> (Sim<Cluster>, Cluster) {
         }
     }
 
-    // Kick the clients with staggered start times. In a fully deterministic
-    // simulation, identical service times would otherwise keep all clients
-    // in lockstep convoys — synchronized arrival waves that queue behind
-    // each other at every hop while the fabric sits idle in between.
-    for c in 0..rcfg.cluster.clients {
-        let stagger = (c as u64).wrapping_mul(137) % 4096 * simdes::units::MICROS / 8;
-        sim.schedule(stagger, move |sim, cl: &mut Cluster| {
-            client_next(sim, cl, c)
-        });
+    // Kick the closed-loop clients with staggered start times. In a fully
+    // deterministic simulation, identical service times would otherwise
+    // keep all clients in lockstep convoys — synchronized arrival waves
+    // that queue behind each other at every hop while the fabric sits idle
+    // in between. (Open-loop arrivals carry their own schedule.)
+    if rcfg.workload.is_closed_loop() {
+        for c in 0..rcfg.cluster.clients {
+            let stagger = (c as u64).wrapping_mul(137) % 4096 * simdes::units::MICROS / 8;
+            sim.schedule(stagger, move |sim, cl: &mut Cluster| {
+                client_next(sim, cl, c)
+            });
+        }
     }
     sim.run(&mut cl);
     (sim, cl)
@@ -384,6 +573,16 @@ pub fn run_trace(rcfg: &ReplayConfig) -> RunResult {
             cl.metrics.update_latency.quantile(0.99) as f64 / 1_000.0,
         ),
     };
+    let (degraded_read_p99_us, steady_read_p99_us) = match &cl.metrics.read_latency_samples {
+        Some(log) => {
+            let (inside, outside) = log.split(&windows);
+            (
+                inside.quantile(0.99) as f64 / 1_000.0,
+                outside.quantile(0.99) as f64 / 1_000.0,
+            )
+        }
+        None => (0.0, cl.metrics.read_latency.quantile(0.99) as f64 / 1_000.0),
+    };
     let mttr_s = cl.faults.mttr_s(sim_end);
 
     let m = &cl.metrics;
@@ -392,6 +591,52 @@ pub fn run_trace(rcfg: &ReplayConfig) -> RunResult {
     } else {
         0.0
     };
+
+    // Offered-vs-acked accounting: goodput is what clients actually got
+    // acknowledged per second of run; on the open loop it is compared
+    // against the schedule's offered rate to flag saturation.
+    let acked = m.completed_updates + m.completed_reads + m.completed_writes;
+    let goodput_ops_per_s = if duration_s > 0.0 {
+        acked as f64 / duration_s
+    } else {
+        0.0
+    };
+    let (
+        offered_ops,
+        offered_ops_per_s,
+        queue_delay_mean_us,
+        queue_delay_p99_us,
+        peak_queue_depth,
+        backlogged,
+    ) = match &cl.open_loop {
+        Some(ol) => {
+            let horizon_s = simdes::units::as_secs_f64(ol.horizon);
+            let rate = if horizon_s > 0.0 {
+                ol.offered as f64 / horizon_s
+            } else {
+                0.0
+            };
+            // "Backed up": at some point the admission queues held at
+            // least one full window population — more waiting than the
+            // cluster is even allowed to have in flight.
+            let backlogged = ol.queue_depth.peak() >= (ol.window * ol.outstanding.len()) as u64;
+            (
+                ol.offered,
+                rate,
+                ol.queue_delay.mean() / 1_000.0,
+                ol.queue_delay.quantile(0.99) as f64 / 1_000.0,
+                ol.queue_depth.peak(),
+                backlogged,
+            )
+        }
+        None => (0, 0.0, 0.0, 0.0, 0, false),
+    };
+    // Both conditions guard against finite-run artefacts: a short stream's
+    // completion tail depresses the goodput ratio without any queueing, and
+    // a transient queue blip is not a collapse without a goodput shortfall.
+    let saturated = offered_ops > 0
+        && goodput_ops_per_s < SATURATION_GOODPUT_RATIO * offered_ops_per_s
+        && backlogged;
     RunResult {
         method: rcfg.cluster.method.name().to_string(),
         completed_updates: m.completed_updates,
@@ -426,6 +671,16 @@ pub fn run_trace(rcfg: &ReplayConfig) -> RunResult {
         mttr_s,
         degraded_p99_us,
         steady_p99_us,
+        read_p99_us: m.read_latency.quantile(0.99) as f64 / 1_000.0,
+        degraded_read_p99_us,
+        steady_read_p99_us,
+        offered_ops,
+        offered_ops_per_s,
+        goodput_ops_per_s,
+        queue_delay_mean_us,
+        queue_delay_p99_us,
+        peak_queue_depth,
+        saturated,
     }
 }
 

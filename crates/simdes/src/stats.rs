@@ -184,6 +184,53 @@ impl Histogram {
     }
 }
 
+/// A level gauge tracking a current value and its high-water mark — queue
+/// depths, outstanding-op counts, and any other instantaneous level whose
+/// peak matters more than its history.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Gauge {
+    cur: u64,
+    peak: u64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Raises the level by `n`, updating the peak.
+    pub fn add(&mut self, n: u64) {
+        self.cur += n;
+        self.peak = self.peak.max(self.cur);
+    }
+
+    /// Raises the level by one.
+    pub fn inc(&mut self) {
+        self.add(1);
+    }
+
+    /// Lowers the level by `n` (saturating at zero).
+    pub fn sub(&mut self, n: u64) {
+        self.cur = self.cur.saturating_sub(n);
+    }
+
+    /// Lowers the level by one.
+    pub fn dec(&mut self) {
+        self.sub(1);
+    }
+
+    /// The current level.
+    pub fn current(&self) -> u64 {
+        self.cur
+    }
+
+    /// The highest level ever held.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+}
+
 /// A set of half-open `[start, end)` time windows, merged on insert — the
 /// unit of phase-aware measurement (e.g. "degraded windows" between a
 /// failure injection and the end of its repair).
@@ -417,6 +464,23 @@ mod tests {
         let (ins, outs) = log.split(&WindowSet::new());
         assert_eq!(ins.count(), 0);
         assert_eq!(outs.count(), 100);
+    }
+
+    #[test]
+    fn gauge_tracks_level_and_peak() {
+        let mut g = Gauge::new();
+        assert_eq!(g.current(), 0);
+        assert_eq!(g.peak(), 0);
+        g.inc();
+        g.add(4);
+        assert_eq!(g.current(), 5);
+        assert_eq!(g.peak(), 5);
+        g.dec();
+        g.sub(10); // saturates
+        assert_eq!(g.current(), 0);
+        assert_eq!(g.peak(), 5, "peak survives the drain");
+        g.add(2);
+        assert_eq!(g.peak(), 5, "lower refill leaves the peak");
     }
 
     #[test]

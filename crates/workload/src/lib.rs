@@ -1,0 +1,266 @@
+//! Open-loop offered load: arrival processes, skewed client populations,
+//! and timed op streams.
+//!
+//! Everything the replay engine ran before this crate was **closed-loop**:
+//! each client issues its next op the instant the previous one completes,
+//! so the offered rate self-throttles to whatever the cluster sustains and
+//! the queueing collapse that separates update methods under real load can
+//! never appear. This crate generates **open-loop** load — ops arrive on
+//! their own schedule whether or not earlier ops finished — in three
+//! composable pieces:
+//!
+//! * [`arrival`] — *when* ops arrive: a base point process
+//!   ([`BaseProcess::Poisson`] or [`BaseProcess::Periodic`]) modulated by a
+//!   [`RateCurve`] (constant, bursty on/off, diurnal), so "Poisson at
+//!   20 kop/s in 30 % duty bursts" is one spec;
+//! * [`skew`] — *who* issues them: [`ClientSkew`] draws the issuing client
+//!   per arrival (uniform, Zipfian hot clients, hot-spot subsets) and
+//!   [`OffsetSkew`] reshapes each client's address locality (family
+//!   default, tightened hot ranges, flattened uniform);
+//! * [`stream`] — *what* arrives: a [`TimedStream`] of `(client, op)` pairs
+//!   carrying absolute arrival timestamps. Synthetic specs materialise into
+//!   one ([`OpenLoopSpec::materialize`]), and imported real traces
+//!   (`traces::io::msr_to_ops`, `traces::io::ali_to_ops`) convert into one
+//!   with their *real* arrival times preserved.
+//!
+//! The replay engine consumes a [`TimedStream`] with a bounded
+//! outstanding-op window per client and an admission queue, and reports
+//! offered-vs-acked throughput (goodput), queue-delay percentiles, and a
+//! saturation flag — see `ecfs::replay`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrival;
+pub mod skew;
+pub mod stream;
+
+pub use arrival::{ArrivalGen, BaseProcess, RateCurve};
+pub use skew::{ClientPicker, ClientSkew, OffsetSkew};
+pub use stream::{TimedOp, TimedStream};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use traces::{WorkloadGen, WorkloadParams};
+
+/// A complete open-loop load specification: arrival process × client skew
+/// × offset skew × per-client concurrency window.
+///
+/// The `rate` is the **aggregate** offered rate over the whole client
+/// population, in ops per second.
+#[derive(Debug, Clone)]
+pub struct OpenLoopSpec {
+    /// The base point process gaps are drawn from.
+    pub process: BaseProcess,
+    /// The (possibly time-varying) aggregate arrival rate.
+    pub rate: RateCurve,
+    /// How the issuing client is drawn per arrival.
+    pub client_skew: ClientSkew,
+    /// How each client's address locality is reshaped.
+    pub offset_skew: OffsetSkew,
+    /// Maximum ops a client keeps outstanding; arrivals beyond it wait in
+    /// the admission queue (their wait is the measured queue delay).
+    pub window: usize,
+}
+
+impl OpenLoopSpec {
+    /// Poisson arrivals at a constant aggregate `ops_per_s`, uniform
+    /// clients, family-default locality, window 4.
+    pub fn poisson(ops_per_s: f64) -> OpenLoopSpec {
+        OpenLoopSpec {
+            process: BaseProcess::Poisson,
+            rate: RateCurve::Constant { ops_per_s },
+            client_skew: ClientSkew::Uniform,
+            offset_skew: OffsetSkew::Family,
+            window: 4,
+        }
+    }
+
+    /// Deterministic (periodic) arrivals at a constant aggregate
+    /// `ops_per_s`; otherwise as [`Self::poisson`].
+    pub fn periodic(ops_per_s: f64) -> OpenLoopSpec {
+        OpenLoopSpec {
+            process: BaseProcess::Periodic,
+            ..Self::poisson(ops_per_s)
+        }
+    }
+
+    /// Replaces the rate curve (builder-style).
+    pub fn with_rate(mut self, rate: RateCurve) -> OpenLoopSpec {
+        self.rate = rate;
+        self
+    }
+
+    /// Replaces the base process (builder-style).
+    pub fn with_process(mut self, process: BaseProcess) -> OpenLoopSpec {
+        self.process = process;
+        self
+    }
+
+    /// Replaces the client-skew model (builder-style).
+    pub fn with_client_skew(mut self, skew: ClientSkew) -> OpenLoopSpec {
+        self.client_skew = skew;
+        self
+    }
+
+    /// Replaces the offset-skew model (builder-style).
+    pub fn with_offset_skew(mut self, skew: OffsetSkew) -> OpenLoopSpec {
+        self.offset_skew = skew;
+        self
+    }
+
+    /// Replaces the per-client outstanding-op window (builder-style).
+    pub fn with_window(mut self, window: usize) -> OpenLoopSpec {
+        self.window = window;
+        self
+    }
+
+    /// Validates every component of the spec.
+    pub fn validate(&self) -> Result<(), String> {
+        self.rate.validate()?;
+        self.client_skew.validate()?;
+        self.offset_skew.validate()?;
+        if self.window == 0 {
+            return Err("open-loop window must admit at least one op".into());
+        }
+        Ok(())
+    }
+
+    /// Materialises the spec into a [`TimedStream`] of `total_ops`
+    /// arrivals over `clients` clients.
+    ///
+    /// Deterministic in `(spec, base, clients, total_ops, seed)`. Op
+    /// *content* comes from one [`WorkloadGen`] per client seeded
+    /// `seed + client` — the same seeding the closed-loop replay uses, so
+    /// an open-loop run at low rate replays statistically the same ops as
+    /// its closed-loop twin. Arrival times and client picks come from
+    /// seed-salted side streams so they perturb neither the content nor
+    /// each other.
+    ///
+    /// # Panics
+    /// Panics if the spec or `base` fail validation, or `clients == 0`.
+    pub fn materialize(
+        &self,
+        base: &WorkloadParams,
+        clients: usize,
+        total_ops: usize,
+        seed: u64,
+    ) -> TimedStream {
+        self.validate().expect("invalid open-loop spec");
+        assert!(clients > 0, "open-loop load needs at least one client");
+        let mut params = base.clone();
+        self.offset_skew.apply(&mut params);
+        let mut gens: Vec<WorkloadGen> = (0..clients)
+            .map(|c| WorkloadGen::new(params.clone(), seed.wrapping_add(c as u64)))
+            .collect();
+        let mut arrivals = ArrivalGen::new(
+            self.process,
+            self.rate.clone(),
+            seed ^ 0x6172_7269_7661_6c73, // "arrivals"
+        );
+        let picker = ClientPicker::new(self.client_skew, clients);
+        let mut pick_rng = StdRng::seed_from_u64(seed ^ 0x636c_6965_6e74_7321); // "clients!"
+        let mut ops = Vec::with_capacity(total_ops);
+        for _ in 0..total_ops {
+            let at_ns = arrivals.next_ns();
+            let client = picker.pick(&mut pick_rng);
+            let mut op = gens[client].next().expect("generator is infinite");
+            op.at_ns = at_ns;
+            ops.push(TimedOp { client, op });
+        }
+        TimedStream::new(ops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traces::OpKind;
+
+    const VOL: u64 = 64 << 20;
+
+    fn base() -> WorkloadParams {
+        WorkloadParams::ali_cloud(VOL)
+    }
+
+    #[test]
+    fn spec_validates() {
+        assert!(OpenLoopSpec::poisson(10_000.0).validate().is_ok());
+        assert!(OpenLoopSpec::poisson(0.0).validate().is_err());
+        assert!(OpenLoopSpec::poisson(1.0)
+            .with_window(0)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn materialize_is_deterministic() {
+        let spec =
+            OpenLoopSpec::poisson(50_000.0).with_client_skew(ClientSkew::Zipf { theta: 0.9 });
+        let a = spec.materialize(&base(), 8, 2000, 42);
+        let b = spec.materialize(&base(), 8, 2000, 42);
+        assert_eq!(a, b);
+        let c = spec.materialize(&base(), 8, 2000, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn materialize_produces_sorted_valid_stream() {
+        let spec = OpenLoopSpec::poisson(20_000.0);
+        let s = spec.materialize(&base(), 4, 1000, 7);
+        assert_eq!(s.len(), 1000);
+        s.validate(4, VOL).unwrap();
+        // Arrival times strictly increase (gaps are clamped to >= 1 ns).
+        let ats: Vec<u64> = s.ops().iter().map(|t| t.op.at_ns).collect();
+        assert!(ats.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn materialize_rate_is_close_to_spec() {
+        let spec = OpenLoopSpec::poisson(100_000.0);
+        let s = spec.materialize(&base(), 8, 10_000, 11);
+        let secs = s.horizon_ns() as f64 / 1e9;
+        let rate = s.len() as f64 / secs;
+        assert!(
+            (rate - 100_000.0).abs() / 100_000.0 < 0.05,
+            "offered rate {rate:.0} drifted from 100k"
+        );
+    }
+
+    #[test]
+    fn zipf_clients_concentrate_arrivals() {
+        let spec =
+            OpenLoopSpec::poisson(50_000.0).with_client_skew(ClientSkew::Zipf { theta: 0.95 });
+        let s = spec.materialize(&base(), 16, 8000, 3);
+        let mut counts = [0usize; 16];
+        for t in s.ops() {
+            counts[t.client] += 1;
+        }
+        let hottest = *counts.iter().max().unwrap();
+        assert!(
+            hottest > 8000 / 16 * 3,
+            "hottest client drew only {hottest}/8000 arrivals"
+        );
+        // Client 0 is the Zipf head.
+        assert_eq!(counts[0], hottest);
+    }
+
+    #[test]
+    fn uniform_offset_skew_flattens_locality() {
+        let spec = OpenLoopSpec::poisson(50_000.0).with_offset_skew(OffsetSkew::Uniform);
+        let s = spec.materialize(&base(), 2, 4000, 9);
+        // With locality flattened, update/read offsets spread over the
+        // whole written region instead of piling into the 10 % hot set.
+        let mut hits = std::collections::HashSet::new();
+        for t in s.ops() {
+            if t.op.kind == OpKind::Update {
+                hits.insert(t.op.offset >> 12);
+            }
+        }
+        assert!(
+            hits.len() > 500,
+            "only {} distinct update slots",
+            hits.len()
+        );
+    }
+}

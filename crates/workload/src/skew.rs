@@ -1,0 +1,269 @@
+//! Skew models: who issues each arrival, and where in the volume it lands.
+//!
+//! Real client populations are never uniform — the traces the paper
+//! measures (Ali-Cloud, Ten-Cloud, MSR) all show a few tenants dominating
+//! the request stream and a few address ranges dominating the touched
+//! bytes. [`ClientSkew`] models the former (per-arrival client draw),
+//! [`OffsetSkew`] the latter (per-client address locality reshaping, on
+//! top of the trace family's own hot-set parameters).
+
+use rand::Rng;
+use traces::{WorkloadParams, Zipf};
+
+/// How the issuing client is drawn for each arrival.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClientSkew {
+    /// Every client equally likely.
+    Uniform,
+    /// Client popularity follows Zipf(θ): client 0 is the hottest.
+    Zipf {
+        /// Skew in `[0, 1)` (0 degenerates to uniform).
+        theta: f64,
+    },
+    /// A hot subset: the first `ceil(hot_fraction * clients)` clients
+    /// receive `hot_share` of all arrivals (uniformly among themselves);
+    /// the rest spread uniformly over the whole population.
+    HotSpot {
+        /// Fraction of clients in the hot set, in `(0, 1]`.
+        hot_fraction: f64,
+        /// Fraction of arrivals directed at the hot set, in `[0, 1]`.
+        hot_share: f64,
+    },
+}
+
+impl ClientSkew {
+    /// Validates shape parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            ClientSkew::Uniform => Ok(()),
+            ClientSkew::Zipf { theta } => {
+                if !(0.0..1.0).contains(&theta) {
+                    return Err(format!("zipf theta = {theta} must be in [0, 1)"));
+                }
+                Ok(())
+            }
+            ClientSkew::HotSpot {
+                hot_fraction,
+                hot_share,
+            } => {
+                if !(hot_fraction > 0.0 && hot_fraction <= 1.0) {
+                    return Err(format!("hot_fraction = {hot_fraction} must be in (0, 1]"));
+                }
+                if !(0.0..=1.0).contains(&hot_share) {
+                    return Err(format!("hot_share = {hot_share} must be in [0, 1]"));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A prepared per-arrival client sampler for a fixed population size.
+#[derive(Debug, Clone)]
+pub struct ClientPicker {
+    skew: ClientSkew,
+    clients: usize,
+    zipf: Option<Zipf>,
+}
+
+impl ClientPicker {
+    /// Builds a picker over `clients` clients.
+    ///
+    /// # Panics
+    /// Panics if the skew fails validation or `clients == 0`.
+    pub fn new(skew: ClientSkew, clients: usize) -> ClientPicker {
+        skew.validate().expect("invalid client skew");
+        assert!(clients > 0, "picker over empty client population");
+        let zipf = match skew {
+            ClientSkew::Zipf { theta } => Some(Zipf::new(clients as u64, theta)),
+            _ => None,
+        };
+        ClientPicker {
+            skew,
+            clients,
+            zipf,
+        }
+    }
+
+    /// Draws the issuing client for one arrival.
+    pub fn pick<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        match self.skew {
+            ClientSkew::Uniform => rng.random_range(0..self.clients as u64) as usize,
+            ClientSkew::Zipf { .. } => {
+                self.zipf.as_ref().expect("built with zipf").sample(rng) as usize
+            }
+            ClientSkew::HotSpot {
+                hot_fraction,
+                hot_share,
+            } => {
+                let hot_n =
+                    ((self.clients as f64 * hot_fraction).ceil() as usize).clamp(1, self.clients);
+                if rng.random::<f64>() < hot_share {
+                    rng.random_range(0..hot_n as u64) as usize
+                } else {
+                    rng.random_range(0..self.clients as u64) as usize
+                }
+            }
+        }
+    }
+}
+
+/// How each client's address locality is reshaped relative to the trace
+/// family's own parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OffsetSkew {
+    /// Keep the family's hot-set parameters untouched.
+    Family,
+    /// Override the hot set: `access_fraction` of update/read accesses land
+    /// in a `hot_fraction` slice of the written region — a hot-spot offset
+    /// range sharper (or flatter) than the family default.
+    HotRange {
+        /// Fraction of the written region forming the hot range, `(0, 1]`.
+        hot_fraction: f64,
+        /// Fraction of accesses directed at it, `[0, 1]`.
+        access_fraction: f64,
+    },
+    /// Flatten locality entirely: uniform offsets, no sequential runs —
+    /// the adversarial case for locality-exploiting log merging.
+    Uniform,
+}
+
+impl OffsetSkew {
+    /// Validates shape parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            OffsetSkew::Family | OffsetSkew::Uniform => Ok(()),
+            OffsetSkew::HotRange {
+                hot_fraction,
+                access_fraction,
+            } => {
+                if !(hot_fraction > 0.0 && hot_fraction <= 1.0) {
+                    return Err(format!("hot_fraction = {hot_fraction} must be in (0, 1]"));
+                }
+                if !(0.0..=1.0).contains(&access_fraction) {
+                    return Err(format!(
+                        "access_fraction = {access_fraction} must be in [0, 1]"
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Applies the reshaping to one client's workload parameters.
+    pub fn apply(&self, params: &mut WorkloadParams) {
+        match *self {
+            OffsetSkew::Family => {}
+            OffsetSkew::HotRange {
+                hot_fraction,
+                access_fraction,
+            } => {
+                params.hot_fraction = hot_fraction;
+                params.hot_access_fraction = access_fraction;
+            }
+            OffsetSkew::Uniform => {
+                params.hot_access_fraction = 0.0;
+                params.seq_run_prob = 0.0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn skews_validate() {
+        assert!(ClientSkew::Uniform.validate().is_ok());
+        assert!(ClientSkew::Zipf { theta: 0.9 }.validate().is_ok());
+        assert!(ClientSkew::Zipf { theta: 1.0 }.validate().is_err());
+        assert!(ClientSkew::HotSpot {
+            hot_fraction: 0.1,
+            hot_share: 0.9
+        }
+        .validate()
+        .is_ok());
+        assert!(ClientSkew::HotSpot {
+            hot_fraction: 0.0,
+            hot_share: 0.9
+        }
+        .validate()
+        .is_err());
+        assert!(OffsetSkew::HotRange {
+            hot_fraction: 0.05,
+            access_fraction: 0.95
+        }
+        .validate()
+        .is_ok());
+        assert!(OffsetSkew::HotRange {
+            hot_fraction: 1.5,
+            access_fraction: 0.95
+        }
+        .validate()
+        .is_err());
+    }
+
+    fn shares(skew: ClientSkew, clients: usize, draws: usize) -> Vec<usize> {
+        let picker = ClientPicker::new(skew, clients);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut counts = vec![0usize; clients];
+        for _ in 0..draws {
+            counts[picker.pick(&mut rng)] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn uniform_spreads_evenly() {
+        let counts = shares(ClientSkew::Uniform, 10, 50_000);
+        for &c in &counts {
+            assert!((3_500..6_500).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn hotspot_gives_hot_clients_their_share() {
+        // 2 of 10 clients take 80 % of arrivals (plus their uniform slice).
+        let counts = shares(
+            ClientSkew::HotSpot {
+                hot_fraction: 0.2,
+                hot_share: 0.8,
+            },
+            10,
+            50_000,
+        );
+        let hot: usize = counts[..2].iter().sum();
+        assert!(
+            hot > 50_000 * 7 / 10,
+            "hot clients drew only {hot}/50000: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn zipf_orders_clients_by_popularity() {
+        let counts = shares(ClientSkew::Zipf { theta: 0.9 }, 8, 50_000);
+        assert!(counts[0] > counts[4] * 2, "counts {counts:?}");
+    }
+
+    #[test]
+    fn offset_skew_rewrites_params() {
+        let mut p = WorkloadParams::ali_cloud(64 << 20);
+        OffsetSkew::HotRange {
+            hot_fraction: 0.02,
+            access_fraction: 0.99,
+        }
+        .apply(&mut p);
+        assert_eq!(p.hot_fraction, 0.02);
+        assert_eq!(p.hot_access_fraction, 0.99);
+        p.validate().unwrap();
+
+        let mut q = WorkloadParams::ali_cloud(64 << 20);
+        OffsetSkew::Uniform.apply(&mut q);
+        assert_eq!(q.hot_access_fraction, 0.0);
+        assert_eq!(q.seq_run_prob, 0.0);
+        q.validate().unwrap();
+    }
+}
