@@ -19,7 +19,7 @@
 
 use ecfs::prelude::*;
 use traces::TraceFamily;
-use tsue_bench::{kfmt, print_table, run_grid, ssd_replay};
+use tsue_bench::{kfmt, print_table, run_grid, ssd_replay, BenchReport};
 
 const RACKS: usize = 4;
 const OVERSUB: f64 = 2.0;
@@ -90,6 +90,7 @@ fn main() {
     }
     let results = run_grid(&grid);
 
+    let mut report = BenchReport::new("fault_sweep");
     let mut rows = Vec::new();
     for ((method, placement, plan), res) in labels.iter().zip(&results) {
         assert_eq!(
@@ -101,6 +102,26 @@ fn main() {
         );
         assert_eq!(res.data_loss_blocks, 0, "sweep scenarios are recoverable");
         assert_eq!(res.failed_ops, 0);
+        report.add_row(vec![
+            ("method", method.name().into()),
+            ("placement", placement.name().into()),
+            ("fault", plan.name().into()),
+            ("update_iops", res.update_iops.into()),
+            ("mttr_ms", (res.mttr_s * 1e3).into()),
+            (
+                "rebuilt",
+                (res.repaired_blocks + res.inline_rebuilds).into(),
+            ),
+            ("repair_gib", res.net_repair_gib.into()),
+            ("degraded_reads", res.degraded_reads.into()),
+            ("steady_p99_us", res.steady_p99_us.into()),
+            ("degraded_p99_us", res.degraded_p99_us.into()),
+            ("steady_read_p99_us", res.steady_read_p99_us.into()),
+            ("degraded_read_p99_us", res.degraded_read_p99_us.into()),
+            // Blast radius: how many distinct co-location sets the run's
+            // stripes (post-rebuild) span.
+            ("copysets_used", res.copysets_used.into()),
+        ]);
         rows.push(vec![
             method.name().to_string(),
             placement.name().to_string(),
@@ -218,4 +239,8 @@ fn main() {
             method.name()
         );
     }
+
+    report.add_finding("tsue_degraded_p99_us", tsue.degraded_p99_us);
+    report.add_finding("tsue_rack_mttr_ms", tsue.mttr_s * 1e3);
+    report.write_and_announce();
 }

@@ -18,7 +18,7 @@
 
 use ecfs::prelude::*;
 use traces::TraceFamily;
-use tsue_bench::{kfmt, print_table, run_grid, ssd_replay};
+use tsue_bench::{kfmt, print_table, run_grid, ssd_replay, BenchReport};
 
 /// The swept aggregate arrival rates (ops/s). Chosen to bracket every
 /// method's knee at the default scale: the slowest method saturates well
@@ -55,8 +55,18 @@ fn main() {
     }
     let results = run_grid(&grid);
 
+    let mut report = BenchReport::new("load_sweep");
     let mut rows = Vec::new();
     for ((method, rate), res) in labels.iter().zip(&results) {
+        report.add_row(vec![
+            ("method", method.name().into()),
+            ("rate", (*rate).into()),
+            ("offered_ops_per_s", res.offered_ops_per_s.into()),
+            ("goodput_ops_per_s", res.goodput_ops_per_s.into()),
+            ("queue_delay_p99_us", res.queue_delay_p99_us.into()),
+            ("peak_queue_depth", res.peak_queue_depth.into()),
+            ("saturated", res.saturated.into()),
+        ]);
         assert_eq!(
             res.oracle_violations,
             0,
@@ -149,4 +159,12 @@ fn main() {
         tsue_cap > fo_cap,
         "TSUE's saturated goodput ({tsue_cap:.0}/s) must exceed FO's ({fo_cap:.0}/s)"
     );
+
+    // Headline findings for the regression gate: each method's knee rate
+    // and the goodput it caps at there.
+    for (method, knee_rate, knee_cap) in &knees {
+        report.add_finding(&format!("knee_rate_{}", method.name()), *knee_rate);
+        report.add_finding(&format!("knee_goodput_{}", method.name()), *knee_cap);
+    }
+    report.write_and_announce();
 }

@@ -21,10 +21,10 @@ fn main() {
             // Shrink the devices so the FTL actually cycles: wear becomes
             // visible in one run (the paper replays far longer traces on
             // real 400 GB drives).
-            rcfg.cluster.disk = DiskKind::Ssd(SsdConfig {
+            rcfg.cluster.fleet = ecfs::DiskFleet::uniform(DiskKind::Ssd(SsdConfig {
                 capacity: 768 << 20,
                 ..SsdConfig::default()
-            });
+            }));
             rcfg.volume_bytes = 96 << 20;
             rcfg.ops_per_client = tsue_bench::ops_per_client() * 2;
             rcfg

@@ -20,7 +20,7 @@
 
 use ecfs::prelude::*;
 use traces::TraceFamily;
-use tsue_bench::{kfmt, print_table, run_grid, ssd_replay};
+use tsue_bench::{kfmt, print_table, run_grid, ssd_replay, BenchReport};
 
 const RACKS: usize = 4;
 const OVERSUB: f64 = 4.0;
@@ -49,6 +49,7 @@ fn main() {
     }
     let results = run_grid(&grid);
 
+    let mut report = BenchReport::new("topo_sweep");
     let mut rows = Vec::new();
     for ((racks, placement, method), res) in labels.iter().zip(&results) {
         assert_eq!(
@@ -58,6 +59,14 @@ fn main() {
             method.name(),
             placement.name()
         );
+        report.add_row(vec![
+            ("racks", (*racks).into()),
+            ("placement", placement.name().into()),
+            ("method", method.name().into()),
+            ("update_iops", res.update_iops.into()),
+            ("net_gib", res.net_gib.into()),
+            ("cross_rack_gib", res.net_cross_rack_gib.into()),
+        ]);
         rows.push(vec![
             if *racks == 1 {
                 "1 (flat)".to_string()
@@ -132,4 +141,10 @@ fn main() {
     }
     println!("\n(flat rows are identical across placements: every built-in");
     println!(" placement degenerates to the same rotation on one rack.)");
+
+    // Headline findings for the regression gate: TSUE's spine traffic per
+    // placement on the racked fabric.
+    report.add_finding("tsue_cross_gib_rack_aware", tsue_aware);
+    report.add_finding("tsue_cross_gib_rack_local", tsue_local);
+    report.write_and_announce();
 }

@@ -1,0 +1,214 @@
+//! The bench regression gate: re-reads the four sweeps' machine-readable
+//! reports (`BENCH_<sweep>.json`) and asserts the shape invariants the
+//! repository's findings rest on. Runs as the final bench-smoke step in
+//! CI, so a perf or behaviour regression **fails the workflow** instead of
+//! scrolling past in a log.
+//!
+//! Checked invariants:
+//!
+//! 1. `load_sweep`: TSUE's goodput at its saturation knee is at least
+//!    FO's at FO's knee, and TSUE's knee rate comes no earlier.
+//! 2. `topo_sweep`: rack-local placement costs TSUE no more spine traffic
+//!    than rack-aware (the clustered-network-coding win).
+//! 3. `fault_sweep`: every faulted cell reports a finite, positive MTTR
+//!    under the default repair policy (repair always completes), and no
+//!    faulted cell lost data (rows exist and parsed).
+//! 4. `hetero_sweep`: TSUE keeps its Fig. 5 lead on the tiered fleet, and
+//!    capacity-weighted placement lowers the skewed fleet's worst-disk
+//!    fill below flat-rotate's; copyset usage respects its budget.
+//!
+//! Usage: `bench_gate [report-dir]` (default: `TSUE_BENCH_REPORT_DIR` or
+//! `target/bench-report`). Exits non-zero listing every violated
+//! invariant.
+
+use tsue_bench::{load_report, report_dir, Json};
+
+struct Gate {
+    failures: Vec<String>,
+    checks: usize,
+}
+
+impl Gate {
+    fn check(&mut self, ok: bool, what: &str) {
+        self.checks += 1;
+        if ok {
+            println!("  ok: {what}");
+        } else {
+            println!("  FAIL: {what}");
+            self.failures.push(what.to_string());
+        }
+    }
+
+    fn finding(&mut self, report: &Json, key: &str) -> f64 {
+        match report.get("findings").and_then(|f| f.get(key)) {
+            Some(v) => match v.as_f64() {
+                Some(x) if x.is_finite() => x,
+                _ => {
+                    self.check(false, &format!("finding {key} is a finite number"));
+                    f64::NAN
+                }
+            },
+            None => {
+                self.check(false, &format!("finding {key} present"));
+                f64::NAN
+            }
+        }
+    }
+
+    /// Like [`Self::check`], but skipped when an operand is non-finite:
+    /// the missing/NaN finding already failed the gate, and reporting its
+    /// NaN comparison too would read as a second, bogus regression.
+    fn check_cmp(&mut self, operands: &[f64], ok: bool, what: &str) {
+        if operands.iter().all(|v| v.is_finite()) {
+            self.check(ok, what);
+        }
+    }
+}
+
+fn rows<'a>(report: &'a Json, sweep: &str, gate: &mut Gate) -> &'a [Json] {
+    let rows = report
+        .get("rows")
+        .and_then(|r| r.as_arr())
+        .unwrap_or_default();
+    gate.check(!rows.is_empty(), &format!("{sweep}: report has rows"));
+    rows
+}
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(report_dir);
+    println!("bench gate over {}", dir.display());
+
+    let mut gate = Gate {
+        failures: Vec::new(),
+        checks: 0,
+    };
+
+    let mut reports = Vec::new();
+    for sweep in ["topo_sweep", "fault_sweep", "load_sweep", "hetero_sweep"] {
+        match load_report(&dir, sweep) {
+            Ok(doc) => reports.push((sweep, doc)),
+            Err(e) => {
+                gate.check(false, &format!("{sweep}: report loads ({e})"));
+            }
+        }
+    }
+    let get = |name: &str| reports.iter().find(|(s, _)| *s == name).map(|(_, d)| d);
+
+    // 1. Load sweep: the sustainable-throughput ranking.
+    if let Some(load) = get("load_sweep") {
+        println!("\nload_sweep:");
+        let _ = rows(load, "load_sweep", &mut gate);
+        let tsue_cap = gate.finding(load, "knee_goodput_TSUE");
+        let fo_cap = gate.finding(load, "knee_goodput_FO");
+        gate.check_cmp(
+            &[tsue_cap, fo_cap],
+            tsue_cap >= fo_cap,
+            &format!("TSUE goodput at the knee ({tsue_cap:.0}/s) >= FO's ({fo_cap:.0}/s)"),
+        );
+        let tsue_knee = gate.finding(load, "knee_rate_TSUE");
+        let fo_knee = gate.finding(load, "knee_rate_FO");
+        gate.check_cmp(
+            &[tsue_knee, fo_knee],
+            tsue_knee >= fo_knee,
+            &format!("TSUE saturates no earlier than FO ({tsue_knee:.0} vs {fo_knee:.0} ops/s)"),
+        );
+    }
+
+    // 2. Topology sweep: rack-local keeps TSUE's parity pipeline in-rack.
+    if let Some(topo) = get("topo_sweep") {
+        println!("\ntopo_sweep:");
+        let _ = rows(topo, "topo_sweep", &mut gate);
+        let local = gate.finding(topo, "tsue_cross_gib_rack_local");
+        let aware = gate.finding(topo, "tsue_cross_gib_rack_aware");
+        gate.check_cmp(
+            &[local, aware],
+            local <= aware,
+            &format!(
+                "TSUE rack-local spine traffic ({local:.3} GiB) <= rack-aware ({aware:.3} GiB)"
+            ),
+        );
+    }
+
+    // 3. Fault sweep: repair completes — finite positive MTTR per faulted
+    // cell under the default (unthrottled) repair policy.
+    if let Some(fault) = get("fault_sweep") {
+        println!("\nfault_sweep:");
+        let fault_rows = rows(fault, "fault_sweep", &mut gate);
+        let mut faulted = 0;
+        let mut bad = Vec::new();
+        for row in fault_rows {
+            let plan = row.get("fault").and_then(|v| v.as_str()).unwrap_or("?");
+            if plan == "none" {
+                continue;
+            }
+            faulted += 1;
+            let mttr = row.get("mttr_ms").and_then(|v| v.as_f64());
+            match mttr {
+                Some(ms) if ms.is_finite() && ms > 0.0 => {}
+                _ => bad.push(format!(
+                    "{}/{plan}: mttr_ms = {mttr:?}",
+                    row.get("method").and_then(|v| v.as_str()).unwrap_or("?")
+                )),
+            }
+        }
+        gate.check(faulted > 0, "fault_sweep exercises faulted cells");
+        gate.check(
+            bad.is_empty(),
+            &format!(
+                "every faulted cell has finite positive MTTR{}",
+                if bad.is_empty() {
+                    String::new()
+                } else {
+                    format!(" (violations: {})", bad.join("; "))
+                }
+            ),
+        );
+    }
+
+    // 4. Hetero sweep: the heterogeneous-fleet findings hold.
+    if let Some(hetero) = get("hetero_sweep") {
+        println!("\nhetero_sweep:");
+        let _ = rows(hetero, "hetero_sweep", &mut gate);
+        let tiered = gate.finding(hetero, "tsue_fo_ratio_tiered");
+        gate.check_cmp(
+            &[tiered],
+            tiered >= 1.0,
+            &format!("TSUE keeps its lead over FO on the tiered fleet ({tiered:.2}x)"),
+        );
+        let flat = gate.finding(hetero, "tsue_fill_max_skewed_flat_rotate");
+        let capw = gate.finding(hetero, "tsue_fill_max_skewed_capacity_weighted");
+        gate.check_cmp(
+            &[capw, flat],
+            capw < flat,
+            &format!(
+                "capacity-weighted lowers the skewed fleet's worst-disk fill \
+                 ({capw:.3} < {flat:.3})"
+            ),
+        );
+        let budget = gate.finding(hetero, "copyset_budget");
+        let used = gate.finding(hetero, "tsue_copysets_used");
+        gate.check_cmp(
+            &[used, budget],
+            used <= budget,
+            &format!("copyset placement respects its budget ({used:.0} <= {budget:.0})"),
+        );
+    }
+
+    println!();
+    if gate.failures.is_empty() {
+        println!(
+            "bench gate passed: {} invariants hold across {} reports",
+            gate.checks,
+            reports.len()
+        );
+    } else {
+        eprintln!("bench gate FAILED ({} violations):", gate.failures.len());
+        for f in &gate.failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+}

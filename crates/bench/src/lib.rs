@@ -11,6 +11,10 @@
 
 use ecfs::prelude::*;
 
+pub mod report;
+
+pub use report::{load_report, report_dir, BenchReport, Json};
+
 /// Whether the full-scale grid was requested.
 pub fn full_scale() -> bool {
     std::env::var("TSUE_BENCH_FULL")
@@ -216,7 +220,10 @@ mod tests {
         assert!(r.cluster.validate().is_ok());
         let h = hdd_replay(6, 4, MethodKind::Pl, TraceFamily::TenCloud, 8);
         assert!(h.cluster.validate().is_ok());
-        assert!(matches!(h.cluster.disk, ecfs::DiskKind::Hdd(_)));
+        assert!(matches!(
+            h.cluster.fleet,
+            ecfs::DiskFleet::Uniform(ecfs::DiskKind::Hdd(_))
+        ));
     }
 
     #[test]

@@ -3,12 +3,12 @@
 
 use simdes::stats::{Gauge, Histogram, SampleLog, TimeSeries};
 use simdes::{Sim, SimTime};
-use simdisk::{Disk, Hdd, IoOp, Ssd};
+use simdisk::{Disk, IoOp};
 use simnet::{FlowClass, NetConfig, Network};
 
 use rscode::ReedSolomon;
 
-use crate::config::{ClusterConfig, DiskKind};
+use crate::config::ClusterConfig;
 use crate::fault::FaultState;
 use crate::layout::{BlockAddr, Layout};
 use crate::methods::{NodeLogState, UpdateCtx};
@@ -291,10 +291,10 @@ impl Cluster {
         let nodes = (0..cfg.nodes)
             .map(|id| Osd {
                 id,
-                disk: match &cfg.disk {
-                    DiskKind::Ssd(c) => Disk::Ssd(Ssd::new(c.clone())),
-                    DiskKind::Hdd(c) => Disk::Hdd(Hdd::new(c.clone())),
-                },
+                // One device *per node* from the fleet: on a tiered or
+                // explicit fleet, node `id`'s own model — so every booking
+                // (foreground, recycle, repair) runs at that disk's rate.
+                disk: cfg.fleet.build_disk(id),
                 state: cfg.method.new_node_state(&cfg),
                 waiters: Vec::new(),
                 failed: false,

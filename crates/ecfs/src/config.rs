@@ -13,6 +13,7 @@ use simdisk::{HddConfig, SsdConfig};
 use tsue::pool::PoolConfig;
 use tsue::MergeMode;
 
+use crate::fleet::DiskFleet;
 use crate::methods::{cord, fl, fo, parix, pl, plr, tsue_drv, UpdateMethod};
 use crate::placement::{FlatRotate, PlacementPolicy, RackMap};
 
@@ -40,7 +41,7 @@ impl From<&str> for ConfigError {
     }
 }
 
-/// Which device model every OSD carries.
+/// One device model (a node of a [`DiskFleet`] carries exactly one).
 #[derive(Debug, Clone)]
 pub enum DiskKind {
     /// NAND SSD (the paper's primary testbed).
@@ -189,8 +190,10 @@ pub struct ClusterConfig {
     pub code: CodeParams,
     /// Bytes per EC block.
     pub block_bytes: u64,
-    /// Device model per OSD.
-    pub disk: DiskKind,
+    /// The disk population, one device per OSD node
+    /// ([`DiskFleet::Uniform`] reproduces the single-model cluster byte
+    /// for byte; tiered and explicit fleets make nodes differ).
+    pub fleet: DiskFleet,
     /// Network fabric (endpoints are sized automatically).
     pub net_bandwidth: u64,
     /// Per-RPC network overhead in nanoseconds.
@@ -245,7 +248,7 @@ impl ClusterConfig {
             clients: 16,
             code,
             block_bytes: 4 << 20,
-            disk: DiskKind::Ssd(SsdConfig::default()),
+            fleet: DiskFleet::uniform_ssd(),
             net_bandwidth: 25_000_000_000 / 8,
             net_rpc_overhead: 100_000,
             racks: 1,
@@ -270,7 +273,7 @@ impl ClusterConfig {
         method: impl Into<Arc<dyn UpdateMethod>>,
     ) -> ClusterConfig {
         let mut cfg = Self::ssd_testbed(code, method);
-        cfg.disk = DiskKind::Hdd(HddConfig::default());
+        cfg.fleet = DiskFleet::uniform_hdd();
         cfg.net_bandwidth = 40_000_000_000 / 8;
         cfg.net_rpc_overhead = 30_000;
         cfg.tsue.delta_log = false;
@@ -331,9 +334,14 @@ impl ClusterConfig {
         self.nodes + c
     }
 
-    /// The OSD side of the topology: nodes split into contiguous racks.
+    /// The OSD side of the topology: nodes split into contiguous racks,
+    /// each weighted by its disk's capacity (MiB units) so
+    /// capacity-aware placement policies can see the fleet's skew.
     pub fn rack_map(&self) -> RackMap {
-        RackMap::contiguous(self.nodes, self.racks)
+        let weights: Vec<u64> = (0..self.nodes)
+            .map(|n| (self.fleet.capacity_of(n) >> 20).max(1))
+            .collect();
+        RackMap::contiguous(self.nodes, self.racks).with_node_weights(weights)
     }
 
     /// The rack hosting client `c` (clients round-robin over racks).
@@ -380,6 +388,7 @@ impl ClusterConfig {
         if self.net_bandwidth == 0 {
             return Err("net_bandwidth must be positive".into());
         }
+        self.fleet.validate(self.nodes).map_err(ConfigError)?;
         if self.racks == 0 {
             return Err("racks must be at least 1".into());
         }
@@ -435,7 +444,7 @@ pub struct ClusterConfigBuilder {
     nodes: Option<usize>,
     clients: Option<usize>,
     block_bytes: Option<u64>,
-    disk: Option<DiskKind>,
+    fleet: Option<DiskFleet>,
     net_bandwidth: Option<u64>,
     net_rpc_overhead: Option<u64>,
     racks: Option<usize>,
@@ -477,8 +486,6 @@ impl ClusterConfigBuilder {
         clients: usize,
         /// Bytes per EC block.
         block_bytes: u64,
-        /// Device model per OSD.
-        disk: DiskKind,
         /// Network fabric bandwidth in bytes/s.
         net_bandwidth: u64,
         /// Per-RPC network overhead in nanoseconds.
@@ -503,6 +510,42 @@ impl ClusterConfigBuilder {
         fl_threshold_bytes: u64,
         /// Per-record recycle-thread CPU time in nanoseconds.
         tsue_recycle_cpu_per_record: u64,
+    }
+
+    /// Every OSD carries this device model (shorthand for
+    /// [`DiskFleet::Uniform`]; use [`Self::fleet`] for heterogeneous
+    /// populations).
+    pub fn disk(mut self, kind: DiskKind) -> Self {
+        self.fleet = Some(DiskFleet::uniform(kind));
+        self
+    }
+
+    /// The per-node disk population.
+    ///
+    /// ```
+    /// use ecfs::{ClusterConfig, DiskFleet, MethodKind};
+    /// use rscode::CodeParams;
+    ///
+    /// let cfg = ClusterConfig::builder()
+    ///     .code(CodeParams::new(6, 3).unwrap())
+    ///     .method(MethodKind::Tsue)
+    ///     .fleet(DiskFleet::tiered(8, 8))
+    ///     .build()
+    ///     .unwrap();
+    /// assert!(cfg.fleet.is_ssd(0) && !cfg.fleet.is_ssd(15));
+    ///
+    /// // A fleet not covering every node is rejected with the reason:
+    /// let err = ClusterConfig::builder()
+    ///     .code(CodeParams::new(6, 3).unwrap())
+    ///     .method(MethodKind::Tsue)
+    ///     .fleet(DiskFleet::tiered(8, 4))
+    ///     .build()
+    ///     .unwrap_err();
+    /// assert!(err.to_string().contains("the cluster has 16"));
+    /// ```
+    pub fn fleet(mut self, fleet: DiskFleet) -> Self {
+        self.fleet = Some(fleet);
+        self
     }
 
     /// The update method, as a driver or a built-in [`MethodKind`].
@@ -544,7 +587,7 @@ impl ClusterConfigBuilder {
             clients: self.clients.unwrap_or(defaults.clients),
             code,
             block_bytes: self.block_bytes.unwrap_or(defaults.block_bytes),
-            disk: self.disk.unwrap_or(defaults.disk),
+            fleet: self.fleet.unwrap_or(defaults.fleet),
             net_bandwidth: self.net_bandwidth.unwrap_or(defaults.net_bandwidth),
             net_rpc_overhead: self.net_rpc_overhead.unwrap_or(defaults.net_rpc_overhead),
             racks: self.racks.unwrap_or(defaults.racks),
@@ -610,7 +653,7 @@ mod tests {
         let code = CodeParams::new(6, 4).unwrap();
         let cfg = ClusterConfig::hdd_testbed(code, MethodKind::Tsue);
         assert!(!cfg.tsue.delta_log);
-        assert!(matches!(cfg.disk, DiskKind::Hdd(_)));
+        assert!(matches!(cfg.fleet, DiskFleet::Uniform(DiskKind::Hdd(_))));
     }
 
     #[test]

@@ -259,6 +259,37 @@ impl Layout {
         v
     }
 
+    /// The number of distinct co-location sets among all touched stripes:
+    /// for every stripe with at least one placed block, the set of nodes
+    /// hosting its `k + m` blocks (current homes for placed blocks, the
+    /// policy's homes for the rest). A copyset placement bounds this by
+    /// its budget (rebuild relocations can drift it); rotation placements
+    /// grow it with the stripe count — it is the blast-radius currency a
+    /// [`crate::fault::FaultPlan`] run reports.
+    pub fn distinct_copysets(&self) -> usize {
+        let stripes: std::collections::HashSet<(u32, u64)> = self
+            .table
+            .keys()
+            .map(|addr| (addr.volume, addr.stripe))
+            .collect();
+        let mut sets = std::collections::HashSet::new();
+        for (volume, stripe) in stripes {
+            let mut nodes: Vec<usize> = (0..self.code.total() as u16)
+                .map(|index| {
+                    self.current_node(BlockAddr {
+                        volume,
+                        stripe,
+                        index,
+                    })
+                })
+                .collect();
+            nodes.sort_unstable();
+            nodes.dedup();
+            sets.insert(nodes);
+        }
+        sets.len()
+    }
+
     /// The parity block addresses of a stripe.
     pub fn parity_addrs(&self, volume: u32, stripe: u64) -> Vec<BlockAddr> {
         (0..self.code.m() as u16)
@@ -400,6 +431,42 @@ mod tests {
         }
         let total: usize = (0..16).map(|n| l.blocks_on(n).len()).sum();
         assert_eq!(total, 180);
+    }
+
+    #[test]
+    fn distinct_copysets_counts_node_sets() {
+        let mut l = layout();
+        assert_eq!(l.distinct_copysets(), 0, "empty layout has no sets");
+        for s in 0..30u64 {
+            for i in 0..9u16 {
+                l.locate(BlockAddr {
+                    volume: 0,
+                    stripe: s,
+                    index: i,
+                });
+            }
+        }
+        let sets = l.distinct_copysets();
+        assert!(sets > 1 && sets <= 30, "flat rotation used {sets} sets");
+        // Relocating a block changes its stripe's node set.
+        let a = BlockAddr {
+            volume: 0,
+            stripe: 0,
+            index: 0,
+        };
+        let elsewhere = (0..16)
+            .find(|&n| {
+                (0..9u16).all(|i| {
+                    l.current_node(BlockAddr {
+                        volume: 0,
+                        stripe: 0,
+                        index: i,
+                    }) != n
+                })
+            })
+            .expect("some node outside stripe 0");
+        l.relocate(a, elsewhere, 0);
+        assert!(l.distinct_copysets() >= sets, "relocation cannot shrink");
     }
 
     #[test]

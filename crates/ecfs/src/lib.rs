@@ -28,6 +28,7 @@
 pub mod cluster;
 pub mod config;
 pub mod fault;
+pub mod fleet;
 pub mod layout;
 pub mod methods;
 pub mod placement;
@@ -39,6 +40,7 @@ pub use config::{
     ClusterConfig, ClusterConfigBuilder, ConfigError, DiskKind, MethodKind, TsueFeatures,
 };
 pub use fault::{FaultEvent, FaultPlan, FaultScope};
+pub use fleet::{DiskFleet, DiskProfile};
 pub use methods::{MethodRegistry, NodeLogState, UpdateCtx, UpdateMethod};
 pub use placement::{PlacementKind, PlacementPolicy, RackMap};
 pub use replay::{run_trace, ReplayConfig, ReplayConfigBuilder, RunResult, Workload};
@@ -59,13 +61,15 @@ pub mod prelude {
         ClusterConfig, ClusterConfigBuilder, ConfigError, DiskKind, MethodKind, TsueFeatures,
     };
     pub use crate::fault::{FaultEvent, FaultPlan, FaultScope, FaultState, InjectedFault};
+    pub use crate::fleet::{DiskFleet, DiskProfile};
     pub use crate::layout::{BlockAddr, BlockSlice, Layout};
     pub use crate::methods::{
         register_method, resolve_method, MethodRegistry, NodeLogState, PlainState, RegistryError,
         UpdateCtx, UpdateMethod,
     };
     pub use crate::placement::{
-        FlatRotate, PlacementKind, PlacementPolicy, RackAware, RackLocal, RackMap,
+        CapacityWeighted, Copyset, FlatRotate, PlacementKind, PlacementPolicy, RackAware,
+        RackLocal, RackMap,
     };
     pub use crate::recovery::{
         inject_fault, recover_node, recover_rack, recover_scope, RecoveryError, RecoveryResult,

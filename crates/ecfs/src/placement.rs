@@ -10,11 +10,18 @@
 //! | [`FlatRotate`] | hash-rotated over all nodes | may lose > m blocks | topology-blind |
 //! | [`RackAware`]  | round-robin across racks | loses ≤ ⌈(k+m)/racks⌉ blocks | high (parity spread out) |
 //! | [`RackLocal`]  | parity co-racked, data spread | parity rack loses all m | low (parity deltas stay in one rack) |
+//! | [`CapacityWeighted`] | weighted by node capacity | may lose > m blocks | topology-blind |
+//! | [`Copyset`]    | confined to ≤ `budget` co-location sets | may lose > m blocks | topology-blind |
 //!
 //! [`RackAware`] is the Rashmi-style availability placement; [`RackLocal`]
 //! follows the clustered-network-coding argument (Kermarrec et al.): keep
 //! the update-heavy parity group behind one top-of-rack switch so the
-//! spine only carries the data-block delta once.
+//! spine only carries the data-block delta once. [`CapacityWeighted`] and
+//! [`Copyset`] are the resource-aware pair for heterogeneous fleets: the
+//! former fills big disks proportionally faster so no node runs out first,
+//! the latter caps the number of distinct stripe co-location sets so a
+//! multi-node failure intersects few stripes (the copyset argument of
+//! Cidon et al.).
 //!
 //! Every policy must map the `k + m` blocks of one stripe to distinct
 //! nodes. [`FlatRotate`] on a single rack is the default and reproduces the
@@ -27,16 +34,20 @@ use rscode::CodeParams;
 use crate::layout::BlockAddr;
 
 /// Node → rack assignment used by placement decisions (the OSD side of the
-/// fabric's [`simnet::Topology`]).
+/// fabric's [`simnet::Topology`]), plus a per-node capacity weight so
+/// resource-aware policies can see a heterogeneous fleet's skew.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RackMap {
     rack_of: Vec<usize>,
     members: Vec<Vec<usize>>,
+    /// Relative capacity per node (MiB-scale units from the fleet; all 1
+    /// for a uniform fleet, so weight-blind policies are unaffected).
+    weights: Vec<u64>,
 }
 
 impl RackMap {
     /// Splits `nodes` OSDs into `racks` contiguous racks (sizes differ by
-    /// at most one).
+    /// at most one), with unit weights.
     ///
     /// # Panics
     /// Panics if `racks == 0` or `racks > nodes`.
@@ -48,7 +59,29 @@ impl RackMap {
         for (n, &r) in rack_of.iter().enumerate() {
             members[r].push(n);
         }
-        RackMap { rack_of, members }
+        RackMap {
+            rack_of,
+            members,
+            weights: vec![1; nodes],
+        }
+    }
+
+    /// Replaces the per-node capacity weights (builder-style). Weights are
+    /// relative: only ratios matter to [`CapacityWeighted`].
+    ///
+    /// # Panics
+    /// Panics if `weights.len()` differs from the node count or any weight
+    /// is zero.
+    pub fn with_node_weights(mut self, weights: Vec<u64>) -> RackMap {
+        assert_eq!(weights.len(), self.rack_of.len(), "one weight per node");
+        assert!(weights.iter().all(|&w| w > 0), "weights must be positive");
+        self.weights = weights;
+        self
+    }
+
+    /// Node `node`'s capacity weight.
+    pub fn weight_of(&self, node: usize) -> u64 {
+        self.weights[node]
     }
 
     /// Number of OSD nodes.
@@ -242,6 +275,141 @@ impl PlacementPolicy for RackLocal {
     }
 }
 
+/// A 64-bit mix of the stripe base and a node id (splitmix64 finaliser) —
+/// the per-(stripe, node) uniform draw [`CapacityWeighted`] keys its
+/// weighted sampling on.
+fn node_hash(base: u64, node: usize) -> u64 {
+    let mut z = base ^ (node as u64).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Capacity-weighted placement over a (possibly heterogeneous) fleet: each
+/// stripe samples its `k + m` nodes without replacement with probability
+/// proportional to the node's capacity weight ([`RackMap::weight_of`],
+/// filled from the [`crate::DiskFleet`] by
+/// [`crate::ClusterConfig::rack_map`]).
+///
+/// The sampler is the exponential-clocks form of weighted sampling
+/// (Efraimidis–Spirakis): node `i` draws a deterministic per-stripe
+/// uniform `u_i` and is ranked by `-ln(u_i) / w_i`; the stripe takes the
+/// `k + m` smallest ranks. Big disks therefore absorb proportionally more
+/// stripes, keeping every disk's *fill fraction* (bytes placed / capacity)
+/// aligned instead of every disk's byte count.
+///
+/// **Documented fill bound** ([`Self::FILL_SPREAD_BOUND`]): for fleets
+/// with per-node weight ratios up to 4× and at least `2·(k+m)` nodes, the
+/// max/min per-disk fill ratio stays under the bound once enough stripes
+/// have been placed (the placement-bounds proptest pins this across
+/// random fleets). The bound is loose by design — sampling without
+/// replacement flattens extreme weights: a node cannot hold more than one
+/// block of any stripe, so a disk weighted above `W/(k+m)` of the total
+/// cannot be filled proportionally and the spread degrades toward the
+/// weight ratio as `k + m` approaches the node count.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CapacityWeighted;
+
+impl CapacityWeighted {
+    /// Documented max/min fill-ratio bound (see the type-level docs for
+    /// the fleet shapes it covers).
+    pub const FILL_SPREAD_BOUND: f64 = 2.0;
+}
+
+impl PlacementPolicy for CapacityWeighted {
+    fn name(&self) -> &str {
+        "capacity-weighted"
+    }
+
+    fn node_of(&self, addr: BlockAddr, _code: CodeParams, racks: &RackMap) -> usize {
+        // The ranking depends only on the stripe, so the k+m calls for one
+        // stripe recompute it; the trait is a pure function (no cache), and
+        // at fleet sizes (tens of nodes) the sort is noise next to one
+        // simulated I/O.
+        let base = stripe_base(addr);
+        let n = racks.nodes();
+        let mut ranked: Vec<(f64, usize)> = (0..n)
+            .map(|i| {
+                // Uniform in (0, 1]: take 53 high bits, map 0 to 1.
+                let h = node_hash(base, i);
+                let u = ((h >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+                let key = -u.ln() / racks.weight_of(i) as f64;
+                (key, i)
+            })
+            .collect();
+        ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        ranked[addr.index as usize].1
+    }
+}
+
+/// Copyset placement: every stripe is confined to one of at most `budget`
+/// fixed node groups ("copysets") of `k + m` nodes, rotating blocks within
+/// the group. Fewer distinct co-location sets means a simultaneous
+/// multi-node failure is overwhelmingly likely to hit *zero* copysets in
+/// full — the blast radius caps at the stripes of the few copysets the
+/// victims intersect — at the price of less balanced rebuild fan-out.
+///
+/// The number of distinct co-location sets an actual run produced is
+/// reported per replay as
+/// [`crate::replay::RunResult::copysets_used`] (a fault run can exceed
+/// the budget only through rebuild relocations, which re-home blocks onto
+/// arbitrary live nodes).
+#[derive(Debug, Clone, Copy)]
+pub struct Copyset {
+    budget: usize,
+}
+
+impl Copyset {
+    /// A policy allowing at most `budget` distinct copysets. Construction
+    /// is infallible so a bad budget surfaces as the documented
+    /// [`crate::ConfigError`] at config-validation time
+    /// ([`PlacementPolicy::check`] rejects `budget == 0`), not a panic.
+    pub fn new(budget: usize) -> Copyset {
+        Copyset { budget }
+    }
+
+    /// The configured copyset budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+}
+
+impl PlacementPolicy for Copyset {
+    fn name(&self) -> &str {
+        "copyset"
+    }
+
+    fn node_of(&self, addr: BlockAddr, code: CodeParams, racks: &RackMap) -> usize {
+        let base = stripe_base(addr);
+        let n = racks.nodes();
+        let total = code.total();
+        // The stripe's copyset: a run of `total` consecutive nodes whose
+        // start is one of `budget` evenly spaced anchors. `check` rejected
+        // budget 0 before any placement runs.
+        let cs = (base % self.budget as u64) as usize;
+        let start = cs * n / self.budget;
+        // Rotate blocks within the set (per-stripe) so every member takes
+        // each stripe role; the *set* of nodes stays the copyset.
+        let spin = (base / self.budget as u64) as usize;
+        (start + (addr.index as usize + spin) % total) % n
+    }
+
+    fn check(&self, code: CodeParams, racks: &RackMap) -> Result<(), String> {
+        if self.budget == 0 {
+            return Err("copyset budget must be at least 1".to_string());
+        }
+        if racks.nodes() < code.total() {
+            return Err(format!(
+                "{} nodes cannot hold RS({},{}) stripes",
+                racks.nodes(),
+                code.k(),
+                code.m()
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// The built-in placement policies, as a convenience selector mirroring
 /// [`crate::config::MethodKind`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -252,10 +420,16 @@ pub enum PlacementKind {
     RackAware,
     /// Co-rack each stripe's parity to minimise cross-rack update traffic.
     RackLocal,
+    /// Weight node selection by disk capacity (heterogeneous fleets).
+    CapacityWeighted,
+    /// Confine stripes to at most this many distinct co-location sets.
+    Copyset(usize),
 }
 
 impl PlacementKind {
-    /// All built-in policies.
+    /// The topology trio the `topo_sweep` bench crosses (the resource-aware
+    /// policies — [`Self::CapacityWeighted`], [`Self::Copyset`] — are swept
+    /// separately by `hetero_sweep` against heterogeneous fleets).
     pub const ALL: [PlacementKind; 3] = [
         PlacementKind::FlatRotate,
         PlacementKind::RackAware,
@@ -268,6 +442,8 @@ impl PlacementKind {
             PlacementKind::FlatRotate => "flat-rotate",
             PlacementKind::RackAware => "rack-aware",
             PlacementKind::RackLocal => "rack-local",
+            PlacementKind::CapacityWeighted => "capacity-weighted",
+            PlacementKind::Copyset(_) => "copyset",
         }
     }
 
@@ -277,6 +453,8 @@ impl PlacementKind {
             PlacementKind::FlatRotate => Arc::new(FlatRotate),
             PlacementKind::RackAware => Arc::new(RackAware),
             PlacementKind::RackLocal => Arc::new(RackLocal),
+            PlacementKind::CapacityWeighted => Arc::new(CapacityWeighted),
+            PlacementKind::Copyset(budget) => Arc::new(Copyset::new(*budget)),
         }
     }
 }
@@ -464,5 +642,128 @@ mod tests {
         for kind in PlacementKind::ALL {
             assert_eq!(kind.policy().name(), kind.name());
         }
+        for kind in [PlacementKind::CapacityWeighted, PlacementKind::Copyset(4)] {
+            assert_eq!(kind.policy().name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn resource_policies_place_stripes_on_distinct_nodes() {
+        let code = CodeParams::new(6, 3).unwrap();
+        let weighted = RackMap::contiguous(16, 1)
+            .with_node_weights((0..16).map(|n| 1 + n as u64 % 4).collect());
+        assert_distinct(&CapacityWeighted, code, &weighted);
+        for budget in [1usize, 3, 7] {
+            assert_distinct(&Copyset::new(budget), code, &weighted);
+        }
+    }
+
+    #[test]
+    fn capacity_weighted_favours_heavy_nodes() {
+        let code = CodeParams::new(4, 2).unwrap();
+        // Node 0 carries 4x the capacity of everyone else.
+        let mut weights = vec![1u64; 16];
+        weights[0] = 4;
+        let rm = RackMap::contiguous(16, 1).with_node_weights(weights);
+        let mut heavy = 0usize;
+        let mut light = [0usize; 15];
+        let stripes = 600u64;
+        for stripe in 0..stripes {
+            for n in stripe_nodes(&CapacityWeighted, code, &rm, 0, stripe) {
+                if n == 0 {
+                    heavy += 1;
+                } else {
+                    light[n - 1] += 1;
+                }
+            }
+        }
+        let light_mean = light.iter().sum::<usize>() as f64 / 15.0;
+        assert!(
+            heavy as f64 > 2.0 * light_mean,
+            "4x-capacity node got {heavy} blocks vs light mean {light_mean:.0}"
+        );
+        // Fill fraction (blocks per unit weight) stays aligned.
+        let fill_heavy = heavy as f64 / 4.0;
+        assert!(
+            (fill_heavy / light_mean) < CapacityWeighted::FILL_SPREAD_BOUND
+                && (light_mean / fill_heavy) < CapacityWeighted::FILL_SPREAD_BOUND,
+            "fill skewed: heavy {fill_heavy:.0} vs light {light_mean:.0}"
+        );
+    }
+
+    #[test]
+    fn copyset_confines_stripes_to_budget_sets() {
+        let code = CodeParams::new(6, 3).unwrap();
+        let rm = RackMap::contiguous(16, 1);
+        for budget in [1usize, 2, 4, 6] {
+            let policy = Copyset::new(budget);
+            policy.check(code, &rm).unwrap();
+            let mut sets = std::collections::HashSet::new();
+            for stripe in 0..300u64 {
+                let mut nodes = stripe_nodes(&policy, code, &rm, 0, stripe);
+                nodes.sort_unstable();
+                sets.insert(nodes);
+            }
+            assert!(
+                sets.len() <= budget,
+                "budget {budget}: {} distinct copysets",
+                sets.len()
+            );
+            // The budget is actually used (placement is not degenerate).
+            if budget <= 4 {
+                assert_eq!(sets.len(), budget, "budget {budget} under-used");
+            }
+        }
+    }
+
+    #[test]
+    fn copyset_rejects_zero_budget_and_tiny_clusters() {
+        let code = CodeParams::new(12, 4).unwrap();
+        let rm = RackMap::contiguous(8, 1);
+        // Construction is infallible; the zero budget is rejected fallibly
+        // at check time, so config validation reports it as a ConfigError.
+        assert!(Copyset::new(0)
+            .check(code, &RackMap::contiguous(16, 1))
+            .is_err());
+        assert!(Copyset::new(3).check(code, &rm).is_err());
+    }
+
+    #[test]
+    fn zero_copyset_budget_is_a_config_error_not_a_panic() {
+        let err = crate::ClusterConfig::builder()
+            .code(CodeParams::new(6, 3).unwrap())
+            .method(crate::MethodKind::Tsue)
+            .placement(PlacementKind::Copyset(0))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("budget"), "{err}");
+    }
+
+    #[test]
+    fn uniform_weights_leave_topology_policies_untouched() {
+        // with_node_weights(all-1) is the default: the weight-blind trio
+        // must be bit-identical either way.
+        let code = CodeParams::new(6, 3).unwrap();
+        let plain = RackMap::contiguous(16, 4);
+        let weighted = RackMap::contiguous(16, 4).with_node_weights(vec![1; 16]);
+        assert_eq!(plain, weighted);
+        for kind in PlacementKind::ALL {
+            let policy = kind.policy();
+            for stripe in 0..50u64 {
+                for index in 0..9u16 {
+                    let a = addr(0, stripe, index);
+                    assert_eq!(
+                        policy.node_of(a, code, &plain),
+                        policy.node_of(a, code, &weighted)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per node")]
+    fn mis_sized_weights_rejected() {
+        let _ = RackMap::contiguous(8, 1).with_node_weights(vec![1; 4]);
     }
 }

@@ -14,6 +14,12 @@
 //! default does not), and the rebuild streams cross the spine, so the
 //! drill reports its spine traffic alongside the timing breakdown.
 //!
+//! Every survivor read and rebuilt-block write books against the owning
+//! node's **own** device from the per-node [`crate::DiskFleet`] — on a
+//! heterogeneous fleet a rebuild targeting an HDD node runs at that
+//! spindle's rate while flash survivors stream at theirs, so repair rates
+//! reflect the *target* disk rather than one cluster-wide model.
+//!
 //! Mid-replay, [`inject_fault`] marks the scope dead and schedules
 //! repair on the shared [`Sim`] timeline: after the plan's detection lag,
 //! the method's outstanding log backlog is replayed

@@ -339,6 +339,23 @@ pub struct RunResult {
     /// fell below [`SATURATION_GOODPUT_RATIO`] of the offered rate *and*
     /// the admission queues backed up past one full window population.
     pub saturated: bool,
+    /// Highest per-disk fill fraction (block bytes placed / capacity) —
+    /// the disk that would run out of space first. On a heterogeneous
+    /// fleet this is what capacity-weighted placement exists to flatten.
+    pub disk_fill_max: f64,
+    /// Lowest per-disk fill fraction.
+    pub disk_fill_min: f64,
+    /// Bytes physically written to the most-worn disk (the fleet wear
+    /// high-water; see [`simdisk::DeviceStats::wear_bytes`]).
+    pub wear_max_bytes: u64,
+    /// Most-worn disk's wear over the fleet mean (1.0 = perfectly even;
+    /// 0.0 when nothing was written).
+    pub wear_spread: f64,
+    /// Distinct stripe co-location sets the run left behind
+    /// ([`crate::layout::Layout::distinct_copysets`]) — bounded by the
+    /// budget under a [`crate::placement::Copyset`] policy (modulo rebuild
+    /// relocations), stripe-count-scale under rotation placements.
+    pub copysets_used: usize,
 }
 
 impl RunResult {
@@ -637,6 +654,27 @@ pub fn run_trace(rcfg: &ReplayConfig) -> RunResult {
     let saturated = offered_ops > 0
         && goodput_ops_per_s < SATURATION_GOODPUT_RATIO * offered_ops_per_s
         && backlogged;
+
+    // Fleet-resource harvest: per-disk fill and wear, after all rebuilds.
+    let mut disk_fill_max = 0.0f64;
+    let mut disk_fill_min = f64::INFINITY;
+    let mut wear_max_bytes = 0u64;
+    let mut wear_total = 0u64;
+    for n in &cl.nodes {
+        let fill = cl.layout.allocated(n.id) as f64 / n.disk.capacity().max(1) as f64;
+        disk_fill_max = disk_fill_max.max(fill);
+        disk_fill_min = disk_fill_min.min(fill);
+        let wear = n.disk.wear_bytes();
+        wear_max_bytes = wear_max_bytes.max(wear);
+        wear_total += wear;
+    }
+    let wear_mean = wear_total as f64 / cl.nodes.len().max(1) as f64;
+    let wear_spread = if wear_mean > 0.0 {
+        wear_max_bytes as f64 / wear_mean
+    } else {
+        0.0
+    };
+    let copysets_used = cl.layout.distinct_copysets();
     RunResult {
         method: rcfg.cluster.method.name().to_string(),
         completed_updates: m.completed_updates,
@@ -681,6 +719,11 @@ pub fn run_trace(rcfg: &ReplayConfig) -> RunResult {
         queue_delay_p99_us,
         peak_queue_depth,
         saturated,
+        disk_fill_max,
+        disk_fill_min,
+        wear_max_bytes,
+        wear_spread,
+        copysets_used,
     }
 }
 

@@ -1,7 +1,7 @@
 //! Per-method unit tests over a minimal cluster: each driver's I/O and
 //! network signature must match its paper description.
 
-use ecfs::{run_trace, ClusterConfig, DiskKind, MethodKind, ReplayConfig, RunResult};
+use ecfs::{run_trace, ClusterConfig, DiskFleet, DiskKind, MethodKind, ReplayConfig, RunResult};
 use rscode::CodeParams;
 use simdisk::SsdConfig;
 use traces::TraceFamily;
@@ -111,7 +111,7 @@ fn fl_completes_and_stays_consistent() {
     cluster.clients = 4;
     // Low threshold so the foreground recycle path actually triggers.
     cluster.fl_threshold_bytes = 4 << 20;
-    cluster.disk = DiskKind::Ssd(SsdConfig::default());
+    cluster.fleet = DiskFleet::uniform(DiskKind::Ssd(SsdConfig::default()));
     let mut rcfg = ReplayConfig::new(cluster, TraceFamily::TenCloud);
     rcfg.ops_per_client = 400;
     rcfg.volume_bytes = 32 << 20;

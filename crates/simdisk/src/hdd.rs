@@ -146,6 +146,7 @@ impl Hdd {
             }
             IoKind::Write => {
                 self.stats.writes.record(op.len);
+                self.stats.wear_bytes += op.len;
                 if op.pattern == Pattern::Random {
                     self.stats.random_writes.record(op.len);
                 }
@@ -222,6 +223,17 @@ mod tests {
         assert_eq!(hdd.stats().overwrites.ops, 1);
         assert_eq!(hdd.stats().overwrites.bytes, 8192);
         assert_eq!(hdd.stats().erases, 0, "HDDs have no erase cycles");
+    }
+
+    #[test]
+    fn wear_tracks_host_write_volume() {
+        let mut hdd = Hdd::with_defaults();
+        hdd.submit(0, IoOp::write(0, 8192, Pattern::Sequential));
+        hdd.submit(0, IoOp::read(0, 1 << 20, Pattern::Sequential));
+        hdd.submit(0, IoOp::write(0, 4096, Pattern::Random));
+        // Magnetic media has no write amplification: wear = host bytes.
+        assert_eq!(hdd.stats().wear_bytes, 8192 + 4096);
+        assert_eq!(hdd.stats().wear_bytes, hdd.stats().writes.bytes);
     }
 
     #[test]

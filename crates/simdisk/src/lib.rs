@@ -127,6 +127,13 @@ impl Disk {
         }
     }
 
+    /// Bytes physically written to the media so far — the wear high-water
+    /// mark ([`DeviceStats::wear_bytes`]) capacity/wear-aware placement
+    /// and rebalance policies consult.
+    pub fn wear_bytes(&self) -> u64 {
+        self.stats().wear_bytes
+    }
+
     /// Total busy time booked on the device.
     pub fn busy_time(&self) -> u64 {
         match self {

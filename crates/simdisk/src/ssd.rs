@@ -345,6 +345,7 @@ impl Ssd {
                 self.stats.nand_pages_programmed += cost.host_pages + cost.moved_pages;
                 self.stats.gc_relocated_pages += cost.moved_pages;
                 self.stats.erases += cost.erases;
+                self.stats.wear_bytes += (cost.host_pages + cost.moved_pages) * self.cfg.page_size;
                 service += cost.moved_pages * self.cfg.gc_page_move_time
                     + cost.erases * self.cfg.erase_time;
             }
@@ -501,6 +502,42 @@ mod tests {
         }
         assert!(b.stats().erases > a.stats().erases);
         assert!(a.lifespan_vs(b.stats().erases) > 1.0);
+    }
+
+    #[test]
+    fn wear_counts_programmed_bytes_including_gc() {
+        let mut ssd = Ssd::new(SsdConfig {
+            capacity: 4 << 20,
+            over_provision: 0.25,
+            ..SsdConfig::default()
+        });
+        assert_eq!(ssd.stats().wear_bytes, 0);
+        ssd.submit(0, IoOp::write(0, 8192, Pattern::Sequential));
+        assert_eq!(ssd.stats().wear_bytes, 8192, "no GC yet: wear = host bytes");
+        // Reads never wear the flash.
+        ssd.submit(0, IoOp::read(0, 8192, Pattern::Sequential));
+        assert_eq!(ssd.stats().wear_bytes, 8192);
+        // Fill once, then hammer only the even pages: GC victims keep
+        // their odd pages valid, forcing relocations (physical wear beyond
+        // the host write volume).
+        for off in (0..(4 << 20)).step_by(4096) {
+            ssd.submit(0, IoOp::write(off, 4096, Pattern::Random));
+        }
+        for _ in 0..8u64 {
+            for off in (0..(4 << 20)).step_by(8192) {
+                ssd.submit(0, IoOp::write(off, 4096, Pattern::Random));
+            }
+        }
+        let host = ssd.stats().writes.bytes;
+        assert!(
+            ssd.stats().wear_bytes > host,
+            "GC relocations must wear beyond host writes: {} vs {host}",
+            ssd.stats().wear_bytes
+        );
+        assert_eq!(
+            ssd.stats().wear_bytes,
+            ssd.stats().nand_pages_programmed * ssd.config().page_size
+        );
     }
 
     #[test]

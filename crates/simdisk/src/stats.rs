@@ -26,6 +26,14 @@ pub struct DeviceStats {
     pub gc_relocated_pages: u64,
     /// Pages physically programmed, including GC relocations.
     pub nand_pages_programmed: u64,
+    /// Bytes physically written to the media so far — the per-device wear
+    /// high-water mark. On an SSD this counts programmed NAND bytes (host
+    /// pages *and* GC relocations); on an HDD it is the host write volume.
+    /// Unlike every other counter, [`DeviceStats::merge`] keeps the **max**
+    /// across devices: a merged aggregate answers "how worn is the most
+    /// worn disk of the fleet", which is what wear-aware placement and
+    /// lifespan projections need.
+    pub wear_bytes: u64,
 }
 
 impl DeviceStats {
@@ -56,6 +64,8 @@ impl DeviceStats {
         self.erases += other.erases;
         self.gc_relocated_pages += other.gc_relocated_pages;
         self.nand_pages_programmed += other.nand_pages_programmed;
+        // Wear is a per-device high-water mark, not a fleet total.
+        self.wear_bytes = self.wear_bytes.max(other.wear_bytes);
     }
 }
 
@@ -71,11 +81,13 @@ mod tests {
         a.overwrites.record(50);
         a.erases = 3;
         a.nand_pages_programmed = 10;
+        a.wear_bytes = 4096;
 
         let mut b = DeviceStats::default();
         b.reads.record(1);
         b.erases = 2;
         b.gc_relocated_pages = 7;
+        b.wear_bytes = 9000;
 
         a.merge(&b);
         assert_eq!(a.reads.ops, 2);
@@ -84,6 +96,8 @@ mod tests {
         assert_eq!(a.gc_relocated_pages, 7);
         assert_eq!(a.rw_ops(), 3);
         assert_eq!(a.rw_bytes(), 301);
+        // Wear takes the most-worn device, not the sum.
+        assert_eq!(a.wear_bytes, 9000);
     }
 
     #[test]

@@ -26,10 +26,10 @@ fn main() {
     ] {
         let mut cluster = ClusterConfig::ssd_testbed(code, method);
         cluster.clients = 16;
-        cluster.disk = DiskKind::Ssd(SsdConfig {
+        cluster.fleet = DiskFleet::uniform(DiskKind::Ssd(SsdConfig {
             capacity: 768 << 20,
             ..SsdConfig::default()
-        });
+        }));
         let mut rcfg = ReplayConfig::new(cluster, TraceFamily::TenCloud);
         rcfg.ops_per_client = 1200;
         rcfg.volume_bytes = 96 << 20;
