@@ -1,4 +1,4 @@
-//! The bench regression gate: re-reads the four sweeps' machine-readable
+//! The bench regression gate: re-reads the five sweeps' machine-readable
 //! reports (`BENCH_<sweep>.json`) and asserts the shape invariants the
 //! repository's findings rest on. Runs as the final bench-smoke step in
 //! CI, so a perf or behaviour regression **fails the workflow** instead of
@@ -16,6 +16,10 @@
 //! 4. `hetero_sweep`: TSUE keeps its Fig. 5 lead on the tiered fleet, and
 //!    capacity-weighted placement lowers the skewed fleet's worst-disk
 //!    fill below flat-rotate's; copyset usage respects its budget.
+//! 5. `maint_sweep`: scrubbing shrinks the latent-LSE exposure (at least
+//!    one injected error detected *and* repaired), the full maintenance
+//!    plan's wear spread stays below the no-maintenance baseline, and
+//!    scrub coverage is nonzero while the foreground p99 stays finite.
 //!
 //! Usage: `bench_gate [report-dir]` (default: `TSUE_BENCH_REPORT_DIR` or
 //! `target/bench-report`). Exits non-zero listing every violated
@@ -87,7 +91,13 @@ fn main() {
     };
 
     let mut reports = Vec::new();
-    for sweep in ["topo_sweep", "fault_sweep", "load_sweep", "hetero_sweep"] {
+    for sweep in [
+        "topo_sweep",
+        "fault_sweep",
+        "load_sweep",
+        "hetero_sweep",
+        "maint_sweep",
+    ] {
         match load_report(&dir, sweep) {
             Ok(doc) => reports.push((sweep, doc)),
             Err(e) => {
@@ -195,6 +205,56 @@ fn main() {
             used <= budget,
             &format!("copyset placement respects its budget ({used:.0} <= {budget:.0})"),
         );
+    }
+
+    // 5. Maintenance sweep: background hygiene pays for itself.
+    if let Some(maint) = get("maint_sweep") {
+        println!("\nmaint_sweep:");
+        let _ = rows(maint, "maint_sweep", &mut gate);
+        let found = gate.finding(maint, "lse_found_scrub_tsue");
+        let repaired = gate.finding(maint, "lse_repaired_scrub_tsue");
+        gate.check_cmp(
+            &[found, repaired],
+            found >= 1.0 && repaired >= 1.0,
+            &format!("scrubbing detects and repairs injected LSEs ({found:.0} found, {repaired:.0} repaired)"),
+        );
+        let exposed = gate.finding(maint, "lse_latent_unscrubbed");
+        let scrubbed = gate.finding(maint, "lse_latent_scrubbed");
+        gate.check_cmp(
+            &[scrubbed, exposed],
+            scrubbed < exposed,
+            &format!(
+                "scrubbing shrinks the latent-LSE exposure ({scrubbed:.0} < {exposed:.0} left \
+                 for a correlated failure to hit)"
+            ),
+        );
+        let spread_none = gate.finding(maint, "wear_spread_none_tsue");
+        let spread_full = gate.finding(maint, "wear_spread_full_tsue");
+        gate.check_cmp(
+            &[spread_full, spread_none],
+            spread_full < spread_none,
+            &format!(
+                "the rebalancer narrows the wear spread ({spread_full:.2} < {spread_none:.2})"
+            ),
+        );
+        let coverage = gate.finding(maint, "scrub_gib_full_tsue");
+        gate.check_cmp(
+            &[coverage],
+            coverage > 0.0,
+            &format!("full-plan scrub coverage is nonzero ({coverage:.2} GiB)"),
+        );
+        // The per-method foreground cost of the full plan is a reported
+        // finding: `finding()` already fails the gate if any method's
+        // p99 under maintenance is missing or non-finite.
+        for method in ["FO", "PL", "TSUE"] {
+            let p99 = gate.finding(maint, &format!("p99_us_full_{method}"));
+            let cost = gate.finding(maint, &format!("maint_p99_cost_us_{method}"));
+            gate.check_cmp(
+                &[p99, cost],
+                p99 > 0.0,
+                &format!("{method}: finite foreground p99 under the full plan ({p99:.0} us, maintenance cost {cost:+.0} us)"),
+            );
+        }
     }
 
     println!();

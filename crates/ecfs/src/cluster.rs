@@ -11,6 +11,7 @@ use rscode::ReedSolomon;
 use crate::config::ClusterConfig;
 use crate::fault::FaultState;
 use crate::layout::{BlockAddr, Layout};
+use crate::maintenance::MaintState;
 use crate::methods::{NodeLogState, UpdateCtx};
 
 /// A half-open byte interval set with merging — the consistency oracle's
@@ -264,6 +265,9 @@ pub struct Cluster {
     /// Fault-timeline state: injected failures, the repair queue, and
     /// availability counters.
     pub faults: FaultState,
+    /// Background-maintenance state: armed policies, busy windows, and
+    /// hygiene counters.
+    pub maint: MaintState,
 }
 
 impl Cluster {
@@ -315,6 +319,7 @@ impl Cluster {
             forwards_in_flight: 0,
             open_loop: None,
             faults: FaultState::default(),
+            maint: MaintState::default(),
             cfg,
         }
     }

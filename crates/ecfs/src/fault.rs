@@ -183,6 +183,9 @@ pub struct FaultState {
     /// Blocks rebuilt inline by the degraded update/write path (write
     /// triggered, ahead of the scheduler).
     pub inline_rebuilds: u64,
+    /// Rebuilds whose *target* died while the rebuild was in flight and
+    /// that were re-queued for a fresh target (overlapping faults).
+    pub retargeted_rebuilds: u64,
     /// Lost blocks whose stripes fell below `k` survivors: data loss.
     pub data_loss_blocks: u64,
 }

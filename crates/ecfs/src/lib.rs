@@ -30,6 +30,7 @@ pub mod config;
 pub mod fault;
 pub mod fleet;
 pub mod layout;
+pub mod maintenance;
 pub mod methods;
 pub mod placement;
 pub mod recovery;
@@ -41,6 +42,7 @@ pub use config::{
 };
 pub use fault::{FaultEvent, FaultPlan, FaultScope};
 pub use fleet::{DiskFleet, DiskProfile};
+pub use maintenance::{MaintenancePlan, MaintenancePolicy};
 pub use methods::{MethodRegistry, NodeLogState, UpdateCtx, UpdateMethod};
 pub use placement::{PlacementKind, PlacementPolicy, RackMap};
 pub use replay::{run_trace, ReplayConfig, ReplayConfigBuilder, RunResult, Workload};
@@ -63,6 +65,10 @@ pub mod prelude {
     pub use crate::fault::{FaultEvent, FaultPlan, FaultScope, FaultState, InjectedFault};
     pub use crate::fleet::{DiskFleet, DiskProfile};
     pub use crate::layout::{BlockAddr, BlockSlice, Layout};
+    pub use crate::maintenance::{
+        DefragConfig, DemoteConfig, LseConfig, MaintState, MaintenancePlan, MaintenancePolicy,
+        RebalanceConfig, ScrubConfig,
+    };
     pub use crate::methods::{
         register_method, resolve_method, MethodRegistry, NodeLogState, PlainState, RegistryError,
         UpdateCtx, UpdateMethod,

@@ -1,0 +1,122 @@
+//! Lazy defragmentation: compact update-fragmented data blocks, but
+//! only during idle valleys.
+//!
+//! Methods that fold many small update ranges into a block leave it
+//! logically fragmented; the consistency oracle already tracks each
+//! data block's acknowledged update ranges, so the defragmenter uses
+//! that span count as its fragmentation signal (`applied_data` only
+//! fills when logs recycle, which is too late to steer a scrubber). A
+//! tick first checks the idle gate — no foreground completion within
+//! `idle_ns` — and then rewrites one qualifying block in place (whole
+//! sequential read + whole sequential write). Under diurnal load the
+//! policy's work should therefore cluster in the troughs, which is the
+//! cost-attribution story the bench measures.
+
+use simdes::{Sim, SimTime};
+use simdisk::{IoOp, Pattern};
+
+use std::any::Any;
+use std::collections::HashSet;
+
+use crate::cluster::Cluster;
+use crate::layout::BlockAddr;
+use crate::maintenance::{DefragConfig, MaintenancePolicy};
+
+/// The lazy-defrag policy (see module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct Defrag {
+    cfg: DefragConfig,
+}
+
+/// Blocks already compacted (never re-compacted: the oracle's span
+/// count only grows, so without this set the same block would be
+/// rewritten every tick) plus the node scan cursor. The set is only
+/// ever membership-tested, so its iteration order cannot leak into the
+/// simulation — determinism holds.
+struct DefragState {
+    done: HashSet<BlockAddr>,
+    node: usize,
+}
+
+impl Defrag {
+    /// Builds the policy from its configuration.
+    pub fn new(cfg: DefragConfig) -> Defrag {
+        Defrag { cfg }
+    }
+}
+
+impl MaintenancePolicy for Defrag {
+    fn name(&self) -> &'static str {
+        "defrag"
+    }
+
+    fn interval_ns(&self, _cl: &Cluster) -> SimTime {
+        self.cfg.interval_ns
+    }
+
+    fn init_state(&self) -> Box<dyn Any + Send> {
+        Box::new(DefragState {
+            done: HashSet::new(),
+            node: 0,
+        })
+    }
+
+    fn tick(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster, slot: usize) -> Option<SimTime> {
+        let now = sim.now();
+        // The idle-valley gate: stand down while foreground traffic is
+        // completing nearby.
+        if now.saturating_sub(cl.metrics.last_completion) < self.cfg.idle_ns {
+            return None;
+        }
+        let n = cl.cfg.nodes;
+        let code = cl.cfg.code;
+        let block_bytes = cl.cfg.block_bytes;
+
+        let pick = {
+            let st = cl.maint.slots[slot]
+                .downcast_ref::<DefragState>()
+                .expect("defrag slot state");
+            let mut pick = None;
+            'nodes: for step in 0..n {
+                let node = (st.node + step) % n;
+                if cl.nodes[node].failed {
+                    continue;
+                }
+                for (addr, dev_off) in cl.layout.blocks_on(node) {
+                    if !addr.is_data(code) || st.done.contains(&addr) {
+                        continue;
+                    }
+                    let spans = cl.oracle.acked.get(&addr).map_or(0, |s| s.span_count());
+                    if spans >= self.cfg.min_spans {
+                        pick = Some((node, addr, dev_off));
+                        break 'nodes;
+                    }
+                }
+            }
+            pick
+        };
+        let (node, addr, dev_off) = pick?;
+
+        // Compact in place: one whole-block sequential rewrite. The
+        // applied ranges stay applied — compaction changes physical
+        // contiguity, not logical content — so the oracle is untouched.
+        let t_read = cl.disk_io(
+            node,
+            now,
+            IoOp::read(dev_off, block_bytes, Pattern::Sequential),
+        );
+        let t_write = cl.disk_io(
+            node,
+            t_read,
+            IoOp::write(dev_off, block_bytes, Pattern::Sequential),
+        );
+        cl.maint.defrag_bytes += block_bytes;
+        cl.maint.defrag_stripes += 1;
+        let st = cl.maint.slots[slot]
+            .downcast_mut::<DefragState>()
+            .expect("defrag slot state");
+        st.done.insert(addr);
+        st.node = node;
+        Some(t_write)
+    }
+}

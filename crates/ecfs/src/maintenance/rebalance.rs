@@ -1,0 +1,152 @@
+//! Wear-leveling rebalance: migrate block extents off the most-worn
+//! device onto the least-worn one, closing the loop on the per-device
+//! `wear_bytes` counters that were previously observed-only.
+//!
+//! Each tick compares the live fleet's maximum wear against the mean;
+//! when `max > trigger_ratio * mean` one block is moved from the
+//! most-worn device to the least-worn (sequential read, repair-class
+//! transfer, sequential log-region write, metadata relocate). The
+//! migration itself costs a write on the target — wear leveling is
+//! never free — but the write lands where it hurts least, so the
+//! max/mean spread falls.
+//!
+//! On a mixed flash/HDD fleet only the flash devices participate: wear
+//! is a flash-lifetime currency, and "leveling" onto the least-written
+//! spindle would concentrate block traffic on a single HDD (slow for
+//! the foreground, meaningless for endurance).
+
+use simdes::{Sim, SimTime};
+use simdisk::{IoOp, Pattern};
+
+use std::any::Any;
+
+use crate::cluster::Cluster;
+use crate::maintenance::{MaintenancePolicy, RebalanceConfig};
+
+/// The wear-leveling policy (see module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct Rebalance {
+    cfg: RebalanceConfig,
+}
+
+/// Rotation cursor over the worn node's blocks plus the one-shot
+/// before-spread sample flag.
+struct RebState {
+    cursor: usize,
+    sampled: bool,
+}
+
+impl Rebalance {
+    /// Builds the policy from its configuration.
+    pub fn new(cfg: RebalanceConfig) -> Rebalance {
+        Rebalance { cfg }
+    }
+}
+
+impl MaintenancePolicy for Rebalance {
+    fn name(&self) -> &'static str {
+        "rebalance"
+    }
+
+    fn interval_ns(&self, _cl: &Cluster) -> SimTime {
+        self.cfg.interval_ns
+    }
+
+    fn init_state(&self) -> Box<dyn Any + Send> {
+        Box::new(RebState {
+            cursor: 0,
+            sampled: false,
+        })
+    }
+
+    fn tick(&self, sim: &mut Sim<Cluster>, cl: &mut Cluster, slot: usize) -> Option<SimTime> {
+        let now = sim.now();
+
+        // Mixed fleet: level flash only (see module docs). On uniform
+        // fleets every node participates.
+        let mixed = (0..cl.cfg.nodes).any(|n| cl.cfg.fleet.is_ssd(n))
+            && (0..cl.cfg.nodes).any(|n| !cl.cfg.fleet.is_ssd(n));
+        let eligible = |i: usize| !mixed || cl.cfg.fleet.is_ssd(i);
+
+        // Live-fleet wear census; ties break toward the lowest node id
+        // so the decision is deterministic.
+        let mut max_wear = 0u64;
+        let mut worn: Option<usize> = None;
+        let mut sum = 0u64;
+        let mut live = 0u64;
+        for (i, osd) in cl.nodes.iter().enumerate() {
+            if osd.failed || !eligible(i) {
+                continue;
+            }
+            let w = osd.disk.wear_bytes();
+            sum += w;
+            live += 1;
+            if worn.is_none() || w > max_wear {
+                max_wear = w;
+                worn = Some(i);
+            }
+        }
+        let mean = sum as f64 / live.max(1) as f64;
+
+        let (mut cursor, sampled) = {
+            let st = cl.maint.slots[slot]
+                .downcast_ref::<RebState>()
+                .expect("rebalance slot state");
+            (st.cursor, st.sampled)
+        };
+        if !sampled && mean > 0.0 {
+            cl.maint.wear_spread_before = max_wear as f64 / mean;
+            cl.maint.slots[slot]
+                .downcast_mut::<RebState>()
+                .expect("rebalance slot state")
+                .sampled = true;
+        }
+
+        if mean <= 0.0 || (max_wear as f64) <= self.cfg.trigger_ratio * mean {
+            return None;
+        }
+        let worn = worn?;
+
+        // Least-worn live node other than the donor.
+        let mut target: Option<usize> = None;
+        let mut min_wear = u64::MAX;
+        for (i, osd) in cl.nodes.iter().enumerate() {
+            if osd.failed || i == worn || !eligible(i) {
+                continue;
+            }
+            let w = osd.disk.wear_bytes();
+            if w < min_wear {
+                min_wear = w;
+                target = Some(i);
+            }
+        }
+        let target = target?;
+
+        let blocks = cl.layout.blocks_on(worn);
+        if blocks.is_empty() {
+            return None;
+        }
+        let (addr, dev_off) = blocks[cursor % blocks.len()];
+        cursor += 1;
+        cl.maint.slots[slot]
+            .downcast_mut::<RebState>()
+            .expect("rebalance slot state")
+            .cursor = cursor;
+
+        let mut span = cl.cfg.block_bytes;
+        if !addr.is_data(cl.cfg.code) {
+            span += cl.cfg.method.parity_reserved_bytes(&cl.cfg);
+        }
+        let t_read = cl.disk_io(worn, now, IoOp::read(dev_off, span, Pattern::Sequential));
+        let t_net = cl.send_repair(t_read, worn, target, span);
+        let new_off = cl.log_offset(target, span);
+        let t_write = cl.disk_io(
+            target,
+            t_net,
+            IoOp::write(new_off, span, Pattern::Sequential),
+        );
+        cl.layout.relocate(addr, target, new_off);
+        cl.maint.migrated_bytes += span;
+        Some(t_write)
+    }
+}

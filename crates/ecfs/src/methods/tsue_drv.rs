@@ -61,11 +61,34 @@ impl UpdateMethod for Tsue {
         // gate charges the backlog at a conservative replay rate — the
         // paper's point survives intact: this is typically megabytes,
         // versus the gigabytes deferred methods must replay.
+        let now = sim.now();
         let backlog = methods::pending_log_bytes(cl);
+        // Charge the replay scan to the disks that actually perform it:
+        // each node's pending log bytes are re-read sequentially from
+        // its log region — and a *dead* node's backlog is scanned on its
+        // replica holder (§2.3.2), whose queue then contends with the
+        // foreground and repair traffic it is serving.
+        let mut gate = now;
+        for node in 0..cl.cfg.nodes {
+            let pending = cl.nodes[node].state.pending_bytes();
+            if pending == 0 {
+                continue;
+            }
+            let replayer = if cl.nodes[node].failed {
+                replica_of(cl, node)
+            } else {
+                node
+            };
+            let cap = cl.nodes[replayer].disk.capacity();
+            let base = cap / 4 * 3;
+            let len = pending.min(cap - base);
+            let t = cl.disk_io(replayer, now, IoOp::read(base, len, Pattern::Sequential));
+            gate = gate.max(t);
+        }
         drain(sim, cl);
-        // ~2 GB/s replay (sequential log scan + merged RMW), plus one
+        // ~2 GB/s merge CPU on top of the booked scan, plus one
         // scheduling quantum.
-        sim.now() + backlog / 2 + simdes::units::MILLIS
+        gate.max(now + backlog / 2) + simdes::units::MILLIS
     }
 }
 
@@ -145,10 +168,25 @@ fn tsue_state(cl: &mut Cluster, node: usize) -> &mut TsueState {
         .expect("TSUE driver on non-TSUE node")
 }
 
-/// The replica node for a data log: the next live OSD on the ring.
+/// The replica node for a data log: the next live OSD on the ring — or,
+/// when the maintenance plan pins appends to flash
+/// ([`crate::maintenance::DemoteConfig::pin_appends`]), the next live
+/// *flash* OSD, so the synchronous replica append never waits on a
+/// spindle seek. Without an armed plan the flag is false and the path
+/// is byte-for-byte the plain ring walk.
 fn replica_of(cl: &Cluster, node: usize) -> usize {
     let n = cl.cfg.nodes;
     let mut r = (node + 1) % n;
+    if cl.maint.pin_appends {
+        let mut f = r;
+        for _ in 0..n {
+            if f != node && !cl.nodes[f].failed && cl.cfg.fleet.is_ssd(f) {
+                return f;
+            }
+            f = (f + 1) % n;
+        }
+        // No live flash node left: fall back to the plain ring walk.
+    }
     let mut guard = 0;
     while cl.nodes[r].failed {
         r = (r + 1) % n;

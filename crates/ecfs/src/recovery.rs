@@ -32,11 +32,16 @@
 //!
 //! Modeling simplification: log state held by a dead node is treated as
 //! recoverable (TSUE replicates its DataLog; the other methods' logs
-//! stand in for journals with equivalent durability), and its §2.3.2
-//! replay is charged to the dead node's now-uncontended disk rather than
-//! to the replica holders — which understates the gate's contention with
-//! foreground traffic. Charging replica-side replay (and re-replicating
-//! the replica chain itself) is a recorded ROADMAP follow-up.
+//! stand in for journals with equivalent durability). TSUE's §2.3.2
+//! replay scan is charged to the disks that actually perform it — a dead
+//! node's backlog is re-read on its *replica holder*, whose queue then
+//! contends with the foreground and repair traffic it is serving
+//! (re-replicating the replica chain itself remains future work).
+//!
+//! A rebuild's *target* can also die while the rebuild is in flight
+//! (overlapping faults): the pump re-checks the block's home at
+//! completion and re-queues it for a fresh rebuild onto a live node
+//! instead of declaring a dead-node write a repair.
 
 use simdes::{Sim, SimTime};
 use simdisk::{IoOp, Pattern};
@@ -350,8 +355,6 @@ fn pump_repair(sim: &mut Sim<Cluster>, cl: &mut Cluster) {
         match rebuild_block(cl, addr, now) {
             Ok(t_done) => {
                 cl.faults.pump_active = true;
-                cl.faults.repaired_blocks += 1;
-                cl.faults.repaired_bytes += cl.cfg.block_bytes;
                 let next = match cl.faults.repair_bandwidth {
                     Some(bw) => {
                         let pace = cl.cfg.block_bytes * simdes::units::SECS / bw.max(1);
@@ -360,8 +363,20 @@ fn pump_repair(sim: &mut Sim<Cluster>, cl: &mut Cluster) {
                     None => t_done,
                 };
                 sim.schedule_at(next.max(now), move |sim, cl: &mut Cluster| {
-                    cl.faults.block_done(idx, sim.now());
                     cl.faults.pump_active = false;
+                    // The rebuild target may itself have died while the
+                    // rebuild was in flight (overlapping faults): the
+                    // block is then still lost — re-queue it so the next
+                    // pump round re-targets it onto a live node instead
+                    // of declaring a dead-node write a repair.
+                    if cl.nodes[cl.layout.current_node(addr)].failed {
+                        cl.faults.retargeted_rebuilds += 1;
+                        cl.faults.queue.push_back((addr, idx));
+                    } else {
+                        cl.faults.repaired_blocks += 1;
+                        cl.faults.repaired_bytes += cl.cfg.block_bytes;
+                        cl.faults.block_done(idx, sim.now());
+                    }
                     pump_repair(sim, cl);
                 });
                 return;

@@ -12,6 +12,7 @@ use workload::{OpenLoopSpec, TimedStream};
 use crate::cluster::{Cluster, OpenLoopRt};
 use crate::config::ClusterConfig;
 use crate::fault::FaultPlan;
+use crate::maintenance::{self, MaintenancePlan};
 use crate::methods::{self, UpdateCtx};
 use crate::recovery;
 
@@ -71,6 +72,10 @@ pub struct ReplayConfig {
     /// How load is offered: the closed-loop default (byte-for-byte the
     /// legacy replay) or an open-loop source.
     pub workload: Workload,
+    /// Background maintenance to run alongside the foreground traffic.
+    /// The default (empty) plan arms nothing and reproduces the
+    /// maintenance-free replay byte for byte.
+    pub maintenance: MaintenancePlan,
 }
 
 impl ReplayConfig {
@@ -84,6 +89,7 @@ impl ReplayConfig {
             seed: 0x7565_7374,
             faults: FaultPlan::default(),
             workload: Workload::ClosedLoop,
+            maintenance: MaintenancePlan::default(),
         }
     }
 
@@ -125,6 +131,7 @@ impl ReplayConfig {
             )));
         }
         self.faults.validate(&self.cluster)?;
+        self.maintenance.validate(&self.cluster)?;
         match &self.workload {
             Workload::ClosedLoop => {}
             Workload::Open(spec) => spec.validate().map_err(crate::config::ConfigError)?,
@@ -183,6 +190,26 @@ impl ReplayConfigBuilder {
     /// ```
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.inner.faults = plan;
+        self
+    }
+
+    /// Background maintenance to run alongside the foreground traffic.
+    ///
+    /// ```
+    /// use ecfs::prelude::*;
+    ///
+    /// let cluster = ClusterConfig::ssd_testbed(
+    ///     CodeParams::new(6, 3).unwrap(),
+    ///     MethodKind::Tsue,
+    /// );
+    /// let rcfg = ReplayConfig::builder(cluster, TraceFamily::AliCloud)
+    ///     .maintenance(MaintenancePlan::new().with_scrub(ScrubConfig::default()))
+    ///     .build()
+    ///     .unwrap();
+    /// assert!(!rcfg.maintenance.is_empty());
+    /// ```
+    pub fn maintenance(mut self, plan: MaintenancePlan) -> Self {
+        self.inner.maintenance = plan;
         self
     }
 
@@ -356,6 +383,29 @@ pub struct RunResult {
     /// budget under a [`crate::placement::Copyset`] policy (modulo rebuild
     /// relocations), stripe-count-scale under rotation placements.
     pub copysets_used: usize,
+    /// Media GiB scanned by the scrub policy (0 when no plan armed).
+    pub scrub_gib: f64,
+    /// Latent sector errors injected across the fleet.
+    pub lse_injected: u64,
+    /// Injected errors a scrub pass detected.
+    pub lse_found: u64,
+    /// Detected errors whose covering block was rebuilt from redundancy
+    /// — `lse_injected - lse_repaired` is the exposure a correlated
+    /// failure would turn into data loss.
+    pub lse_repaired: u64,
+    /// GiB migrated by wear-leveling rebalance plus tier demotion.
+    pub maint_migrated_gib: f64,
+    /// GiB rewritten by the lazy defragmenter.
+    pub defrag_gib: f64,
+    /// Live-fleet wear spread (max/mean) at the rebalancer's first
+    /// non-zero sample — compare against the end-of-run
+    /// [`RunResult::wear_spread`] for the before/after story.
+    pub wear_spread_before: f64,
+    /// Foreground update p99 (µs) inside maintenance-busy windows —
+    /// the latency cost attribution of "free" background hygiene.
+    pub maint_busy_p99_us: f64,
+    /// Foreground update p99 (µs) outside maintenance-busy windows.
+    pub maint_idle_p99_us: f64,
 }
 
 impl RunResult {
@@ -532,6 +582,20 @@ pub fn run_update_phase(rcfg: &ReplayConfig) -> (Sim<Cluster>, Cluster) {
         }
     }
 
+    // Arm background maintenance. Same contract as the fault timeline:
+    // an empty plan schedules nothing and touches no state.
+    if !rcfg.maintenance.is_empty() {
+        // Busy-window vs idle-window quantiles need timestamped samples
+        // (the fault plan may already have attached them).
+        if cl.metrics.latency_samples.is_none() {
+            cl.metrics.latency_samples = Some(SampleLog::new());
+        }
+        if cl.metrics.read_latency_samples.is_none() {
+            cl.metrics.read_latency_samples = Some(SampleLog::new());
+        }
+        maintenance::arm(&mut sim, &mut cl, &rcfg.maintenance);
+    }
+
     // Kick the closed-loop clients with staggered start times. In a fully
     // deterministic simulation, identical service times would otherwise
     // keep all clients in lockstep convoys — synchronized arrival waves
@@ -675,6 +739,32 @@ pub fn run_trace(rcfg: &ReplayConfig) -> RunResult {
         0.0
     };
     let copysets_used = cl.layout.distinct_copysets();
+
+    // Maintenance harvest. LSE ground truth comes from the per-device
+    // oracles (not the policy counters), so a scrub that claims a repair
+    // it never booked would show up as a mismatch here.
+    let mut lse_injected = 0u64;
+    let mut lse_detected = 0u64;
+    let mut lse_repaired = 0u64;
+    for n in &cl.nodes {
+        if let Some(model) = n.disk.lse() {
+            lse_injected += model.injected() as u64;
+            lse_detected += model.detected() as u64;
+            lse_repaired += model.repaired() as u64;
+        }
+    }
+    let (maint_busy_p99_us, maint_idle_p99_us) =
+        match (&cl.metrics.latency_samples, cl.maint.active) {
+            (Some(log), true) => {
+                let (busy, idle) = log.split(&cl.maint.windows);
+                (
+                    busy.quantile(0.99) as f64 / 1_000.0,
+                    idle.quantile(0.99) as f64 / 1_000.0,
+                )
+            }
+            _ => (0.0, 0.0),
+        };
+    const GIB: f64 = (1u64 << 30) as f64;
     RunResult {
         method: rcfg.cluster.method.name().to_string(),
         completed_updates: m.completed_updates,
@@ -724,6 +814,15 @@ pub fn run_trace(rcfg: &ReplayConfig) -> RunResult {
         wear_max_bytes,
         wear_spread,
         copysets_used,
+        scrub_gib: cl.maint.scrub_bytes as f64 / GIB,
+        lse_injected,
+        lse_found: lse_detected,
+        lse_repaired,
+        maint_migrated_gib: (cl.maint.migrated_bytes + cl.maint.demoted_bytes) as f64 / GIB,
+        defrag_gib: cl.maint.defrag_bytes as f64 / GIB,
+        wear_spread_before: cl.maint.wear_spread_before,
+        maint_busy_p99_us,
+        maint_idle_p99_us,
     }
 }
 

@@ -3,6 +3,7 @@
 
 use simdes::{Resource, SimTime};
 
+use crate::lse::LseModel;
 use crate::stats::DeviceStats;
 use crate::{IoKind, IoOp, Pattern};
 
@@ -50,6 +51,8 @@ pub struct Hdd {
     written: Vec<u64>,
     /// Overwrite-bitmap granularity (bytes per bit).
     grain: u64,
+    /// Latent-sector-error oracle, if installed.
+    lse: Option<LseModel>,
 }
 
 impl Hdd {
@@ -64,6 +67,7 @@ impl Hdd {
             seq_end: 0,
             written: vec![0; bits.div_ceil(64)],
             grain,
+            lse: None,
             cfg,
         }
     }
@@ -91,6 +95,21 @@ impl Hdd {
     /// Total busy time booked on the device.
     pub fn busy_time(&self) -> u64 {
         self.queue.busy_time()
+    }
+
+    /// Installs (or replaces) the latent-sector-error oracle.
+    pub fn install_lse(&mut self, model: LseModel) {
+        self.lse = Some(model);
+    }
+
+    /// The latent-sector-error oracle, if installed.
+    pub fn lse(&self) -> Option<&LseModel> {
+        self.lse.as_ref()
+    }
+
+    /// Mutable access to the latent-sector-error oracle.
+    pub fn lse_mut(&mut self) -> Option<&mut LseModel> {
+        self.lse.as_mut()
     }
 
     /// Seek time for a head movement of `distance` bytes, scaled by the

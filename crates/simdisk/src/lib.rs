@@ -26,10 +26,12 @@
 #![warn(missing_docs)]
 
 pub mod hdd;
+pub mod lse;
 pub mod ssd;
 pub mod stats;
 
 pub use hdd::{Hdd, HddConfig};
+pub use lse::{LseModel, LseSite};
 pub use ssd::{Ssd, SsdConfig};
 pub use stats::DeviceStats;
 
@@ -149,5 +151,54 @@ impl Disk {
             Disk::Ssd(d) => d.erase_region(now, offset, len),
             Disk::Hdd(_) => now,
         }
+    }
+
+    /// Installs (or replaces) the latent-sector-error oracle ([`lse`]).
+    pub fn install_lse(&mut self, model: LseModel) {
+        match self {
+            Disk::Ssd(d) => d.install_lse(model),
+            Disk::Hdd(d) => d.install_lse(model),
+        }
+    }
+
+    /// The latent-sector-error oracle, if installed.
+    pub fn lse(&self) -> Option<&LseModel> {
+        match self {
+            Disk::Ssd(d) => d.lse(),
+            Disk::Hdd(d) => d.lse(),
+        }
+    }
+
+    /// Scrubs `[offset, offset + len)` against the LSE oracle at `now`;
+    /// returns the number of newly detected error sites (0 when no oracle
+    /// is installed).
+    pub fn scrub_lse(&mut self, now: SimTime, offset: u64, len: u64) -> usize {
+        match self {
+            Disk::Ssd(d) => d.lse_mut(),
+            Disk::Hdd(d) => d.lse_mut(),
+        }
+        .map_or(0, |m| m.scrub(now, offset, len))
+    }
+
+    /// Marks detected LSE sites in `[offset, offset + len)` repaired after
+    /// the covering block was rebuilt; returns how many were cleared.
+    pub fn clear_lse(&mut self, offset: u64, len: u64) -> usize {
+        match self {
+            Disk::Ssd(d) => d.lse_mut(),
+            Disk::Hdd(d) => d.lse_mut(),
+        }
+        .map_or(0, |m| m.clear(offset, len))
+    }
+
+    /// Unrepaired error sites with onset by `now` — the current exposure
+    /// window (0 when no oracle is installed).
+    pub fn lse_latent(&self, now: SimTime) -> usize {
+        self.lse().map_or(0, |m| m.latent(now))
+    }
+
+    /// Whether `[offset, offset + len)` holds an unrepaired onset LSE site.
+    pub fn lse_overlaps_latent(&self, now: SimTime, offset: u64, len: u64) -> bool {
+        self.lse()
+            .is_some_and(|m| m.overlaps_latent(now, offset, len))
     }
 }

@@ -3,6 +3,7 @@
 
 use simdes::{Resource, SimTime};
 
+use crate::lse::LseModel;
 use crate::stats::DeviceStats;
 use crate::{IoKind, IoOp, Pattern};
 
@@ -92,6 +93,10 @@ pub struct Ftl {
     active_next_page: u32,
     gc_threshold_blocks: usize,
     total_blocks: usize,
+    /// Re-entrancy guard: relocations during GC allocate pages, which must
+    /// not trigger a nested GC pass (the inner pass could erase and reuse
+    /// the outer pass's victim mid-relocation).
+    gc_active: bool,
 }
 
 /// GC/wear cost of a batch of page writes.
@@ -130,6 +135,7 @@ impl Ftl {
             active_next_page: 0,
             gc_threshold_blocks,
             total_blocks,
+            gc_active: false,
         }
     }
 
@@ -161,7 +167,7 @@ impl Ftl {
     fn allocate_page(&mut self, cost: &mut FlashCost) -> u32 {
         if self.active_next_page == self.pages_per_block {
             // Active block is full: pick a new one, GC first if needed.
-            if self.free_blocks.len() < self.gc_threshold_blocks {
+            if !self.gc_active && self.free_blocks.len() < self.gc_threshold_blocks {
                 self.collect_garbage(cost);
             }
             self.active_block = self
@@ -176,6 +182,7 @@ impl Ftl {
     }
 
     fn collect_garbage(&mut self, cost: &mut FlashCost) {
+        self.gc_active = true;
         while self.free_blocks.len() < self.gc_threshold_blocks {
             // Greedy victim: fewest valid pages, excluding active and free.
             let mut victim = usize::MAX;
@@ -216,6 +223,7 @@ impl Ftl {
             cost.erases += 1;
             self.free_blocks.push(victim as u32);
         }
+        self.gc_active = false;
     }
 }
 
@@ -228,6 +236,8 @@ pub struct Ssd {
     stats: DeviceStats,
     /// Page-granularity "has been written" bitmap for overwrite accounting.
     written: Vec<u64>,
+    /// Latent-sector-error oracle, if installed.
+    lse: Option<LseModel>,
 }
 
 impl Ssd {
@@ -240,6 +250,7 @@ impl Ssd {
             ftl,
             written: vec![0; words],
             stats: DeviceStats::default(),
+            lse: None,
             cfg,
         }
     }
@@ -267,6 +278,21 @@ impl Ssd {
     /// Total busy time booked on the device queue.
     pub fn busy_time(&self) -> u64 {
         self.queue.busy_time()
+    }
+
+    /// Installs (or replaces) the latent-sector-error oracle.
+    pub fn install_lse(&mut self, model: LseModel) {
+        self.lse = Some(model);
+    }
+
+    /// The latent-sector-error oracle, if installed.
+    pub fn lse(&self) -> Option<&LseModel> {
+        self.lse.as_ref()
+    }
+
+    /// Mutable access to the latent-sector-error oracle.
+    pub fn lse_mut(&mut self) -> Option<&mut LseModel> {
+        self.lse.as_mut()
     }
 
     /// Pure service-time model for an op (no queueing, no FTL): fixed
