@@ -102,7 +102,7 @@ fn main() {
         );
         assert_eq!(res.data_loss_blocks, 0, "sweep scenarios are recoverable");
         assert_eq!(res.failed_ops, 0);
-        report.add_row(vec![
+        let mut cells = vec![
             ("method", method.name().into()),
             ("placement", placement.name().into()),
             ("fault", plan.name().into()),
@@ -121,7 +121,9 @@ fn main() {
             // Blast radius: how many distinct co-location sets the run's
             // stripes (post-rebuild) span.
             ("copysets_used", res.copysets_used.into()),
-        ]);
+        ];
+        cells.extend(tsue_bench::engine_cells(res));
+        report.add_row(cells);
         rows.push(vec![
             method.name().to_string(),
             placement.name().to_string(),

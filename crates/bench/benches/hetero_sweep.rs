@@ -99,7 +99,7 @@ fn main() {
             method.name(),
             placement.name()
         );
-        report.add_row(vec![
+        let mut cells = vec![
             ("fleet", (*fleet).into()),
             ("placement", placement.name().into()),
             ("method", method.name().into()),
@@ -110,7 +110,9 @@ fn main() {
             ("wear_spread", res.wear_spread.into()),
             ("copysets_used", res.copysets_used.into()),
             ("net_gib", res.net_gib.into()),
-        ]);
+        ];
+        cells.extend(tsue_bench::engine_cells(res));
+        report.add_row(cells);
         rows.push(vec![
             (*fleet).to_string(),
             placement.name().to_string(),

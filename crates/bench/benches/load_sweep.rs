@@ -58,7 +58,7 @@ fn main() {
     let mut report = BenchReport::new("load_sweep");
     let mut rows = Vec::new();
     for ((method, rate), res) in labels.iter().zip(&results) {
-        report.add_row(vec![
+        let mut cells = vec![
             ("method", method.name().into()),
             ("rate", (*rate).into()),
             ("offered_ops_per_s", res.offered_ops_per_s.into()),
@@ -66,7 +66,9 @@ fn main() {
             ("queue_delay_p99_us", res.queue_delay_p99_us.into()),
             ("peak_queue_depth", res.peak_queue_depth.into()),
             ("saturated", res.saturated.into()),
-        ]);
+        ];
+        cells.extend(tsue_bench::engine_cells(res));
+        report.add_row(cells);
         assert_eq!(
             res.oracle_violations,
             0,

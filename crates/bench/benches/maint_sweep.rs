@@ -142,7 +142,7 @@ fn main() {
         );
         assert_eq!(res.data_loss_blocks, 0, "{} plan {plan}", method.name());
         let latent = res.lse_injected - res.lse_repaired;
-        report.add_row(vec![
+        let mut cells = vec![
             ("curve", (*curve).into()),
             ("plan", (*plan).into()),
             ("method", method.name().into()),
@@ -158,7 +158,9 @@ fn main() {
             ("migrated_gib", res.maint_migrated_gib.into()),
             ("defrag_gib", res.defrag_gib.into()),
             ("wear_spread", res.wear_spread.into()),
-        ]);
+        ];
+        cells.extend(tsue_bench::engine_cells(res));
+        report.add_row(cells);
         rows.push(vec![
             (*curve).to_string(),
             (*plan).to_string(),

@@ -59,14 +59,16 @@ fn main() {
             method.name(),
             placement.name()
         );
-        report.add_row(vec![
+        let mut cells = vec![
             ("racks", (*racks).into()),
             ("placement", placement.name().into()),
             ("method", method.name().into()),
             ("update_iops", res.update_iops.into()),
             ("net_gib", res.net_gib.into()),
             ("cross_rack_gib", res.net_cross_rack_gib.into()),
-        ]);
+        ];
+        cells.extend(tsue_bench::engine_cells(res));
+        report.add_row(cells);
         rows.push(vec![
             if *racks == 1 {
                 "1 (flat)".to_string()

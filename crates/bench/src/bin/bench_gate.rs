@@ -1,4 +1,4 @@
-//! The bench regression gate: re-reads the five sweeps' machine-readable
+//! The bench regression gate: re-reads the six sweeps' machine-readable
 //! reports (`BENCH_<sweep>.json`) and asserts the shape invariants the
 //! repository's findings rest on. Runs as the final bench-smoke step in
 //! CI, so a perf or behaviour regression **fails the workflow** instead of
@@ -20,6 +20,11 @@
 //!    one injected error detected *and* repaired), the full maintenance
 //!    plan's wear spread stays below the no-maintenance baseline, and
 //!    scrub coverage is nonzero while the foreground p99 stays finite.
+//! 6. `engine_sweep`: the sharded replay reproduced the serial run field
+//!    for field (`sharded_equals_serial`), the scheduler micro-throughput
+//!    and shard-scaling findings are present and positive, and — across
+//!    **every** report — each row carries a positive `events_per_sec`,
+//!    so no sweep silently drops the engine-speed cells.
 //!
 //! Usage: `bench_gate [report-dir]` (default: `TSUE_BENCH_REPORT_DIR` or
 //! `target/bench-report`). Exits non-zero listing every violated
@@ -97,6 +102,7 @@ fn main() {
         "load_sweep",
         "hetero_sweep",
         "maint_sweep",
+        "engine_sweep",
     ] {
         match load_report(&dir, sweep) {
             Ok(doc) => reports.push((sweep, doc)),
@@ -255,6 +261,78 @@ fn main() {
                 &format!("{method}: finite foreground p99 under the full plan ({p99:.0} us, maintenance cost {cost:+.0} us)"),
             );
         }
+    }
+
+    // 6. Engine sweep: the parallel engine's determinism contract and the
+    // speed trajectory's presence. Speedup *values* are not gated — they
+    // measure the host (a 1-core runner honestly reports ~1.0x) — but the
+    // findings must exist and be positive so the trajectory stays
+    // machine-readable, and the sharded replay must have reproduced the
+    // serial run exactly.
+    if let Some(engine) = get("engine_sweep") {
+        println!("\nengine_sweep:");
+        let _ = rows(engine, "engine_sweep", &mut gate);
+        let equal = engine
+            .get("findings")
+            .and_then(|f| f.get("sharded_equals_serial"))
+            .and_then(|v| v.as_bool());
+        gate.check(
+            equal == Some(true),
+            "sharded replay equals serial field for field on the smoke cell",
+        );
+        let boxed = gate.finding(engine, "micro_boxed_mevps");
+        let unboxed = gate.finding(engine, "micro_unboxed_mevps");
+        gate.check_cmp(
+            &[boxed, unboxed],
+            boxed > 0.0 && unboxed > 0.0,
+            &format!(
+                "scheduler micro-throughput is positive \
+                 (boxed {boxed:.1} Mev/s, unboxed {unboxed:.1} Mev/s)"
+            ),
+        );
+        let threads = gate.finding(engine, "threads_available");
+        gate.check_cmp(
+            &[threads],
+            threads >= 1.0,
+            &format!("host parallel budget recorded ({threads:.0} threads)"),
+        );
+        for shards in [2, 4, 8] {
+            let synth = gate.finding(engine, &format!("synthetic_speedup_{shards}"));
+            let replay = gate.finding(engine, &format!("replay_speedup_{shards}"));
+            gate.check_cmp(
+                &[synth, replay],
+                synth > 0.0 && replay > 0.0,
+                &format!(
+                    "{shards}-shard speedups reported \
+                     (synthetic {synth:.2}x, replay {replay:.2}x)"
+                ),
+            );
+        }
+    }
+
+    // 7. Every report, every row: the engine-speed cells are present and
+    // positive — a sweep that stops carrying `events_per_sec` breaks the
+    // speed trajectory even if its own findings still hold.
+    println!("\nengine cells across all reports:");
+    for (sweep, doc) in &reports {
+        let rows = doc.get("rows").and_then(|r| r.as_arr()).unwrap_or_default();
+        let bad = rows
+            .iter()
+            .filter(|row| {
+                !matches!(
+                    row.get("events_per_sec").and_then(|v| v.as_f64()),
+                    Some(v) if v.is_finite() && v > 0.0
+                )
+            })
+            .count();
+        gate.check(
+            bad == 0,
+            &format!(
+                "{sweep}: every row carries a positive events_per_sec \
+                 ({bad}/{} violations)",
+                rows.len()
+            ),
+        );
     }
 
     println!();

@@ -46,9 +46,11 @@ pub fn ops_per_client() -> usize {
 /// returns the results in input order.
 ///
 /// Each `Sim`/`Cluster` pair is self-contained and every replay is
-/// deterministic, so fanning the grid out across
-/// `std::thread::available_parallelism()` workers changes wall-clock time
-/// only — the `RunResult`s are identical to a serial loop.
+/// deterministic, so fanning the grid out across worker threads changes
+/// wall-clock time only — the `RunResult`s are identical to a serial
+/// loop. The worker count follows [`ecfs::replay_threads`]: the
+/// `TSUE_BENCH_THREADS` environment override when set, otherwise
+/// `std::thread::available_parallelism()`.
 pub fn run_grid(configs: &[ReplayConfig]) -> Vec<RunResult> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
@@ -56,10 +58,7 @@ pub fn run_grid(configs: &[ReplayConfig]) -> Vec<RunResult> {
     if configs.is_empty() {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(configs.len());
+    let workers = ecfs::replay_threads().min(configs.len());
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<RunResult>>> = configs.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
@@ -82,6 +81,18 @@ pub fn run_grid(configs: &[ReplayConfig]) -> Vec<RunResult> {
                 .expect("worker completed every claimed slot")
         })
         .collect()
+}
+
+/// The engine-speed cells every sweep row carries: the simulated event
+/// count plus the wall-clock replay rate. `sim_events` is deterministic;
+/// `wall_ms` and `events_per_sec` measure this machine, so the gate
+/// checks only that they are present and positive.
+pub fn engine_cells(r: &RunResult) -> [(&'static str, Json); 3] {
+    [
+        ("sim_events", r.sim_events.into()),
+        ("wall_ms", r.wall_ms.into()),
+        ("events_per_sec", r.events_per_sec.into()),
+    ]
 }
 
 /// The six methods of Fig. 5, in the paper's order.

@@ -178,8 +178,10 @@ impl OpenLoopRt {
     }
 }
 
-/// A parked continuation awaiting log-recycle progress.
-pub type Waiter = Box<dyn FnOnce(&mut Sim<Cluster>, &mut Cluster)>;
+/// A parked continuation awaiting log-recycle progress. `Send` so a whole
+/// cluster (parked waiters included) can run on a sharded-engine worker
+/// thread.
+pub type Waiter = Box<dyn FnOnce(&mut Sim<Cluster>, &mut Cluster) + Send>;
 
 /// One OSD node: a disk, method-specific log state, and stalled waiters.
 pub struct Osd {
@@ -268,6 +270,10 @@ pub struct Cluster {
     /// Background-maintenance state: armed policies, busy windows, and
     /// hygiene counters.
     pub maint: MaintState,
+    /// Cross-shard outbox, installed only by the sharded replay engine:
+    /// when present, telemetry records and oracle bookkeeping are shipped
+    /// to sink shards instead of applied locally (see [`crate::shard`]).
+    pub shard_tx: Option<crate::shard::ReplayOutbox>,
 }
 
 impl Cluster {
@@ -320,6 +326,7 @@ impl Cluster {
             open_loop: None,
             faults: FaultState::default(),
             maint: MaintState::default(),
+            shard_tx: None,
             cfg,
         }
     }
@@ -370,15 +377,21 @@ impl Cluster {
 
     /// Schedules the op's client to issue its next op at `done_at`, if
     /// this op is the one driving the closed loop (`ctx.drive`).
+    ///
+    /// Uses the scheduler's unboxed function-pointer path: one of these is
+    /// scheduled per completed op, so the saved `Box` is a measurable slice
+    /// of per-event overhead.
     fn drive_client(&mut self, sim: &mut Sim<Cluster>, ctx: UpdateCtx, done_at: SimTime) {
         if !ctx.drive {
             return;
         }
-        if let Some(driver) = self.client_driver {
-            let client = ctx.client;
-            sim.schedule_at(done_at.max(sim.now()), move |sim, cl: &mut Cluster| {
-                driver(sim, cl, client);
-            });
+        if self.client_driver.is_some() {
+            fn call_driver(sim: &mut Sim<Cluster>, cl: &mut Cluster, client: u64) {
+                if let Some(driver) = cl.client_driver {
+                    driver(sim, cl, client as usize);
+                }
+            }
+            sim.schedule_call_u_at(done_at.max(sim.now()), call_driver, ctx.client as u64);
         }
     }
 
@@ -386,11 +399,18 @@ impl Cluster {
     pub fn finish_update(&mut self, sim: &mut Sim<Cluster>, ctx: UpdateCtx, done_at: SimTime) {
         self.metrics.completed_updates += 1;
         let latency = done_at.saturating_sub(ctx.issued_at);
-        self.metrics.update_latency.record(latency);
-        if let Some(log) = &mut self.metrics.latency_samples {
-            log.record(done_at, latency);
+        if let Some(tx) = &mut self.shard_tx {
+            tx.telemetry(crate::shard::ReplayMsg::Update {
+                at: done_at,
+                ns: latency,
+            });
+        } else {
+            self.metrics.update_latency.record(latency);
+            if let Some(log) = &mut self.metrics.latency_samples {
+                log.record(done_at, latency);
+            }
+            self.metrics.completions.record(done_at, 1);
         }
-        self.metrics.completions.record(done_at, 1);
         self.metrics.last_completion = self.metrics.last_completion.max(done_at);
         self.drive_client(sim, ctx, done_at);
     }
@@ -406,9 +426,16 @@ impl Cluster {
         if is_read {
             self.metrics.completed_reads += 1;
             let latency = done_at.saturating_sub(ctx.issued_at);
-            self.metrics.read_latency.record(latency);
-            if let Some(log) = &mut self.metrics.read_latency_samples {
-                log.record(done_at, latency);
+            if let Some(tx) = &mut self.shard_tx {
+                tx.telemetry(crate::shard::ReplayMsg::Read {
+                    at: done_at,
+                    ns: latency,
+                });
+            } else {
+                self.metrics.read_latency.record(latency);
+                if let Some(log) = &mut self.metrics.read_latency_samples {
+                    log.record(done_at, latency);
+                }
             }
         } else {
             self.metrics.completed_writes += 1;
@@ -471,10 +498,11 @@ impl Cluster {
         self.nodes[node].waiters.push(cont);
     }
 
-    /// Wakes all parked continuations on `node`.
+    /// Wakes all parked continuations on `node`. The stored boxes are
+    /// scheduled directly — no wrapper closure, no second allocation.
     pub fn wake_waiters(&mut self, sim: &mut Sim<Cluster>, node: usize) {
         for cont in self.nodes[node].waiters.drain(..) {
-            sim.schedule(0, move |sim, cl: &mut Cluster| cont(sim, cl));
+            sim.schedule_boxed(0, cont);
         }
     }
 
@@ -494,6 +522,11 @@ impl Cluster {
 
     /// Oracle helpers: record an ack on a data-block range.
     pub fn oracle_ack(&mut self, addr: BlockAddr, offset: u32, len: u32) {
+        if let Some(tx) = &mut self.shard_tx {
+            if tx.oracle(addr, crate::shard::ReplayMsg::Ack { addr, offset, len }) {
+                return;
+            }
+        }
         self.oracle
             .acked
             .entry(addr)
@@ -503,6 +536,11 @@ impl Cluster {
 
     /// Oracle helpers: record data applied in place.
     pub fn oracle_apply_data(&mut self, addr: BlockAddr, offset: u32, len: u32) {
+        if let Some(tx) = &mut self.shard_tx {
+            if tx.oracle(addr, crate::shard::ReplayMsg::Data { addr, offset, len }) {
+                return;
+            }
+        }
         self.oracle
             .applied_data
             .entry(addr)
@@ -512,6 +550,11 @@ impl Cluster {
 
     /// Oracle helpers: record parity effect applied for a stripe range.
     pub fn oracle_apply_parity(&mut self, addr: BlockAddr, offset: u32, len: u32) {
+        if let Some(tx) = &mut self.shard_tx {
+            if tx.oracle(addr, crate::shard::ReplayMsg::Parity { addr, offset, len }) {
+                return;
+            }
+        }
         self.oracle
             .applied_parity
             .entry(addr)

@@ -35,6 +35,7 @@ pub mod methods;
 pub mod placement;
 pub mod recovery;
 pub mod replay;
+pub mod shard;
 
 pub use cluster::Cluster;
 pub use config::{
@@ -46,6 +47,7 @@ pub use maintenance::{MaintenancePlan, MaintenancePolicy};
 pub use methods::{MethodRegistry, NodeLogState, UpdateCtx, UpdateMethod};
 pub use placement::{PlacementKind, PlacementPolicy, RackMap};
 pub use replay::{run_trace, ReplayConfig, ReplayConfigBuilder, RunResult, Workload};
+pub use shard::{replay_threads, run_sharded, ReplayMsg, ReplayOutbox};
 
 /// The coherent public surface, re-exported for one-line imports in
 /// benches, examples, and integration tests:
@@ -84,6 +86,7 @@ pub mod prelude {
         run_trace, run_update_phase, ReplayConfig, ReplayConfigBuilder, ResidencySummary,
         RunResult, Workload, SATURATION_GOODPUT_RATIO,
     };
+    pub use crate::shard::{replay_threads, run_sharded, ReplayMsg, ReplayOutbox};
     // The foreign types every experiment needs alongside the cluster.
     pub use rscode::CodeParams;
     pub use simdisk::{HddConfig, SsdConfig};

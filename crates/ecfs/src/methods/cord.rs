@@ -62,13 +62,16 @@ fn collector_of(cl: &mut Cluster, volume: u32, stripe: u64) -> usize {
 /// Flushes a collector's buffer: per merged stripe-range, ship one combined
 /// delta to each parity node and RMW the parity block. Returns completion.
 fn flush_collector(cl: &mut Cluster, node: usize, from: SimTime) -> SimTime {
-    let contents = match cl.nodes[node].state.downcast_mut::<CordState>() {
+    let mut contents = match cl.nodes[node].state.downcast_mut::<CordState>() {
         Some(state) => {
             state.buffered = 0;
             state.buffer.drain_all()
         }
         None => return from,
     };
+    // The backing index drains in hash order; sorted replay keeps the
+    // chained I/O bookings deterministic across threads and processes.
+    contents.sort_unstable_by_key(|(k, _)| *k);
     let mut t_done = from;
     for (skey, ranges) in contents {
         let (volume, stripe) = cl.stripe_names[&skey];

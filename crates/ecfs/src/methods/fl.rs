@@ -67,7 +67,7 @@ impl NodeLogState for FlState {
 /// role) and logged deltas into parity (parity node role). Returns
 /// completion time.
 fn recycle_node(cl: &mut Cluster, node: usize, from: SimTime) -> SimTime {
-    let (contents, addr_of) = match cl.nodes[node].state.downcast_mut::<FlState>() {
+    let (mut contents, addr_of) = match cl.nodes[node].state.downcast_mut::<FlState>() {
         Some(state) => {
             state.bytes = 0;
             let a = state.addr_of.clone();
@@ -75,6 +75,9 @@ fn recycle_node(cl: &mut Cluster, node: usize, from: SimTime) -> SimTime {
         }
         None => return from,
     };
+    // The backing index drains in hash order; sorted replay keeps the
+    // chained I/O bookings deterministic across threads and processes.
+    contents.sort_unstable_by_key(|(k, _)| *k);
     let mut t = from;
     let code = cl.cfg.code;
     for (key, ranges) in contents {

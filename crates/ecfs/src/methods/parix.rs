@@ -198,7 +198,7 @@ fn epoch_reset(cl: &mut Cluster, node: usize) {
 /// Recycles one node's PARIX log: per merged location, compute the delta
 /// from the logged (original, newest) pair and RMW the parity block.
 pub fn recycle_node(cl: &mut Cluster, node: usize, from: SimTime) -> SimTime {
-    let (contents, addr_of) = match cl.nodes[node].state.downcast_mut::<ParixState>() {
+    let (mut contents, addr_of) = match cl.nodes[node].state.downcast_mut::<ParixState>() {
         Some(state) => {
             let c = state.log.drain_all();
             state.bytes = 0;
@@ -207,6 +207,9 @@ pub fn recycle_node(cl: &mut Cluster, node: usize, from: SimTime) -> SimTime {
         }
         None => return from,
     };
+    // The backing index drains in hash order; sorted replay keeps the
+    // chained I/O bookings deterministic across threads and processes.
+    contents.sort_unstable_by_key(|(k, _)| *k);
     let mut t = from;
     let code = cl.cfg.code;
     for (key, ranges) in &contents {

@@ -76,6 +76,11 @@ pub struct ReplayConfig {
     /// The default (empty) plan arms nothing and reproduces the
     /// maintenance-free replay byte for byte.
     pub maintenance: MaintenancePlan,
+    /// Engine shards for the update phase. `1` (the default) is the
+    /// serial event loop; `>= 2` runs the same replay on the sharded
+    /// engine ([`crate::shard`]) with **byte-for-byte identical results**
+    /// — shard 1 carries telemetry, shards 2.. carry oracle partitions.
+    pub shards: usize,
 }
 
 impl ReplayConfig {
@@ -90,6 +95,7 @@ impl ReplayConfig {
             faults: FaultPlan::default(),
             workload: Workload::ClosedLoop,
             maintenance: MaintenancePlan::default(),
+            shards: 1,
         }
     }
 
@@ -129,6 +135,9 @@ impl ReplayConfig {
                 "volume_bytes = {} is below the 64 KiB workload minimum",
                 self.volume_bytes
             )));
+        }
+        if self.shards == 0 {
+            return Err("shards must be >= 1 (1 = the serial engine)".into());
         }
         self.faults.validate(&self.cluster)?;
         self.maintenance.validate(&self.cluster)?;
@@ -210,6 +219,26 @@ impl ReplayConfigBuilder {
     /// ```
     pub fn maintenance(mut self, plan: MaintenancePlan) -> Self {
         self.inner.maintenance = plan;
+        self
+    }
+
+    /// Engine shards for the update phase (`1` = serial; `>= 2` = the
+    /// sharded engine with byte-identical results).
+    ///
+    /// ```
+    /// use ecfs::{ClusterConfig, MethodKind, ReplayConfig};
+    /// use rscode::CodeParams;
+    /// use traces::TraceFamily;
+    ///
+    /// let cluster = ClusterConfig::ssd_testbed(CodeParams::new(6, 3).unwrap(), MethodKind::Tsue);
+    /// let rcfg = ReplayConfig::builder(cluster, TraceFamily::AliCloud)
+    ///     .shards(4)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(rcfg.shards, 4);
+    /// ```
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.inner.shards = shards;
         self
     }
 
@@ -406,6 +435,15 @@ pub struct RunResult {
     pub maint_busy_p99_us: f64,
     /// Foreground update p99 (µs) outside maintenance-busy windows.
     pub maint_idle_p99_us: f64,
+    /// Simulation events executed by the (core) event loop — identical
+    /// between serial and sharded runs of the same cell.
+    pub sim_events: u64,
+    /// Wall-clock milliseconds the replay took (build → harvest). The one
+    /// nondeterministic field, along with [`Self::events_per_sec`] —
+    /// equality tests must exclude both.
+    pub wall_ms: f64,
+    /// Engine speed: simulation events per wall-clock second.
+    pub events_per_sec: f64,
 }
 
 impl RunResult {
@@ -508,12 +546,14 @@ fn open_loop_next(sim: &mut Sim<Cluster>, cl: &mut Cluster, client: usize) {
 fn install_stream(sim: &mut Sim<Cluster>, cl: &mut Cluster, stream: &TimedStream, window: usize) {
     let clients = cl.cfg.clients;
     cl.client_ops = vec![VecDeque::new(); clients];
+    fn arrive(sim: &mut Sim<Cluster>, cl: &mut Cluster, client: u64) {
+        open_loop_arrive(sim, cl, client as usize);
+    }
     for t in stream.ops() {
         cl.client_ops[t.client].push_back((t.op.offset, t.op.len, t.op.kind));
-        let client = t.client;
-        sim.schedule_at(t.op.at_ns, move |sim, cl: &mut Cluster| {
-            open_loop_arrive(sim, cl, client);
-        });
+        // One arrival event per offered op: the unboxed scheduling path
+        // keeps this, the largest up-front allocation burst, heap-free.
+        sim.schedule_call_u_at(t.op.at_ns, arrive, t.client as u64);
     }
     cl.client_driver = Some(open_loop_next);
     cl.open_loop = Some(OpenLoopRt::new(
@@ -602,20 +642,34 @@ pub fn run_update_phase(rcfg: &ReplayConfig) -> (Sim<Cluster>, Cluster) {
     // that queue behind each other at every hop while the fabric sits idle
     // in between. (Open-loop arrivals carry their own schedule.)
     if rcfg.workload.is_closed_loop() {
+        fn kick(sim: &mut Sim<Cluster>, cl: &mut Cluster, client: u64) {
+            client_next(sim, cl, client as usize);
+        }
         for c in 0..rcfg.cluster.clients {
             let stagger = (c as u64).wrapping_mul(137) % 4096 * simdes::units::MICROS / 8;
-            sim.schedule(stagger, move |sim, cl: &mut Cluster| {
-                client_next(sim, cl, c)
-            });
+            sim.schedule_call_u(stagger, kick, c as u64);
         }
     }
-    sim.run(&mut cl);
+    if rcfg.shards >= 2 {
+        // The sharded engine: bookkeeping offloads to sink shards, the
+        // causal core replays the identical event stream. Results are
+        // byte-for-byte the serial run's. The oracle stays on the core
+        // when the defragmenter (its one mid-run reader) is armed.
+        let oracle_local = rcfg.maintenance.defrag.is_some();
+        let threads = crate::shard::replay_threads();
+        let (s, c, _stats) = crate::shard::run_sharded(sim, cl, rcfg.shards, threads, oracle_local);
+        sim = s;
+        cl = c;
+    } else {
+        sim.run(&mut cl);
+    }
     (sim, cl)
 }
 
 /// Runs one full replay: build cluster, generate per-client traces, replay
 /// closed-loop, drain logs, verify the oracle, and harvest metrics.
 pub fn run_trace(rcfg: &ReplayConfig) -> RunResult {
+    let wall_start = std::time::Instant::now();
     let (mut sim, mut cl) = run_update_phase(rcfg);
     let run_end = cl.metrics.last_completion;
     let duration_s = simdes::units::as_secs_f64(run_end);
@@ -765,6 +819,13 @@ pub fn run_trace(rcfg: &ReplayConfig) -> RunResult {
             _ => (0.0, 0.0),
         };
     const GIB: f64 = (1u64 << 30) as f64;
+    let sim_events = sim.events_executed();
+    let wall_ms = wall_start.elapsed().as_secs_f64() * 1_000.0;
+    let events_per_sec = if wall_ms > 0.0 {
+        sim_events as f64 / (wall_ms / 1_000.0)
+    } else {
+        0.0
+    };
     RunResult {
         method: rcfg.cluster.method.name().to_string(),
         completed_updates: m.completed_updates,
@@ -823,6 +884,9 @@ pub fn run_trace(rcfg: &ReplayConfig) -> RunResult {
         wear_spread_before: cl.maint.wear_spread_before,
         maint_busy_p99_us,
         maint_idle_p99_us,
+        sim_events,
+        wall_ms,
+        events_per_sec,
     }
 }
 

@@ -1,0 +1,375 @@
+//! Sharded deterministic replay: running one simulation on many cores.
+//!
+//! # Decomposition
+//!
+//! Every update-method driver mutates the shared cluster (layout, network,
+//! disks) synchronously inside its event handlers, so the *causal* core of
+//! a replay — clients, fabric, devices, drivers — stays on one shard.
+//! What parallelises today is the replay's **bookkeeping plane**, which is
+//! strictly feed-forward (the core never reads it mid-run) and
+//! order-insensitive at merge time:
+//!
+//! * shard 1 — **telemetry**: client-observed latency histograms,
+//!   timestamped sample logs, the completions time series;
+//! * shards 2.. — **consistency oracle**: acked/applied interval sets,
+//!   spatially partitioned by stripe key (with 2 shards total, shard 1
+//!   carries the oracle too).
+//!
+//! The core emits [`ReplayMsg`] envelopes through [`ReplayOutbox`]; the
+//! engine ([`simdes::shard`]) routes them at epoch barriers in the
+//! deterministic `(time, source_shard, seq)` order, which here reduces to
+//! exactly the serial emission order — so every sink builds **the same
+//! structure the serial loop would have built, by the same sequence of
+//! calls**. After the run the sinks are merged back wholesale and the
+//! result is byte-for-byte the serial replay (`tests/engine_shard.rs`
+//! pins this across all seven methods with fault and maintenance plans
+//! armed).
+//!
+//! One coupling breaks pure feed-forward: the lazy defragmenter reads
+//! `oracle.acked` span counts mid-run as its fragmentation signal. When a
+//! defrag policy is armed the oracle therefore stays on the core shard
+//! ([`run_sharded`]'s `oracle_local`), and only telemetry offloads.
+//!
+//! This is deliberately the first increment of ROADMAP direction 1: the
+//! ceiling on speedup is the core shard's event loop, until the method
+//! drivers themselves become message-passing state machines over a
+//! partitioned cluster.
+
+use simdes::shard::{CrossSend, RunStats, Shard, ShardWorld, ShardedSim, SimShard};
+use simdes::stats::{Histogram, SampleLog, TimeSeries};
+use simdes::{Sim, SimTime};
+
+use crate::cluster::{Cluster, Oracle};
+use crate::layout::{stripe_key, BlockAddr};
+
+/// Index of the telemetry sink shard.
+pub const TELEMETRY_SHARD: usize = 1;
+
+/// Epoch stretch for the replay topology: sinks are feed-forward, so the
+/// epoch can be far longer than the conservative lookahead; 2 ms of
+/// simulated time keeps barrier counts in the tens-to-hundreds per run.
+pub const EPOCH_NS: SimTime = 2 * simdes::units::MILLIS;
+
+/// A bookkeeping record shipped from the core shard to a sink shard.
+#[derive(Debug, Clone, Copy)]
+pub enum ReplayMsg {
+    /// An update completion: latency record + completions series point.
+    Update {
+        /// Completion time.
+        at: SimTime,
+        /// Client-observed latency (ns).
+        ns: u64,
+    },
+    /// A read completion: read-latency record.
+    Read {
+        /// Completion time.
+        at: SimTime,
+        /// Client-observed latency (ns).
+        ns: u64,
+    },
+    /// Oracle: byte range acknowledged to a client.
+    Ack {
+        /// Data block.
+        addr: BlockAddr,
+        /// Range start within the block.
+        offset: u32,
+        /// Range length.
+        len: u32,
+    },
+    /// Oracle: byte range folded into the data block on disk.
+    Data {
+        /// Data block.
+        addr: BlockAddr,
+        /// Range start within the block.
+        offset: u32,
+        /// Range length.
+        len: u32,
+    },
+    /// Oracle: byte range whose parity effect has been applied.
+    Parity {
+        /// Parity block.
+        addr: BlockAddr,
+        /// Range start within the block.
+        offset: u32,
+        /// Range length.
+        len: u32,
+    },
+}
+
+/// The core shard's staging buffer for cross-shard records. Installed on
+/// [`Cluster::shard_tx`] only by [`run_sharded`]; drained by the engine at
+/// every epoch barrier.
+#[derive(Debug, Default)]
+pub struct ReplayOutbox {
+    queue: Vec<(usize, ReplayMsg)>,
+    /// First oracle sink index (0 disables oracle offload).
+    oracle_base: usize,
+    /// Number of oracle sink shards.
+    oracle_shards: u64,
+}
+
+impl ReplayOutbox {
+    /// An outbox for an engine with `shards` total shards. With
+    /// `oracle_local` the oracle stays on the core (required when a
+    /// mid-run reader like the defragmenter is armed).
+    pub fn new(shards: usize, oracle_local: bool) -> ReplayOutbox {
+        assert!(shards >= 2, "an outbox needs at least one sink shard");
+        let (oracle_base, oracle_shards) = if oracle_local {
+            (0, 0)
+        } else if shards == 2 {
+            (TELEMETRY_SHARD, 1)
+        } else {
+            (TELEMETRY_SHARD + 1, (shards - 2) as u64)
+        };
+        ReplayOutbox {
+            queue: Vec::new(),
+            oracle_base,
+            oracle_shards,
+        }
+    }
+
+    /// Stages a telemetry record for the telemetry sink.
+    #[inline]
+    pub fn telemetry(&mut self, msg: ReplayMsg) {
+        self.queue.push((TELEMETRY_SHARD, msg));
+    }
+
+    /// Stages an oracle record for its stripe's sink. Returns `false`
+    /// when the oracle is colocated on the core (caller applies locally).
+    #[inline]
+    pub fn oracle(&mut self, addr: BlockAddr, msg: ReplayMsg) -> bool {
+        if self.oracle_shards == 0 {
+            return false;
+        }
+        let key = stripe_key(addr.volume, addr.stripe);
+        let dst = self.oracle_base + (key % self.oracle_shards) as usize;
+        self.queue.push((dst, msg));
+        true
+    }
+
+    /// Records staged and not yet drained.
+    pub fn staged(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl ShardWorld for Cluster {
+    type Msg = ReplayMsg;
+
+    fn on_message(_sim: &mut Sim<Self>, _world: &mut Self, _src: usize, _msg: ReplayMsg) {
+        unreachable!("the core shard never receives cross-shard messages");
+    }
+
+    fn drain_outbox(&mut self, now: SimTime) -> Vec<CrossSend<ReplayMsg>> {
+        match &mut self.shard_tx {
+            Some(tx) if !tx.queue.is_empty() => tx
+                .queue
+                .drain(..)
+                .map(|(dst, msg)| CrossSend { dst, at: now, msg })
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// Telemetry state lifted off the core's `Metrics` for the duration of a
+/// sharded run. The structs are *moved* out of the cluster (not cloned),
+/// so arming decisions (sample logs) and bucket widths carry over exactly.
+#[derive(Debug)]
+struct Telemetry {
+    update_latency: Histogram,
+    read_latency: Histogram,
+    completions: TimeSeries,
+    latency_samples: Option<SampleLog>,
+    read_latency_samples: Option<SampleLog>,
+}
+
+impl Telemetry {
+    fn take_from(cl: &mut Cluster) -> Telemetry {
+        let m = &mut cl.metrics;
+        Telemetry {
+            update_latency: std::mem::take(&mut m.update_latency),
+            read_latency: std::mem::take(&mut m.read_latency),
+            completions: std::mem::replace(
+                &mut m.completions,
+                TimeSeries::new(simdes::units::SECS),
+            ),
+            latency_samples: m.latency_samples.take(),
+            read_latency_samples: m.read_latency_samples.take(),
+        }
+    }
+
+    fn restore_into(self, cl: &mut Cluster) {
+        let m = &mut cl.metrics;
+        m.update_latency = self.update_latency;
+        m.read_latency = self.read_latency;
+        m.completions = self.completions;
+        m.latency_samples = self.latency_samples;
+        m.read_latency_samples = self.read_latency_samples;
+    }
+}
+
+/// A bookkeeping sink: applies [`ReplayMsg`]s on delivery, never schedules
+/// events, never sends. Holds the telemetry plane, an oracle partition, or
+/// (with exactly two shards) both.
+struct SinkShard {
+    telemetry: Option<Telemetry>,
+    oracle: Option<Oracle>,
+    applied: u64,
+}
+
+impl SinkShard {
+    fn apply(&mut self, msg: ReplayMsg) {
+        self.applied += 1;
+        match msg {
+            ReplayMsg::Update { at, ns } => {
+                let t = self.telemetry.as_mut().expect("telemetry sink");
+                t.update_latency.record(ns);
+                if let Some(log) = &mut t.latency_samples {
+                    log.record(at, ns);
+                }
+                t.completions.record(at, 1);
+            }
+            ReplayMsg::Read { at, ns } => {
+                let t = self.telemetry.as_mut().expect("telemetry sink");
+                t.read_latency.record(ns);
+                if let Some(log) = &mut t.read_latency_samples {
+                    log.record(at, ns);
+                }
+            }
+            ReplayMsg::Ack { addr, offset, len } => {
+                self.oracle
+                    .as_mut()
+                    .expect("oracle sink")
+                    .acked
+                    .entry(addr)
+                    .or_default()
+                    .insert(offset as u64, offset as u64 + len as u64);
+            }
+            ReplayMsg::Data { addr, offset, len } => {
+                self.oracle
+                    .as_mut()
+                    .expect("oracle sink")
+                    .applied_data
+                    .entry(addr)
+                    .or_default()
+                    .insert(offset as u64, offset as u64 + len as u64);
+            }
+            ReplayMsg::Parity { addr, offset, len } => {
+                self.oracle
+                    .as_mut()
+                    .expect("oracle sink")
+                    .applied_parity
+                    .entry(addr)
+                    .or_default()
+                    .insert(offset as u64, offset as u64 + len as u64);
+            }
+        }
+    }
+}
+
+impl Shard<ReplayMsg> for SinkShard {
+    fn next_time(&self) -> Option<SimTime> {
+        None // sinks are purely reactive
+    }
+
+    fn deliver(&mut self, _at: SimTime, _src: usize, msg: ReplayMsg) {
+        // Deliveries arrive in (time, src, seq) order == the core's
+        // emission order; applying immediately reproduces the serial
+        // sequence of record() calls exactly.
+        self.apply(msg);
+    }
+
+    fn run_before(&mut self, _until: SimTime) -> Vec<CrossSend<ReplayMsg>> {
+        Vec::new()
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+/// Worker-thread count for the sharded engine and `run_grid`: the
+/// `TSUE_BENCH_THREADS` override when set (and parseable), otherwise the
+/// machine's available parallelism.
+pub fn replay_threads() -> usize {
+    match std::env::var("TSUE_BENCH_THREADS") {
+        Ok(v) => v.trim().parse().unwrap_or(1).max(1),
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Runs the prepared `(sim, cluster)` pair to completion on `shards`
+/// engine shards and up to `threads` worker threads, then merges the sink
+/// planes back. The returned pair is **byte-for-byte** the state
+/// `sim.run(&mut cl)` would have produced.
+///
+/// `oracle_local` keeps oracle bookkeeping on the core shard; required
+/// when anything reads the oracle mid-run (the defrag policy does).
+pub fn run_sharded(
+    sim: Sim<Cluster>,
+    mut cl: Cluster,
+    shards: usize,
+    threads: usize,
+    oracle_local: bool,
+) -> (Sim<Cluster>, Cluster, RunStats) {
+    assert!(shards >= 2, "run_sharded needs at least one sink shard");
+    let lookahead = cl.cfg.net_rpc_overhead.max(1);
+    if !oracle_local {
+        // The sinks each start from an empty partition; a pre-populated
+        // oracle cannot be split, so offload is only valid from scratch.
+        assert!(
+            cl.oracle.acked.is_empty()
+                && cl.oracle.applied_data.is_empty()
+                && cl.oracle.applied_parity.is_empty(),
+            "oracle offload requires an empty oracle at run start"
+        );
+    }
+    cl.shard_tx = Some(ReplayOutbox::new(shards, oracle_local));
+    let telemetry = Telemetry::take_from(&mut cl);
+
+    let mut engine: ShardedSim<ReplayMsg> =
+        ShardedSim::new(lookahead).with_epoch(lookahead.max(EPOCH_NS));
+    engine.add_shard(Box::new(SimShard::new(sim, cl)));
+    // Shard 1: telemetry (plus the whole oracle when it is the only sink).
+    engine.add_shard(Box::new(SinkShard {
+        telemetry: Some(telemetry),
+        oracle: (!oracle_local && shards == 2).then(Oracle::default),
+        applied: 0,
+    }));
+    for _ in 2..shards {
+        engine.add_shard(Box::new(SinkShard {
+            telemetry: None,
+            oracle: (!oracle_local).then(Oracle::default),
+            applied: 0,
+        }));
+    }
+    engine.run(threads);
+    let stats = engine.stats();
+
+    let mut it = engine.into_shards().into_iter();
+    let core = it
+        .next()
+        .expect("core shard")
+        .into_any()
+        .downcast::<SimShard<Cluster>>()
+        .expect("core is a SimShard<Cluster>");
+    let (sim, mut cl) = core.into_parts();
+    cl.shard_tx = None;
+    for sink in it {
+        let sink = sink.into_any().downcast::<SinkShard>().expect("sink shard");
+        if let Some(t) = sink.telemetry {
+            t.restore_into(&mut cl);
+        }
+        if let Some(o) = sink.oracle {
+            // Oracle partitions are disjoint by stripe, so extending is a
+            // plain union.
+            cl.oracle.acked.extend(o.acked);
+            cl.oracle.applied_data.extend(o.applied_data);
+            cl.oracle.applied_parity.extend(o.applied_parity);
+        }
+    }
+    (sim, cl, stats)
+}

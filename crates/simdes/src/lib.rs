@@ -15,7 +15,10 @@
 //!   direction, a CPU) that converts service demands into completion times
 //!   under contention;
 //! * [`stats`] — counters, windowed time series (for IOPS-over-time plots),
-//!   and log-bucketed histograms with quantiles (for latency tables).
+//!   and log-bucketed histograms with quantiles (for latency tables);
+//! * [`shard`] — the conservative-epoch parallel engine: many `Sim`
+//!   timelines on worker threads, cross-shard envelopes routed at epoch
+//!   barriers in a deterministic `(time, source_shard, seq)` order.
 //!
 //! # Example
 //!
@@ -41,10 +44,12 @@
 #![warn(missing_docs)]
 
 pub mod resource;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 
 pub use resource::Resource;
+pub use shard::{CrossSend, Delivery, RunStats, Shard, ShardWorld, ShardedSim, SimShard};
 pub use sim::{Sim, SimTime};
 
 /// Time-unit constants for the nanosecond-resolution simulation clock.

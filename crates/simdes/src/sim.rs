@@ -6,7 +6,37 @@ use std::collections::BinaryHeap;
 /// Simulation timestamp in nanoseconds since simulation start.
 pub type SimTime = u64;
 
-type Callback<W> = Box<dyn FnOnce(&mut Sim<W>, &mut W)>;
+/// A boxed, owned continuation — the general (capturing) callback shape.
+pub type BoxedCallback<W> = Box<dyn FnOnce(&mut Sim<W>, &mut W) + Send>;
+
+/// A scheduled continuation.
+///
+/// The common case in hot loops is a plain function pointer with at most one
+/// word of state — e.g. "drive client `c`" or "the next open-loop arrival".
+/// Representing those unboxed removes a heap allocation per event, which is
+/// the bulk of the scheduler's per-event overhead; only genuinely capturing
+/// closures pay for a `Box`. `Send` is required throughout so a whole
+/// `Sim` (queue included) can migrate onto a worker thread in the sharded
+/// engine ([`crate::shard`]).
+enum Callback<W> {
+    /// A capturing closure (the general case).
+    Boxed(BoxedCallback<W>),
+    /// A plain function pointer: zero allocation.
+    Fn0(fn(&mut Sim<W>, &mut W)),
+    /// A function pointer plus one word of state: zero allocation.
+    FnU(fn(&mut Sim<W>, &mut W, u64), u64),
+}
+
+impl<W> Callback<W> {
+    #[inline]
+    fn invoke(self, sim: &mut Sim<W>, world: &mut W) {
+        match self {
+            Callback::Boxed(f) => f(sim, world),
+            Callback::Fn0(f) => f(sim, world),
+            Callback::FnU(f, arg) => f(sim, world, arg),
+        }
+    }
+}
 
 struct Event<W> {
     time: SimTime,
@@ -81,10 +111,28 @@ impl<W> Sim<W> {
         self.queue.len()
     }
 
+    /// Timestamp of the earliest pending event, if any.
+    #[inline]
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(ev)| ev.time)
+    }
+
+    #[inline]
+    fn push(&mut self, t: SimTime, cb: Callback<W>) {
+        assert!(
+            t >= self.now,
+            "cannot schedule event at {t} ns, already at {} ns",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { time: t, seq, cb }));
+    }
+
     /// Schedules `cb` to run `delay` nanoseconds from now.
     pub fn schedule<F>(&mut self, delay: SimTime, cb: F)
     where
-        F: FnOnce(&mut Sim<W>, &mut W) + 'static,
+        F: FnOnce(&mut Sim<W>, &mut W) + Send + 'static,
     {
         self.schedule_at(self.now.saturating_add(delay), cb);
     }
@@ -96,20 +144,42 @@ impl<W> Sim<W> {
     /// corrupt causality, so it is rejected loudly.
     pub fn schedule_at<F>(&mut self, t: SimTime, cb: F)
     where
-        F: FnOnce(&mut Sim<W>, &mut W) + 'static,
+        F: FnOnce(&mut Sim<W>, &mut W) + Send + 'static,
     {
-        assert!(
-            t >= self.now,
-            "cannot schedule event at {t} ns, already at {} ns",
-            self.now
-        );
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(Event {
-            time: t,
-            seq,
-            cb: Box::new(cb),
-        }));
+        self.push(t, Callback::Boxed(Box::new(cb)));
+    }
+
+    /// Schedules a plain function pointer `delay` nanoseconds from now,
+    /// without a heap allocation.
+    pub fn schedule_call(&mut self, delay: SimTime, f: fn(&mut Sim<W>, &mut W)) {
+        self.push(self.now.saturating_add(delay), Callback::Fn0(f));
+    }
+
+    /// Schedules a plain function pointer at absolute time `t`, without a
+    /// heap allocation. Panics on past times like [`Sim::schedule_at`].
+    pub fn schedule_call_at(&mut self, t: SimTime, f: fn(&mut Sim<W>, &mut W)) {
+        self.push(t, Callback::Fn0(f));
+    }
+
+    /// Schedules a function pointer carrying one word of state `delay`
+    /// nanoseconds from now, without a heap allocation.
+    pub fn schedule_call_u(&mut self, delay: SimTime, f: fn(&mut Sim<W>, &mut W, u64), arg: u64) {
+        self.push(self.now.saturating_add(delay), Callback::FnU(f, arg));
+    }
+
+    /// Schedules a function pointer carrying one word of state at absolute
+    /// time `t`, without a heap allocation. Panics on past times like
+    /// [`Sim::schedule_at`].
+    pub fn schedule_call_u_at(&mut self, t: SimTime, f: fn(&mut Sim<W>, &mut W, u64), arg: u64) {
+        self.push(t, Callback::FnU(f, arg));
+    }
+
+    /// Schedules an already-boxed continuation `delay` nanoseconds from
+    /// now. Callers holding a `Box<dyn FnOnce ...>` (e.g. a stored waiter
+    /// continuation) use this to avoid re-boxing it inside a wrapper
+    /// closure.
+    pub fn schedule_boxed(&mut self, delay: SimTime, cb: BoxedCallback<W>) {
+        self.push(self.now.saturating_add(delay), Callback::Boxed(cb));
     }
 
     /// Runs until the event queue drains. Returns the final time.
@@ -129,7 +199,27 @@ impl<W> Sim<W> {
             debug_assert!(ev.time >= self.now, "event queue went backwards");
             self.now = ev.time;
             self.executed += 1;
-            (ev.cb)(self, world);
+            ev.cb.invoke(self, world);
+        }
+        self.now
+    }
+
+    /// Runs every event strictly before `until`, leaving the clock at the
+    /// last executed event (it is **not** advanced to `until`). This is the
+    /// epoch-sized slice the sharded engine ([`crate::shard`]) executes
+    /// between barriers: events at exactly `until` belong to the next
+    /// epoch, and the clock must stay put so a cross-shard delivery inside
+    /// `[now, until)` is still schedulable.
+    pub fn run_before(&mut self, world: &mut W, until: SimTime) -> SimTime {
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.time >= until {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            debug_assert!(ev.time >= self.now, "event queue went backwards");
+            self.now = ev.time;
+            self.executed += 1;
+            ev.cb.invoke(self, world);
         }
         self.now
     }
@@ -140,9 +230,10 @@ impl<W> Sim<W> {
         while ran < n {
             match self.queue.pop() {
                 Some(Reverse(ev)) => {
+                    debug_assert!(ev.time >= self.now, "event queue went backwards");
                     self.now = ev.time;
                     self.executed += 1;
-                    (ev.cb)(self, world);
+                    ev.cb.invoke(self, world);
                     ran += 1;
                 }
                 None => break,
@@ -212,6 +303,25 @@ mod tests {
     }
 
     #[test]
+    fn run_before_excludes_the_bound_and_keeps_the_clock() {
+        let mut sim: Sim<u32> = Sim::new();
+        let mut world = 0u32;
+        sim.schedule(10, |_, w: &mut u32| *w += 1);
+        sim.schedule(20, |_, w| *w += 1);
+        sim.schedule(30, |_, w| *w += 1);
+        // Strict bound: the event at exactly 20 must NOT run, and the
+        // clock stays at the last executed event (10), not at 20.
+        sim.run_before(&mut world, 20);
+        assert_eq!(world, 1);
+        assert_eq!(sim.now(), 10);
+        assert_eq!(sim.next_event_time(), Some(20));
+        // A cross-epoch delivery inside [now, until) is still schedulable.
+        sim.schedule_at(15, |_, w| *w += 10);
+        sim.run(&mut world);
+        assert_eq!(world, 13);
+    }
+
+    #[test]
     #[should_panic(expected = "cannot schedule event")]
     fn scheduling_in_past_panics() {
         let mut sim: Sim<()> = Sim::new();
@@ -233,6 +343,44 @@ mod tests {
         assert_eq!(world, 4);
         assert_eq!(sim.step(&mut world, 100), 6);
         assert_eq!(world, 10);
+    }
+
+    #[test]
+    fn step_advances_the_clock_monotonically() {
+        // Regression test for the guard `run_until` always had but `step`
+        // lacked: stepping through a queue must never rewind `now`. (With a
+        // healthy queue it cannot; the debug_assert in `step` now catches a
+        // corrupted one loudly instead of silently rewinding.)
+        let mut sim: Sim<u32> = Sim::new();
+        let mut world = 0u32;
+        sim.schedule(30, |_, w: &mut u32| *w += 1);
+        sim.schedule(10, |_, w| *w += 1);
+        sim.schedule(20, |_, w| *w += 1);
+        let mut last = 0;
+        while sim.step(&mut world, 1) == 1 {
+            assert!(sim.now() >= last, "step rewound the clock");
+            last = sim.now();
+        }
+        assert_eq!(world, 3);
+        assert_eq!(last, 30);
+    }
+
+    #[test]
+    fn unboxed_callbacks_interleave_with_boxed_in_fifo_order() {
+        let mut sim: Sim<Vec<u32>> = Sim::new();
+        let mut world = Vec::new();
+        fn push7(_: &mut Sim<Vec<u32>>, w: &mut Vec<u32>) {
+            w.push(7);
+        }
+        fn push_arg(_: &mut Sim<Vec<u32>>, w: &mut Vec<u32>, arg: u64) {
+            w.push(arg as u32);
+        }
+        sim.schedule(5, |_, w: &mut Vec<u32>| w.push(1));
+        sim.schedule_call(5, push7);
+        sim.schedule_call_u(5, push_arg, 9);
+        sim.schedule_boxed(5, Box::new(|_, w: &mut Vec<u32>| w.push(2)));
+        sim.run(&mut world);
+        assert_eq!(world, vec![1, 7, 9, 2]);
     }
 
     #[test]

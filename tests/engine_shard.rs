@@ -1,0 +1,200 @@
+//! The sharded-engine determinism contract: a replay with `shards >= 2`
+//! must equal the serial replay **byte for byte** — every deterministic
+//! `RunResult` field identical — across all seven update methods, with
+//! non-empty fault *and* maintenance plans armed. This extends the
+//! parallel==serial `run_grid` precedent (`tests/fault_timeline.rs`,
+//! `tests/maintenance.rs`) from across-cell to inside-one-replay
+//! parallelism.
+
+use std::fmt::Write as _;
+
+use ecfs::prelude::*;
+
+fn replay(method: MethodKind, clients: usize, ops: usize) -> ReplayConfig {
+    let code = CodeParams::new(6, 3).unwrap();
+    let mut cluster = ClusterConfig::ssd_testbed(code, method);
+    cluster.clients = clients;
+    let mut r = ReplayConfig::new(cluster, TraceFamily::AliCloud);
+    r.ops_per_client = ops;
+    r.volume_bytes = 32 << 20;
+    r
+}
+
+fn armed_plans(r: &mut ReplayConfig) {
+    r.faults = FaultPlan::new()
+        .fail_node(5 * simdes::units::MILLIS, 2)
+        .with_repair_bandwidth(200 << 20);
+    r.maintenance = MaintenancePlan::new()
+        .with_scrub(ScrubConfig {
+            bytes_per_sec: 8 << 30,
+        })
+        .with_lse(LseConfig {
+            per_device: 4,
+            span_bytes: 8 << 20,
+            ..LseConfig::default()
+        })
+        .with_rebalance(RebalanceConfig::default());
+}
+
+/// Canonical rendering of every *deterministic* `RunResult` field.
+/// Exhaustive destructuring: adding a field to `RunResult` fails this
+/// test's compile until the field is classified here. Only `wall_ms` and
+/// `events_per_sec` (wall-clock measurements) are excluded.
+fn canon(r: &RunResult) -> String {
+    let RunResult {
+        method,
+        completed_updates,
+        completed_reads,
+        completed_writes,
+        duration_s,
+        update_iops,
+        latency_mean_us,
+        latency_p99_us,
+        disk,
+        net_gib,
+        net_cross_rack_gib,
+        net_msgs,
+        erases,
+        series,
+        log_memory_bytes,
+        data_residency,
+        delta_residency,
+        parity_residency,
+        stalls,
+        cache_read_hits,
+        drain_s,
+        oracle_violations,
+        degraded_reads,
+        degraded_bytes_decoded,
+        failed_ops,
+        inline_rebuilds,
+        repaired_blocks,
+        repaired_bytes,
+        data_loss_blocks,
+        net_repair_gib,
+        mttr_s,
+        degraded_p99_us,
+        steady_p99_us,
+        read_p99_us,
+        degraded_read_p99_us,
+        steady_read_p99_us,
+        offered_ops,
+        offered_ops_per_s,
+        goodput_ops_per_s,
+        queue_delay_mean_us,
+        queue_delay_p99_us,
+        peak_queue_depth,
+        saturated,
+        disk_fill_max,
+        disk_fill_min,
+        wear_max_bytes,
+        wear_spread,
+        copysets_used,
+        scrub_gib,
+        lse_injected,
+        lse_found,
+        lse_repaired,
+        maint_migrated_gib,
+        defrag_gib,
+        wear_spread_before,
+        maint_busy_p99_us,
+        maint_idle_p99_us,
+        sim_events,
+        wall_ms: _,
+        events_per_sec: _,
+    } = r;
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{method} u={completed_updates} r={completed_reads} w={completed_writes} \
+         dur={duration_s:?} iops={update_iops:?} lat=({latency_mean_us:?},{latency_p99_us:?}) \
+         disk={disk:?} net=({net_gib:?},{net_cross_rack_gib:?},{net_msgs}) erases={erases} \
+         series={series:?} logmem={log_memory_bytes} \
+         res=({data_residency:?},{delta_residency:?},{parity_residency:?}) \
+         stalls={stalls} cache={cache_read_hits} drain={drain_s:?} viol={oracle_violations} \
+         degr=({degraded_reads},{degraded_bytes_decoded},{failed_ops}) \
+         repair=({inline_rebuilds},{repaired_blocks},{repaired_bytes},{data_loss_blocks},{net_repair_gib:?}) \
+         mttr={mttr_s:?} p99s=({degraded_p99_us:?},{steady_p99_us:?},{read_p99_us:?},\
+         {degraded_read_p99_us:?},{steady_read_p99_us:?}) \
+         open=({offered_ops},{offered_ops_per_s:?},{goodput_ops_per_s:?},{queue_delay_mean_us:?},\
+         {queue_delay_p99_us:?},{peak_queue_depth},{saturated}) \
+         fleet=({disk_fill_max:?},{disk_fill_min:?},{wear_max_bytes},{wear_spread:?},{copysets_used}) \
+         maint=({scrub_gib:?},{lse_injected},{lse_found},{lse_repaired},{maint_migrated_gib:?},\
+         {defrag_gib:?},{wear_spread_before:?},{maint_busy_p99_us:?},{maint_idle_p99_us:?}) \
+         events={sim_events}"
+    );
+    s
+}
+
+fn assert_sharded_matches_serial(mut rcfg: ReplayConfig, shards: usize) {
+    rcfg.shards = 1;
+    rcfg.validate().expect("serial config validates");
+    let serial = run_trace(&rcfg);
+    rcfg.shards = shards;
+    rcfg.validate().expect("sharded config validates");
+    let sharded = run_trace(&rcfg);
+    assert_eq!(
+        canon(&serial),
+        canon(&sharded),
+        "{}: sharded({shards}) diverged from serial",
+        serial.method
+    );
+    assert!(
+        sharded.events_per_sec > 0.0,
+        "engine-speed instrumentation missing"
+    );
+}
+
+/// The headline: all seven methods, faults + maintenance armed, 2 shards.
+#[test]
+fn sharded_equals_serial_all_methods_with_plans_armed() {
+    for method in MethodKind::ALL {
+        let mut rcfg = replay(method, 3, 100);
+        armed_plans(&mut rcfg);
+        assert_sharded_matches_serial(rcfg, 2);
+    }
+}
+
+/// Wider fan-out: 4 shards partitions the oracle across two sinks.
+#[test]
+fn sharded_equals_serial_at_four_shards() {
+    for method in [MethodKind::Fo, MethodKind::Tsue] {
+        let mut rcfg = replay(method, 3, 100);
+        armed_plans(&mut rcfg);
+        assert_sharded_matches_serial(rcfg, 4);
+    }
+}
+
+/// Defrag reads the oracle mid-run, which forces the oracle to stay on
+/// the core shard (`oracle_local`): the colocated path must be just as
+/// byte-exact.
+#[test]
+fn sharded_equals_serial_with_defrag_colocation() {
+    let mut rcfg = replay(MethodKind::Tsue, 3, 100);
+    armed_plans(&mut rcfg);
+    rcfg.maintenance = rcfg
+        .maintenance
+        .clone()
+        .with_defrag(DefragConfig::default());
+    assert_sharded_matches_serial(rcfg, 4);
+}
+
+/// The open-loop path (the load_sweep cell shape): arrival events, the
+/// admission window, and saturation accounting all survive sharding.
+#[test]
+fn sharded_equals_serial_open_loop() {
+    let mut rcfg = replay(MethodKind::Tsue, 6, 100);
+    rcfg.workload = Workload::Open(OpenLoopSpec::poisson(64_000.0).with_window(4));
+    rcfg.faults = FaultPlan::new().fail_node(5 * simdes::units::MILLIS, 2);
+    assert_sharded_matches_serial(rcfg, 4);
+}
+
+/// `shards = 1` is the serial loop itself — the degenerate case is free.
+#[test]
+fn one_shard_is_serial() {
+    let mut rcfg = replay(MethodKind::Pl, 3, 80);
+    rcfg.shards = 1;
+    let a = run_trace(&rcfg);
+    let b = run_trace(&rcfg);
+    assert_eq!(canon(&a), canon(&b));
+}
