@@ -10,9 +10,9 @@ use tsue_bench::{fig5_codes, kfmt, print_table, run_grid, ssd_replay, FIG5_METHO
 
 fn main() {
     let clients = if tsue_bench::full_scale() {
-        vec![4usize, 8, 16, 32, 64]
+        vec![4u64, 8, 16, 32, 64]
     } else {
-        vec![4usize, 16, 64]
+        vec![4u64, 16, 64]
     };
     let mut subplot = b'a';
     for &(k, m) in &fig5_codes() {

@@ -18,7 +18,7 @@
 
 use ecfs::prelude::*;
 use traces::TraceFamily;
-use tsue_bench::{kfmt, print_table, run_grid, ssd_replay, BenchReport};
+use tsue_bench::{kfmt, knee_index, print_table, run_grid, ssd_replay, BenchReport};
 
 /// The swept aggregate arrival rates (ops/s). Chosen to bracket every
 /// method's knee at the default scale: the slowest method saturates well
@@ -109,7 +109,9 @@ fn main() {
         &rows,
     );
 
-    // The knee: lowest offered rate whose goodput falls >10 % short.
+    // The knee: lowest offered rate whose saturation is *durable* (the
+    // next rung is saturated too — `knee_index` hysteresis filters a
+    // one-rung queue-depth blip from a real capacity cliff).
     println!();
     let mut knees = Vec::new();
     for method in methods {
@@ -119,7 +121,8 @@ fn main() {
             .filter(|((m, _), _)| *m == method)
             .map(|((_, rate), res)| (*rate, res))
             .collect();
-        let knee = cells.iter().find(|(_, res)| res.saturated);
+        let sat_flags: Vec<bool> = cells.iter().map(|(_, res)| res.saturated).collect();
+        let knee = knee_index(&sat_flags).map(|i| &cells[i]);
         let (knee_rate, knee_res) = knee.unwrap_or_else(|| {
             panic!(
                 "{} never saturated: raise the top swept rate",

@@ -1,4 +1,4 @@
-//! The bench regression gate: re-reads the six sweeps' machine-readable
+//! The bench regression gate: re-reads the seven sweeps' machine-readable
 //! reports (`BENCH_<sweep>.json`) and asserts the shape invariants the
 //! repository's findings rest on. Runs as the final bench-smoke step in
 //! CI, so a perf or behaviour regression **fails the workflow** instead of
@@ -25,6 +25,13 @@
 //!    and shard-scaling findings are present and positive, and — across
 //!    **every** report — each row carries a positive `events_per_sec`,
 //!    so no sweep silently drops the engine-speed cells.
+//! 7. `scale_sweep`: the open-loop runtime stays O(active) as the client
+//!    population grows 1 k → 1 M — peak active clients track the window
+//!    math (bounded, nowhere near the population), resident client-state
+//!    bytes at the largest population stay within 2x of the smallest,
+//!    replay speed stays within a bounded factor across the whole ramp,
+//!    and the TSUE >= FO knee ranking survives at every population with
+//!    both methods' knees non-decreasing as the cluster scales up.
 //!
 //! Usage: `bench_gate [report-dir]` (default: `TSUE_BENCH_REPORT_DIR` or
 //! `target/bench-report`). Exits non-zero listing every violated
@@ -103,6 +110,7 @@ fn main() {
         "hetero_sweep",
         "maint_sweep",
         "engine_sweep",
+        "scale_sweep",
     ] {
         match load_report(&dir, sweep) {
             Ok(doc) => reports.push((sweep, doc)),
@@ -310,7 +318,107 @@ fn main() {
         }
     }
 
-    // 7. Every report, every row: the engine-speed cells are present and
+    // 7. Scale sweep: the million-client trajectory holds flat. The
+    // population list is read off the rows, so the gate follows whatever
+    // grid the sweep ran (smoke's 1 k → 50 k or the full 1 k → 1 M ramp).
+    if let Some(scale) = get("scale_sweep") {
+        println!("\nscale_sweep:");
+        let scale_rows = rows(scale, "scale_sweep", &mut gate);
+        let mut pops: Vec<u64> = scale_rows
+            .iter()
+            .filter_map(|row| row.get("population").and_then(|v| v.as_f64()))
+            .map(|p| p as u64)
+            .collect();
+        pops.sort_unstable();
+        pops.dedup();
+        gate.check(
+            pops.len() >= 2,
+            &format!("scale_sweep ramps the population ({} sizes)", pops.len()),
+        );
+        if let (Some(&min_pop), Some(&max_pop)) = (pops.first(), pops.last()) {
+            // O(active): the peak of concurrently-active clients tracks
+            // the arrival/window math, not the id space — growing the
+            // population by orders of magnitude must not grow it past a
+            // small factor, and it must stay nowhere near the population.
+            let peak_min = gate.finding(scale, &format!("active_peak_{min_pop}"));
+            let peak_max = gate.finding(scale, &format!("active_peak_{max_pop}"));
+            gate.check_cmp(
+                &[peak_min, peak_max],
+                peak_max <= (4.0 * peak_min).max(64.0),
+                &format!(
+                    "peak active clients track window math, not population \
+                     ({peak_max:.0} at {max_pop} vs {peak_min:.0} at {min_pop})"
+                ),
+            );
+            gate.check_cmp(
+                &[peak_max],
+                peak_max * 100.0 <= max_pop as f64,
+                &format!(
+                    "peak active clients ({peak_max:.0}) stay far below the \
+                     {max_pop}-client population"
+                ),
+            );
+            // Resident client state is O(active), so the largest
+            // population costs what the smallest does.
+            let bytes_min = gate.finding(scale, &format!("state_bytes_{min_pop}"));
+            let bytes_max = gate.finding(scale, &format!("state_bytes_{max_pop}"));
+            gate.check_cmp(
+                &[bytes_min, bytes_max],
+                bytes_max <= 2.0 * bytes_min,
+                &format!(
+                    "client state at {max_pop} clients ({bytes_max:.0} B) within \
+                     2x of {min_pop} clients ({bytes_min:.0} B)"
+                ),
+            );
+            // Replay speed must not collapse with the id space. This is a
+            // wall-clock measurement, so the bound is deliberately loose
+            // (the largest cell also runs a 6x bigger cluster): a factor
+            // 4 catches an O(population) regression — the eager runtime
+            // was ~1000x here — without flaking on runner noise.
+            let evps_min = gate.finding(scale, &format!("events_per_sec_{min_pop}"));
+            let evps_max = gate.finding(scale, &format!("events_per_sec_{max_pop}"));
+            gate.check_cmp(
+                &[evps_min, evps_max],
+                evps_max * 4.0 >= evps_min,
+                &format!(
+                    "replay speed at {max_pop} clients ({evps_max:.0} ev/s) within \
+                     4x of {min_pop} clients ({evps_min:.0} ev/s)"
+                ),
+            );
+            // Setup is streamed, not materialised: the finding just has
+            // to exist and be finite — `finding()` fails the gate if the
+            // sweep stops reporting it.
+            let _ = gate.finding(scale, &format!("setup_ms_{max_pop}"));
+            // The load_sweep ranking claim survives every population, and
+            // both methods' knees grow (or hold) as the cluster scales.
+            let mut prev: Option<(f64, f64)> = None;
+            for &pop in &pops {
+                let tsue = gate.finding(scale, &format!("knee_rate_TSUE_{pop}"));
+                let fo = gate.finding(scale, &format!("knee_rate_FO_{pop}"));
+                gate.check_cmp(
+                    &[tsue, fo],
+                    tsue >= fo,
+                    &format!(
+                        "TSUE saturates no earlier than FO at {pop} clients \
+                         ({tsue:.0} vs {fo:.0} ops/s)"
+                    ),
+                );
+                if let Some((ptsue, pfo)) = prev {
+                    gate.check_cmp(
+                        &[tsue, ptsue, fo, pfo],
+                        tsue >= ptsue && fo >= pfo,
+                        &format!(
+                            "knees non-decreasing up to {pop} clients \
+                             (TSUE {ptsue:.0} -> {tsue:.0}, FO {pfo:.0} -> {fo:.0})"
+                        ),
+                    );
+                }
+                prev = Some((tsue, fo));
+            }
+        }
+    }
+
+    // 8. Every report, every row: the engine-speed cells are present and
     // positive — a sweep that stops carrying `events_per_sec` breaks the
     // speed trajectory even if its own findings still hold.
     println!("\nengine cells across all reports:");

@@ -116,7 +116,7 @@ pub fn ssd_replay(
     m: usize,
     method: MethodKind,
     family: TraceFamily,
-    clients: usize,
+    clients: u64,
 ) -> ReplayConfig {
     let code = CodeParams::new(k, m).expect("valid code");
     let mut cluster = ClusterConfig::ssd_testbed(code, method);
@@ -133,7 +133,7 @@ pub fn hdd_replay(
     m: usize,
     method: MethodKind,
     family: TraceFamily,
-    clients: usize,
+    clients: u64,
 ) -> ReplayConfig {
     let code = CodeParams::new(k, m).expect("valid code");
     let mut cluster = ClusterConfig::hdd_testbed(code, method);
@@ -146,6 +146,20 @@ pub fn hdd_replay(
     r.ops_per_client = ops_per_client() / 4;
     r.volume_bytes = 128 << 20;
     r
+}
+
+/// Saturation-knee index with hysteresis over a rate-ordered sweep.
+///
+/// A single saturated rung surrounded by unsaturated ones is treated as
+/// noise (a queue-depth spike from one unlucky arrival burst, not a
+/// capacity cliff): the knee is the first saturated rung whose *successor*
+/// is also saturated. A saturated final rung qualifies on its own — there
+/// is no successor left to confirm it, and sweeps are expected to end past
+/// the knee.
+///
+/// Returns `None` when the sweep never (durably) saturates.
+pub fn knee_index(saturated: &[bool]) -> Option<usize> {
+    (0..saturated.len()).find(|&i| saturated[i] && saturated.get(i + 1).copied().unwrap_or(true))
 }
 
 /// Renders a markdown-ish table.
@@ -241,6 +255,23 @@ mod tests {
     fn kfmt_formats() {
         assert_eq!(kfmt(950.0), "950");
         assert_eq!(kfmt(25_400.0), "25.4k");
+    }
+
+    #[test]
+    fn knee_hysteresis() {
+        // Never saturates.
+        assert_eq!(knee_index(&[false, false, false]), None);
+        assert_eq!(knee_index(&[]), None);
+        // Clean knee: saturated from rung 2 on.
+        assert_eq!(knee_index(&[false, false, true, true]), Some(2));
+        // An isolated blip is skipped; the durable knee comes later.
+        assert_eq!(knee_index(&[false, true, false, true, true]), Some(3));
+        // A saturated last rung counts alone (nothing left to confirm it).
+        assert_eq!(knee_index(&[false, false, true]), Some(2));
+        assert_eq!(knee_index(&[false, true, false, true]), Some(3));
+        assert_eq!(knee_index(&[true]), Some(0));
+        // A lone mid-sweep blip with no durable knee after it is noise.
+        assert_eq!(knee_index(&[false, true, false, false]), None);
     }
 
     #[test]

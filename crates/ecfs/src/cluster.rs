@@ -115,6 +115,10 @@ pub struct Metrics {
     /// active — the availability-SLO split: read p99 *inside* degraded
     /// windows vs steady state.
     pub read_latency_samples: Option<SampleLog>,
+    /// Wall-clock milliseconds the replay engine spent building the
+    /// cluster and installing the workload. Nondeterministic (the one
+    /// wall-clock field in here); excluded from equality comparisons.
+    pub setup_ms: f64,
 }
 
 impl Default for Metrics {
@@ -137,43 +141,118 @@ impl Default for Metrics {
             latency_samples: None,
             read_latency: Histogram::new(),
             read_latency_samples: None,
+            setup_ms: 0.0,
         }
     }
 }
 
+/// Where an open-loop replay pulls its next offered op from.
+///
+/// The replay engine consumes ops one at a time (pull-one-ahead), so a
+/// synthetic schedule never has to be materialised: the `Lazy` variant
+/// wraps a [`workload::ArrivalSource`] iterator whose resident state is
+/// O(distinct touched clients), not O(offered ops). Imported traces
+/// ([`workload::TimedStream`]) arrive pre-materialised and stream out of
+/// the `Stream` variant by cursor.
+#[derive(Debug, Clone)]
+pub enum OpSource {
+    /// A lazy synthetic arrival schedule (generated op by op). Boxed:
+    /// the generator (alias tables, RNG streams, per-client cursors) is
+    /// an order of magnitude larger than the `Stream` cursor.
+    Lazy(Box<workload::ArrivalSource>),
+    /// A pre-materialised op list (imported traces, compat paths).
+    Stream {
+        /// The time-sorted ops.
+        ops: Vec<workload::TimedOp>,
+        /// Cursor of the next op to offer.
+        next: usize,
+    },
+}
+
+impl OpSource {
+    /// Pulls the next offered op, `None` when the schedule is exhausted.
+    pub fn next_op(&mut self) -> Option<workload::TimedOp> {
+        match self {
+            OpSource::Lazy(src) => src.next(),
+            OpSource::Stream { ops, next } => {
+                let t = ops.get(*next).copied();
+                *next += 1;
+                t
+            }
+        }
+    }
+
+    /// Resident bytes held by the source itself (generator tables and
+    /// per-client cursors for `Lazy`, the whole op vector for `Stream`).
+    pub fn state_bytes(&self) -> u64 {
+        match self {
+            OpSource::Lazy(src) => src.state_bytes(),
+            OpSource::Stream { ops, .. } => {
+                (ops.capacity() * std::mem::size_of::<workload::TimedOp>()) as u64
+            }
+        }
+    }
+}
+
+/// Open-loop window state for one *active* client: a client with at least
+/// one op outstanding or admitted. Inactive clients hold no state at all.
+#[derive(Debug, Clone, Default)]
+pub struct ClientWindow {
+    /// Ops currently outstanding (bounded by the window).
+    pub outstanding: usize,
+    /// Arrival times of admitted-but-not-yet-issued ops.
+    pub admission: std::collections::VecDeque<SimTime>,
+}
+
 /// Runtime state of an open-loop replay: the bounded per-client
-/// outstanding-op window, the admission queues behind it, and the
+/// outstanding-op windows, the admission queues behind them, and the
 /// offered-load accounting the saturation metrics are harvested from.
 /// `None` on the (default) closed-loop path.
+///
+/// State is **sparse**: windows are keyed by client id, materialised on a
+/// client's first arrival and retired when its window drains, so resident
+/// cost scales with the number of *concurrently active* clients — a
+/// million-client population at a fixed offered rate costs the same as a
+/// thousand-client one.
 #[derive(Debug, Clone)]
 pub struct OpenLoopRt {
     /// Maximum ops a client keeps outstanding.
     pub window: usize,
-    /// Ops currently outstanding per client.
-    pub outstanding: Vec<usize>,
-    /// Arrival times of admitted-but-not-yet-issued ops per client.
-    pub admission: Vec<std::collections::VecDeque<SimTime>>,
+    /// Configured client population (ids are drawn from `0..population`).
+    pub population: u64,
+    /// Window state of currently active clients, keyed by client id.
+    pub active: std::collections::HashMap<u64, ClientWindow>,
+    /// Concurrently active clients (current + peak).
+    pub active_clients: Gauge,
     /// Admission-queue delay per op (0 for ops issued on arrival).
     pub queue_delay: Histogram,
     /// Total ops waiting in admission queues (current + peak).
     pub queue_depth: Gauge,
-    /// Ops the schedule offered.
+    /// Ops offered so far (accumulated as arrivals are delivered).
     pub offered: u64,
-    /// Arrival time of the last scheduled op (the offered-rate horizon).
+    /// Arrival time of the latest offered op (the offered-rate horizon).
     pub horizon: SimTime,
+    /// The remaining arrival schedule.
+    pub source: OpSource,
+    /// The next op, pulled from the source but not yet delivered (its
+    /// delivery event is on the calendar).
+    pub pending: Option<workload::TimedOp>,
 }
 
 impl OpenLoopRt {
-    /// Fresh state for `clients` clients.
-    pub fn new(clients: usize, window: usize, offered: u64, horizon: SimTime) -> OpenLoopRt {
+    /// Fresh state over a `population`-client id space, consuming `source`.
+    pub fn new(population: u64, window: usize, source: OpSource) -> OpenLoopRt {
         OpenLoopRt {
             window,
-            outstanding: vec![0; clients],
-            admission: vec![std::collections::VecDeque::new(); clients],
+            population,
+            active: std::collections::HashMap::new(),
+            active_clients: Gauge::new(),
             queue_delay: Histogram::new(),
             queue_depth: Gauge::new(),
-            offered,
-            horizon,
+            offered: 0,
+            horizon: 0,
+            source,
+            pending: None,
         }
     }
 }
@@ -254,11 +333,15 @@ pub struct Cluster {
     pub oracle: Oracle,
     /// Client driver installed by the replay engine: called to issue the
     /// client's next op after a completion.
-    pub client_driver: Option<fn(&mut Sim<Cluster>, &mut Cluster, usize)>,
+    pub client_driver: Option<fn(&mut Sim<Cluster>, &mut Cluster, u64)>,
     /// Reverse map from compact stripe keys to `(volume, stripe)`.
     pub stripe_names: std::collections::HashMap<u64, (u32, u64)>,
-    /// Per-client op queues installed by the replay engine.
-    pub client_ops: Vec<std::collections::VecDeque<(u64, u32, traces::OpKind)>>,
+    /// Per-client op queues installed by the replay engine, keyed by
+    /// client id. Sparse: an entry exists only while the client has queued
+    /// op content, and is removed when drained — at million-client scale
+    /// the map never grows past the concurrently active set.
+    pub client_ops:
+        std::collections::HashMap<u64, std::collections::VecDeque<(u64, u32, traces::OpKind)>>,
     /// Scheduled-but-not-yet-executed log-forwarding events (drain guard).
     pub forwards_in_flight: u64,
     /// Open-loop runtime state (window, admission queues, offered-load
@@ -321,7 +404,7 @@ impl Cluster {
             oracle: Oracle::default(),
             client_driver: None,
             stripe_names: std::collections::HashMap::new(),
-            client_ops: Vec::new(),
+            client_ops: std::collections::HashMap::new(),
             forwards_in_flight: 0,
             open_loop: None,
             faults: FaultState::default(),
@@ -388,10 +471,10 @@ impl Cluster {
         if self.client_driver.is_some() {
             fn call_driver(sim: &mut Sim<Cluster>, cl: &mut Cluster, client: u64) {
                 if let Some(driver) = cl.client_driver {
-                    driver(sim, cl, client as usize);
+                    driver(sim, cl, client);
                 }
             }
-            sim.schedule_call_u_at(done_at.max(sim.now()), call_driver, ctx.client as u64);
+            sim.schedule_call_u_at(done_at.max(sim.now()), call_driver, ctx.client);
         }
     }
 

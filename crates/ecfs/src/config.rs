@@ -179,13 +179,23 @@ impl TsueFeatures {
     }
 }
 
+/// Cap on distinct client *network endpoints*: the fabric's traffic
+/// matrix is O(endpoints²), so populations beyond this share endpoint
+/// slots round-robin ([`ClusterConfig::client_endpoint`]). Populations at
+/// or below the cap keep the exact 1:1 client→endpoint mapping of before.
+pub const MAX_CLIENT_ENDPOINTS: usize = 1024;
+
 /// Full cluster configuration.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Number of OSD nodes.
     pub nodes: usize,
-    /// Number of closed-loop client streams.
-    pub clients: usize,
+    /// Number of client streams. A plain `u64`: populations are never
+    /// indexed densely — runtime state is sparse (O(active), see
+    /// `ecfs::replay`) and network endpoints come from a bounded slot
+    /// pool ([`MAX_CLIENT_ENDPOINTS`]), so a million clients is a valid
+    /// setting, not a million-element allocation.
+    pub clients: u64,
     /// RS(k, m) shape.
     pub code: CodeParams,
     /// Bytes per EC block.
@@ -324,14 +334,21 @@ impl ClusterConfig {
         }
     }
 
-    /// Network endpoint ids: OSDs are `0..nodes`, clients follow.
-    pub fn endpoints(&self) -> usize {
-        self.nodes + self.clients
+    /// Distinct client endpoint slots: one per client up to
+    /// [`MAX_CLIENT_ENDPOINTS`], shared round-robin beyond it.
+    pub fn client_slots(&self) -> usize {
+        self.clients.min(MAX_CLIENT_ENDPOINTS as u64) as usize
     }
 
-    /// Endpoint id of client `c`.
-    pub fn client_endpoint(&self, c: usize) -> usize {
-        self.nodes + c
+    /// Network endpoint ids: OSDs are `0..nodes`, client slots follow.
+    pub fn endpoints(&self) -> usize {
+        self.nodes + self.client_slots()
+    }
+
+    /// Endpoint id of client `c` (its slot in the bounded endpoint pool;
+    /// 1:1 while `clients <= MAX_CLIENT_ENDPOINTS`).
+    pub fn client_endpoint(&self, c: u64) -> usize {
+        self.nodes + (c % self.client_slots() as u64) as usize
     }
 
     /// The OSD side of the topology: nodes split into contiguous racks,
@@ -344,17 +361,18 @@ impl ClusterConfig {
         RackMap::contiguous(self.nodes, self.racks).with_node_weights(weights)
     }
 
-    /// The rack hosting client `c` (clients round-robin over racks).
-    pub fn client_rack(&self, c: usize) -> usize {
-        c % self.racks
+    /// The rack hosting client `c` (endpoint slots round-robin over
+    /// racks; the rack follows the client's slot).
+    pub fn client_rack(&self, c: u64) -> usize {
+        (c % self.client_slots() as u64) as usize % self.racks
     }
 
     /// The full fabric topology: OSD racks from [`Self::rack_map`], client
-    /// endpoints round-robin over the same racks.
+    /// endpoint slots round-robin over the same racks.
     pub fn topology(&self) -> simnet::Topology {
         let rm = self.rack_map();
         let mut rack_of: Vec<usize> = (0..self.nodes).map(|n| rm.rack_of(n)).collect();
-        rack_of.extend((0..self.clients).map(|c| self.client_rack(c)));
+        rack_of.extend((0..self.client_slots()).map(|s| s % self.racks));
         simnet::Topology::racked(rack_of, self.oversubscription)
     }
 
@@ -442,7 +460,7 @@ pub struct ClusterConfigBuilder {
     code: Option<CodeParams>,
     method: Option<MethodChoice>,
     nodes: Option<usize>,
-    clients: Option<usize>,
+    clients: Option<u64>,
     block_bytes: Option<u64>,
     fleet: Option<DiskFleet>,
     net_bandwidth: Option<u64>,
@@ -482,8 +500,8 @@ impl ClusterConfigBuilder {
         code: CodeParams,
         /// Number of OSD nodes.
         nodes: usize,
-        /// Number of closed-loop client streams.
-        clients: usize,
+        /// Number of client streams.
+        clients: u64,
         /// Bytes per EC block.
         block_bytes: u64,
         /// Network fabric bandwidth in bytes/s.

@@ -27,8 +27,23 @@ pub struct BlockAddr {
 
 impl BlockAddr {
     /// A compact u64 key (for log-pool hashing).
+    ///
+    /// Layout: volume low 16 bits at 48..64, stripe at 8..48, index at
+    /// 0..8 — and the volume's *high* 16 bits folded into bits 28..44,
+    /// which keeps the key bit-identical to the legacy packing for
+    /// volumes below 65 536 (every pinned golden) while staying injective
+    /// for the full 32-bit volume space (million-client populations, one
+    /// volume per client) as long as `stripe < 2^20` (≥ 24 TiB per volume
+    /// at 6 × 4 MiB stripes). The legacy packing simply shifted the whole
+    /// volume to bit 48 and silently aliased clients beyond 65 535.
     pub fn key(&self) -> u64 {
-        (self.volume as u64) << 48 ^ self.stripe << 8 ^ self.index as u64
+        let v = self.volume as u64;
+        debug_assert!(
+            v < 1 << 16 || self.stripe < 1 << 20,
+            "stripe beyond the injective key range for wide volume ids"
+        );
+        debug_assert!(self.index < 1 << 8, "index beyond 8-bit key space");
+        (v & 0xffff) << 48 ^ (v >> 16) << 28 ^ self.stripe << 8 ^ self.index as u64
     }
 
     /// Whether this is a data block under the given code.
@@ -38,7 +53,12 @@ impl BlockAddr {
 }
 
 /// A stripe-global identifier (volume + stripe) used by delta/parity keys.
+/// 24 bits of volume (16 M clients) above 40 bits of stripe — unlike
+/// [`BlockAddr::key`], this packing already covers million-client
+/// populations without aliasing.
 pub fn stripe_key(volume: u32, stripe: u64) -> u64 {
+    debug_assert!((volume as u64) < 1 << 24, "volume beyond 24-bit key space");
+    debug_assert!(stripe < 1 << 40, "stripe beyond 40-bit key space");
     (volume as u64) << 40 ^ stripe
 }
 

@@ -89,7 +89,7 @@ impl NodeLogState for PlainState {}
 #[derive(Debug, Clone, Copy)]
 pub struct UpdateCtx {
     /// Issuing client.
-    pub client: usize,
+    pub client: u64,
     /// The block range being updated.
     pub slice: BlockSlice,
     /// Issue time — the latency anchor: client-observed latency is always
@@ -108,7 +108,7 @@ pub struct UpdateCtx {
 
 impl UpdateCtx {
     /// A driving op issued (and startable) at `now`.
-    pub fn new(client: usize, slice: BlockSlice, now: SimTime) -> UpdateCtx {
+    pub fn new(client: u64, slice: BlockSlice, now: SimTime) -> UpdateCtx {
         UpdateCtx {
             client,
             slice,

@@ -9,7 +9,7 @@ use std::collections::VecDeque;
 use traces::{OpKind, TraceFamily, WorkloadGen, WorkloadParams};
 use workload::{OpenLoopSpec, TimedStream};
 
-use crate::cluster::{Cluster, OpenLoopRt};
+use crate::cluster::{Cluster, OpSource, OpenLoopRt};
 use crate::config::ClusterConfig;
 use crate::fault::FaultPlan;
 use crate::maintenance::{self, MaintenancePlan};
@@ -61,6 +61,13 @@ pub struct ReplayConfig {
     pub family: TraceFamily,
     /// Operations each client issues.
     pub ops_per_client: usize,
+    /// Total ops an open-loop spec offers. `None` (the default) offers
+    /// `clients × ops_per_client`, matching the closed loop's volume.
+    /// `Some(n)` decouples the offered-op count from the population — the
+    /// scale sweep holds `n` fixed while growing clients to a million, so
+    /// runtime cost tracks the offered load, not the id space. Ignored on
+    /// the closed-loop and timed paths.
+    pub total_ops: Option<u64>,
     /// Logical volume size per client.
     pub volume_bytes: u64,
     /// Base RNG seed (client `c` uses `seed + c`).
@@ -90,6 +97,7 @@ impl ReplayConfig {
             cluster,
             family,
             ops_per_client: 2_000,
+            total_ops: None,
             volume_bytes: 256 << 20,
             seed: 0x7565_7374,
             faults: FaultPlan::default(),
@@ -129,6 +137,9 @@ impl ReplayConfig {
         if self.ops_per_client == 0 {
             return Err("ops_per_client must be positive".into());
         }
+        if self.total_ops == Some(0) {
+            return Err("total_ops must be positive when set".into());
+        }
         // The workload generator needs at least 16 slots of 4 KiB.
         if self.volume_bytes < 16 * 4096 {
             return Err(crate::config::ConfigError(format!(
@@ -167,6 +178,28 @@ impl ReplayConfigBuilder {
     /// Operations each client issues.
     pub fn ops_per_client(mut self, ops: usize) -> Self {
         self.inner.ops_per_client = ops;
+        self
+    }
+
+    /// Total ops an open-loop spec offers, decoupled from the population
+    /// (see [`ReplayConfig::total_ops`]).
+    ///
+    /// ```
+    /// use ecfs::prelude::*;
+    ///
+    /// let cluster = ClusterConfig::ssd_testbed(
+    ///     CodeParams::new(6, 3).unwrap(),
+    ///     MethodKind::Tsue,
+    /// );
+    /// let rcfg = ReplayConfig::builder(cluster, TraceFamily::AliCloud)
+    ///     .workload(Workload::Open(OpenLoopSpec::poisson(20_000.0)))
+    ///     .total_ops(5_000)
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(rcfg.total_ops, Some(5_000));
+    /// ```
+    pub fn total_ops(mut self, ops: u64) -> Self {
+        self.inner.total_ops = Some(ops);
         self
     }
 
@@ -393,8 +426,24 @@ pub struct RunResult {
     pub peak_queue_depth: u64,
     /// Whether the offered load exceeded sustainable throughput: goodput
     /// fell below [`SATURATION_GOODPUT_RATIO`] of the offered rate *and*
-    /// the admission queues backed up past one full window population.
+    /// the admission queues backed up past one full window of the peak
+    /// active set.
     pub saturated: bool,
+    /// Peak number of concurrently *active* open-loop clients — clients
+    /// holding at least one op outstanding or admitted. Tracks the window
+    /// math (offered rate × service time), not the configured population:
+    /// a million-client run at a fixed offered rate peaks at the same
+    /// active set as a thousand-client one. 0 on the closed-loop path.
+    pub active_clients_peak: u64,
+    /// Resident bytes of per-client open-loop runtime state at peak,
+    /// counted from measured peaks × exact struct sizes (sparse window
+    /// maps plus queued-op content). O(active clients), not
+    /// O(population). 0 on the closed-loop path.
+    pub client_state_bytes: u64,
+    /// Resident bytes held by the workload source itself: lazy generator
+    /// state scales with *distinct touched* clients; a pre-materialised
+    /// timed stream holds all its ops. 0 on the closed-loop path.
+    pub workload_state_bytes: u64,
     /// Highest per-disk fill fraction (block bytes placed / capacity) —
     /// the disk that would run out of space first. On a heterogeneous
     /// fleet this is what capacity-weighted placement exists to flatten.
@@ -438,12 +487,16 @@ pub struct RunResult {
     /// Simulation events executed by the (core) event loop — identical
     /// between serial and sharded runs of the same cell.
     pub sim_events: u64,
-    /// Wall-clock milliseconds the replay took (build → harvest). The one
-    /// nondeterministic field, along with [`Self::events_per_sec`] —
-    /// equality tests must exclude both.
+    /// Wall-clock milliseconds the replay took (build → harvest).
+    /// Nondeterministic, along with [`Self::events_per_sec`] and
+    /// [`Self::setup_ms`] — equality tests must exclude all three.
     pub wall_ms: f64,
     /// Engine speed: simulation events per wall-clock second.
     pub events_per_sec: f64,
+    /// Wall-clock milliseconds spent building the cluster and installing
+    /// the workload, before the first event ran. The scale sweep's
+    /// setup-cost axis. Nondeterministic like [`Self::wall_ms`].
+    pub setup_ms: f64,
 }
 
 impl RunResult {
@@ -457,7 +510,7 @@ impl RunResult {
     }
 }
 
-fn client_next(sim: &mut Sim<Cluster>, cl: &mut Cluster, client: usize) {
+fn client_next(sim: &mut Sim<Cluster>, cl: &mut Cluster, client: u64) {
     issue_next_op(sim, cl, client, sim.now());
 }
 
@@ -465,10 +518,18 @@ fn client_next(sim: &mut Sim<Cluster>, cl: &mut Cluster, client: usize) {
 /// client-observed latency: on the closed loop it is always `sim.now()`;
 /// on the open loop it is the op's *arrival* time, so admission-queue
 /// delay lands in the latency the client sees.
-fn issue_next_op(sim: &mut Sim<Cluster>, cl: &mut Cluster, client: usize, issued_at: SimTime) {
-    let Some((offset, len, kind)) = cl.client_ops[client].pop_front() else {
+fn issue_next_op(sim: &mut Sim<Cluster>, cl: &mut Cluster, client: u64, issued_at: SimTime) {
+    let Some(queue) = cl.client_ops.get_mut(&client) else {
         return; // this client is done
     };
+    let Some((offset, len, kind)) = queue.pop_front() else {
+        return; // this client is done
+    };
+    if queue.is_empty() {
+        // Sparse invariant: drained queues leave the map, so resident
+        // op-content state never exceeds the concurrently active set.
+        cl.client_ops.remove(&client);
+    }
     let now = sim.now();
     let slices = cl.layout.slices(client as u32, offset, len);
     // Multi-block ops are issued as their first slice only for latency
@@ -508,60 +569,94 @@ fn issue_next_op(sim: &mut Sim<Cluster>, cl: &mut Cluster, client: usize, issued
     }
 }
 
-/// One op's scheduled arrival on the open loop: issue immediately while
-/// the client's outstanding window has room, otherwise wait in the
-/// admission queue (the wait is the measured queue delay).
-fn open_loop_arrive(sim: &mut Sim<Cluster>, cl: &mut Cluster, client: usize) {
+/// One op's delivery on the open loop: account it as offered, pull the
+/// *next* op from the source (scheduling its delivery — the calendar holds
+/// at most one future arrival at a time), then admit this op — issue
+/// immediately while the client's outstanding window has room, otherwise
+/// wait in the admission queue (the wait is the measured queue delay).
+/// Window state is materialised here, on a client's first arrival.
+fn open_loop_deliver(sim: &mut Sim<Cluster>, cl: &mut Cluster, _u: u64) {
     let now = sim.now();
     let ol = cl.open_loop.as_mut().expect("open-loop replay state");
-    if ol.outstanding[client] < ol.window {
-        ol.outstanding[client] += 1;
+    let t = ol
+        .pending
+        .take()
+        .expect("delivery event fired without a pending op");
+    ol.offered += 1;
+    ol.horizon = ol.horizon.max(t.op.at_ns);
+    if let Some(next) = ol.source.next_op() {
+        let at = next.op.at_ns;
+        ol.pending = Some(next);
+        sim.schedule_call_u_at(at, open_loop_deliver, 0);
+    }
+    let client = t.client;
+    if !ol.active.contains_key(&client) {
+        ol.active_clients.inc();
+    }
+    let window = ol.window;
+    let cw = ol.active.entry(client).or_default();
+    // Window room implies an empty admission queue (admissions only grow
+    // while the window is full, and completions drain them first), so an
+    // immediately-issued op always issues its own content.
+    let admit = cw.outstanding < window;
+    if admit {
+        cw.outstanding += 1;
         ol.queue_delay.record(0);
-        issue_next_op(sim, cl, client, now);
     } else {
-        ol.admission[client].push_back(now);
+        cw.admission.push_back(now);
         ol.queue_depth.inc();
+    }
+    cl.client_ops
+        .entry(client)
+        .or_default()
+        .push_back((t.op.offset, t.op.len, t.op.kind));
+    if admit {
+        issue_next_op(sim, cl, client, now);
     }
 }
 
 /// Completion driver on the open loop: admit the client's oldest queued
 /// arrival (charging its queue delay), or shrink the outstanding count
-/// when the queue is empty.
-fn open_loop_next(sim: &mut Sim<Cluster>, cl: &mut Cluster, client: usize) {
+/// when the queue is empty — retiring the client's window state entirely
+/// once it drains, which is what keeps the runtime O(active clients).
+fn open_loop_next(sim: &mut Sim<Cluster>, cl: &mut Cluster, client: u64) {
     let now = sim.now();
     let ol = cl.open_loop.as_mut().expect("open-loop replay state");
-    match ol.admission[client].pop_front() {
+    let Some(cw) = ol.active.get_mut(&client) else {
+        return; // already retired (defensive: mirrors the old saturating_sub)
+    };
+    match cw.admission.pop_front() {
         Some(arrived) => {
             ol.queue_depth.dec();
             ol.queue_delay.record(now.saturating_sub(arrived));
             issue_next_op(sim, cl, client, arrived);
         }
-        None => ol.outstanding[client] = ol.outstanding[client].saturating_sub(1),
+        None => {
+            cw.outstanding = cw.outstanding.saturating_sub(1);
+            if cw.outstanding == 0 {
+                ol.active.remove(&client);
+                ol.active_clients.dec();
+            }
+        }
     }
 }
 
-/// Installs a timed stream into the cluster: per-client op content in
-/// arrival order, one scheduled arrival event per op, the open-loop
-/// completion driver, and the window/queue state.
-fn install_stream(sim: &mut Sim<Cluster>, cl: &mut Cluster, stream: &TimedStream, window: usize) {
-    let clients = cl.cfg.clients;
-    cl.client_ops = vec![VecDeque::new(); clients];
-    fn arrive(sim: &mut Sim<Cluster>, cl: &mut Cluster, client: u64) {
-        open_loop_arrive(sim, cl, client as usize);
-    }
-    for t in stream.ops() {
-        cl.client_ops[t.client].push_back((t.op.offset, t.op.len, t.op.kind));
-        // One arrival event per offered op: the unboxed scheduling path
-        // keeps this, the largest up-front allocation burst, heap-free.
-        sim.schedule_call_u_at(t.op.at_ns, arrive, t.client as u64);
-    }
+/// Installs an open-loop op source into the cluster: the completion
+/// driver, the sparse window/queue state, and the *first* delivery event.
+/// Deliveries then self-schedule (pull one ahead), so neither the event
+/// calendar nor the cluster ever materialises the schedule — resident
+/// state is O(concurrently active clients) regardless of population or
+/// schedule length.
+fn install_source(sim: &mut Sim<Cluster>, cl: &mut Cluster, source: OpSource, window: usize) {
+    cl.client_ops = std::collections::HashMap::new();
     cl.client_driver = Some(open_loop_next);
-    cl.open_loop = Some(OpenLoopRt::new(
-        clients,
-        window,
-        stream.len() as u64,
-        stream.horizon_ns(),
-    ));
+    let mut ol = OpenLoopRt::new(cl.cfg.clients, window, source);
+    if let Some(first) = ol.source.next_op() {
+        let at = first.op.at_ns;
+        ol.pending = Some(first);
+        sim.schedule_call_u_at(at, open_loop_deliver, 0);
+    }
+    cl.open_loop = Some(ol);
 }
 
 /// Runs only the update phase: builds the cluster, offers every client's
@@ -570,38 +665,49 @@ fn install_stream(sim: &mut Sim<Cluster>, cl: &mut Cluster, stream: &TimedStream
 /// live `(sim, cluster)` pair *without draining logs* — the starting
 /// state for recovery experiments (Fig. 8b fails a node exactly here).
 pub fn run_update_phase(rcfg: &ReplayConfig) -> (Sim<Cluster>, Cluster) {
+    let setup_start = std::time::Instant::now();
     let mut cl = Cluster::new(rcfg.cluster.clone());
     let mut sim: Sim<Cluster> = Sim::new();
 
     match &rcfg.workload {
         Workload::ClosedLoop => {
             // Generate each client's op stream up front (deterministic).
+            // The closed loop is inherently O(population): every client
+            // issues continuously, so there is no sparse win to chase.
             for c in 0..rcfg.cluster.clients {
                 let params = WorkloadParams::for_family(rcfg.family, rcfg.volume_bytes);
-                let mut gen = WorkloadGen::new(params, rcfg.seed + c as u64);
+                let mut gen = WorkloadGen::new(params, rcfg.seed + c);
                 let ops: VecDeque<(u64, u32, OpKind)> = gen
                     .take_ops(rcfg.ops_per_client)
                     .into_iter()
                     .map(|op| (op.offset, op.len, op.kind))
                     .collect();
-                cl.client_ops.push(ops);
+                cl.client_ops.insert(c, ops);
             }
             cl.client_driver = Some(client_next);
         }
         Workload::Open(spec) => {
             // Same per-client content seeding as the closed loop, so an
-            // unsaturated open-loop run replays statistically the same ops.
+            // unsaturated open-loop run replays statistically the same ops
+            // — but pulled lazily: nothing is materialised up front.
             let params = WorkloadParams::for_family(rcfg.family, rcfg.volume_bytes);
-            let stream = spec.materialize(
-                &params,
-                rcfg.cluster.clients,
-                rcfg.cluster.clients * rcfg.ops_per_client,
-                rcfg.seed,
+            let total = rcfg
+                .total_ops
+                .unwrap_or(rcfg.cluster.clients * rcfg.ops_per_client as u64);
+            let source = spec.source(&params, rcfg.cluster.clients, total, rcfg.seed);
+            install_source(
+                &mut sim,
+                &mut cl,
+                OpSource::Lazy(Box::new(source)),
+                spec.window,
             );
-            install_stream(&mut sim, &mut cl, &stream, spec.window);
         }
         Workload::Timed { stream, window } => {
-            install_stream(&mut sim, &mut cl, stream, *window);
+            let source = OpSource::Stream {
+                ops: stream.ops().to_vec(),
+                next: 0,
+            };
+            install_source(&mut sim, &mut cl, source, *window);
         }
     }
 
@@ -643,13 +749,14 @@ pub fn run_update_phase(rcfg: &ReplayConfig) -> (Sim<Cluster>, Cluster) {
     // in between. (Open-loop arrivals carry their own schedule.)
     if rcfg.workload.is_closed_loop() {
         fn kick(sim: &mut Sim<Cluster>, cl: &mut Cluster, client: u64) {
-            client_next(sim, cl, client as usize);
+            client_next(sim, cl, client);
         }
         for c in 0..rcfg.cluster.clients {
-            let stagger = (c as u64).wrapping_mul(137) % 4096 * simdes::units::MICROS / 8;
-            sim.schedule_call_u(stagger, kick, c as u64);
+            let stagger = c.wrapping_mul(137) % 4096 * simdes::units::MICROS / 8;
+            sim.schedule_call_u(stagger, kick, c);
         }
     }
+    cl.metrics.setup_ms = setup_start.elapsed().as_secs_f64() * 1_000.0;
     if rcfg.shards >= 2 {
         // The sharded engine: bookkeeping offloads to sink shards, the
         // causal core replays the identical event stream. Results are
@@ -743,6 +850,9 @@ pub fn run_trace(rcfg: &ReplayConfig) -> RunResult {
         queue_delay_p99_us,
         peak_queue_depth,
         backlogged,
+        active_clients_peak,
+        client_state_bytes,
+        workload_state_bytes,
     ) = match &cl.open_loop {
         Some(ol) => {
             let horizon_s = simdes::units::as_secs_f64(ol.horizon);
@@ -751,10 +861,24 @@ pub fn run_trace(rcfg: &ReplayConfig) -> RunResult {
             } else {
                 0.0
             };
+            let active_peak = ol.active_clients.peak();
             // "Backed up": at some point the admission queues held at
-            // least one full window population — more waiting than the
-            // cluster is even allowed to have in flight.
-            let backlogged = ol.queue_depth.peak() >= (ol.window * ol.outstanding.len()) as u64;
+            // least one full window of the peak active set — more waiting
+            // than the clients actually competing were even allowed to
+            // have in flight. Keyed to the *active* set, not the
+            // population, so the signature survives million-client id
+            // spaces where most clients never arrive.
+            let backlogged = ol.queue_depth.peak() >= (ol.window as u64) * active_peak.max(1);
+            // Runtime client state at peak, from measured peaks × exact
+            // struct sizes: every active client holds one window entry
+            // and one op-queue entry; every queued arrival holds one
+            // admission timestamp and one op-content tuple.
+            let per_client = (std::mem::size_of::<u64>() * 2
+                + std::mem::size_of::<crate::cluster::ClientWindow>()
+                + std::mem::size_of::<VecDeque<(u64, u32, OpKind)>>())
+                as u64;
+            let per_queued =
+                (std::mem::size_of::<SimTime>() + std::mem::size_of::<(u64, u32, OpKind)>()) as u64;
             (
                 ol.offered,
                 rate,
@@ -762,9 +886,12 @@ pub fn run_trace(rcfg: &ReplayConfig) -> RunResult {
                 ol.queue_delay.quantile(0.99) as f64 / 1_000.0,
                 ol.queue_depth.peak(),
                 backlogged,
+                active_peak,
+                active_peak * per_client + ol.queue_depth.peak() * per_queued,
+                ol.source.state_bytes(),
             )
         }
-        None => (0, 0.0, 0.0, 0.0, 0, false),
+        None => (0, 0.0, 0.0, 0.0, 0, false, 0, 0, 0),
     };
     // Both conditions guard against finite-run artefacts: a short stream's
     // completion tail depresses the goodput ratio without any queueing, and
@@ -870,6 +997,9 @@ pub fn run_trace(rcfg: &ReplayConfig) -> RunResult {
         queue_delay_p99_us,
         peak_queue_depth,
         saturated,
+        active_clients_peak,
+        client_state_bytes,
+        workload_state_bytes,
         disk_fill_max,
         disk_fill_min,
         wear_max_bytes,
@@ -887,6 +1017,7 @@ pub fn run_trace(rcfg: &ReplayConfig) -> RunResult {
         sim_events,
         wall_ms,
         events_per_sec,
+        setup_ms: cl.metrics.setup_ms,
     }
 }
 

@@ -138,8 +138,8 @@ pub fn read_csv<R: Read>(r: R) -> Result<Vec<TraceOp>, TraceIoError> {
 /// separates independent slot spaces (devices, clients); adapters over a
 /// single space pass 0.
 pub fn classify_write(
-    written: &mut std::collections::HashSet<(u32, u64)>,
-    stream: u32,
+    written: &mut std::collections::HashSet<(u64, u64)>,
+    stream: u64,
     offset: u64,
     len: u32,
 ) -> OpKind {

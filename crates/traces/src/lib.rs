@@ -29,7 +29,7 @@ pub mod workload;
 pub mod zipf;
 
 pub use workload::{ArrivalModel, TraceFamily, WorkloadGen, WorkloadParams};
-pub use zipf::Zipf;
+pub use zipf::{AliasZipf, Zipf};
 
 /// Request type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

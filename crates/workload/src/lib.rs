@@ -33,15 +33,15 @@
 
 pub mod arrival;
 pub mod skew;
+pub mod source;
 pub mod stream;
 
 pub use arrival::{ArrivalGen, BaseProcess, RateCurve};
 pub use skew::{ClientPicker, ClientSkew, OffsetSkew};
+pub use source::ArrivalSource;
 pub use stream::{TimedOp, TimedStream};
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use traces::{WorkloadGen, WorkloadParams};
+use traces::WorkloadParams;
 
 /// A complete open-loop load specification: arrival process × client skew
 /// × offset skew × per-client concurrency window.
@@ -126,11 +126,12 @@ impl OpenLoopSpec {
         Ok(())
     }
 
-    /// Materialises the spec into a [`TimedStream`] of `total_ops`
-    /// arrivals over `clients` clients.
+    /// Builds a lazy [`ArrivalSource`] yielding `total_ops` arrivals over
+    /// `clients` clients — the O(active-memory) path the replay engine
+    /// pulls from one op at a time.
     ///
     /// Deterministic in `(spec, base, clients, total_ops, seed)`. Op
-    /// *content* comes from one [`WorkloadGen`] per client seeded
+    /// *content* comes from one `traces::WorkloadGen` per client seeded
     /// `seed + client` — the same seeding the closed-loop replay uses, so
     /// an open-loop run at low rate replays statistically the same ops as
     /// its closed-loop twin. Arrival times and client picks come from
@@ -139,36 +140,31 @@ impl OpenLoopSpec {
     ///
     /// # Panics
     /// Panics if the spec or `base` fail validation, or `clients == 0`.
+    pub fn source(
+        &self,
+        base: &WorkloadParams,
+        clients: u64,
+        total_ops: u64,
+        seed: u64,
+    ) -> ArrivalSource {
+        ArrivalSource::new(self, base, clients, total_ops, seed)
+    }
+
+    /// Materialises the spec into a [`TimedStream`] of `total_ops`
+    /// arrivals — the eager compat path: exactly
+    /// [`Self::source`]`.collect()`, byte-identical op for op (pinned by
+    /// the `lazy_equals_eager_*` tests), at O(total_ops) memory.
+    ///
+    /// # Panics
+    /// Panics if the spec or `base` fail validation, or `clients == 0`.
     pub fn materialize(
         &self,
         base: &WorkloadParams,
-        clients: usize,
-        total_ops: usize,
+        clients: u64,
+        total_ops: u64,
         seed: u64,
     ) -> TimedStream {
-        self.validate().expect("invalid open-loop spec");
-        assert!(clients > 0, "open-loop load needs at least one client");
-        let mut params = base.clone();
-        self.offset_skew.apply(&mut params);
-        let mut gens: Vec<WorkloadGen> = (0..clients)
-            .map(|c| WorkloadGen::new(params.clone(), seed.wrapping_add(c as u64)))
-            .collect();
-        let mut arrivals = ArrivalGen::new(
-            self.process,
-            self.rate.clone(),
-            seed ^ 0x6172_7269_7661_6c73, // "arrivals"
-        );
-        let picker = ClientPicker::new(self.client_skew, clients);
-        let mut pick_rng = StdRng::seed_from_u64(seed ^ 0x636c_6965_6e74_7321); // "clients!"
-        let mut ops = Vec::with_capacity(total_ops);
-        for _ in 0..total_ops {
-            let at_ns = arrivals.next_ns();
-            let client = picker.pick(&mut pick_rng);
-            let mut op = gens[client].next().expect("generator is infinite");
-            op.at_ns = at_ns;
-            ops.push(TimedOp { client, op });
-        }
-        TimedStream::new(ops)
+        TimedStream::new(self.source(base, clients, total_ops, seed).collect())
     }
 }
 
@@ -234,7 +230,7 @@ mod tests {
         let s = spec.materialize(&base(), 16, 8000, 3);
         let mut counts = [0usize; 16];
         for t in s.ops() {
-            counts[t.client] += 1;
+            counts[t.client as usize] += 1;
         }
         let hottest = *counts.iter().max().unwrap();
         assert!(
@@ -243,6 +239,100 @@ mod tests {
         );
         // Client 0 is the Zipf head.
         assert_eq!(counts[0], hottest);
+    }
+
+    #[test]
+    fn lazy_equals_eager_across_all_specs() {
+        // The tentpole invariant: the lazy ArrivalSource yields the exact
+        // op sequence the eager materialize path builds — byte for byte —
+        // for every BaseProcess × RateCurve × ClientSkew × OffsetSkew
+        // combination. (materialize() itself now collects the source, so
+        // this pins the iterator against an independently-driven copy:
+        // per-item pulls with interleaved state inspection.)
+        let processes = [BaseProcess::Poisson, BaseProcess::Periodic];
+        let rates = [
+            RateCurve::Constant {
+                ops_per_s: 40_000.0,
+            },
+            RateCurve::OnOff {
+                on_ops_per_s: 80_000.0,
+                off_ops_per_s: 0.0,
+                period_ns: 2_000_000,
+                duty: 0.3,
+            },
+            RateCurve::Diurnal {
+                peak_ops_per_s: 60_000.0,
+                trough_ops_per_s: 10_000.0,
+                period_ns: 4_000_000,
+            },
+        ];
+        let client_skews = [
+            ClientSkew::Uniform,
+            ClientSkew::Zipf { theta: 0.9 },
+            ClientSkew::HotSpot {
+                hot_fraction: 0.1,
+                hot_share: 0.8,
+            },
+        ];
+        let offset_skews = [
+            OffsetSkew::Family,
+            OffsetSkew::HotRange {
+                hot_fraction: 0.05,
+                access_fraction: 0.95,
+            },
+            OffsetSkew::Uniform,
+        ];
+        for process in processes {
+            for rate in &rates {
+                for cs in client_skews {
+                    for os in offset_skews {
+                        let spec = OpenLoopSpec::poisson(1.0)
+                            .with_process(process)
+                            .with_rate(rate.clone())
+                            .with_client_skew(cs)
+                            .with_offset_skew(os);
+                        let eager = spec.materialize(&base(), 32, 400, 99);
+                        let mut source = spec.source(&base(), 32, 400, 99);
+                        assert_eq!(source.remaining(), 400);
+                        let lazy: Vec<TimedOp> = source.by_ref().collect();
+                        assert_eq!(
+                            eager.ops(),
+                            lazy.as_slice(),
+                            "lazy != eager for {process:?} × {rate:?} × {cs:?} × {os:?}"
+                        );
+                        assert_eq!(source.remaining(), 0);
+                        assert!(source.next().is_none(), "source must be exhausted");
+                        // Generators exist only for clients that issued ops.
+                        let touched: std::collections::HashSet<u64> =
+                            lazy.iter().map(|t| t.client).collect();
+                        assert_eq!(source.touched_clients(), touched.len() as u64);
+                        assert!(source.state_bytes() > 0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn source_scales_setup_to_touched_clients_not_population() {
+        // A million-client spec must stand up instantly and hold state for
+        // the handful of clients that actually issued ops.
+        let spec =
+            OpenLoopSpec::poisson(50_000.0).with_client_skew(ClientSkew::Zipf { theta: 0.9 });
+        let mut source = spec.source(&base(), 1_000_000, 500, 7);
+        let ops: Vec<TimedOp> = source.by_ref().collect();
+        assert_eq!(ops.len(), 500);
+        assert!(source.touched_clients() <= 500);
+        assert!(
+            source.touched_clients() < 1_000_000 / 100,
+            "touched {} clients — state is not O(active)",
+            source.touched_clients()
+        );
+        // Tail clients past the alias head must still be reachable.
+        assert!(
+            ops.iter().any(|t| t.client >= 1024),
+            "no tail client ever picked"
+        );
     }
 
     #[test]

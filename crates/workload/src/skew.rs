@@ -8,7 +8,7 @@
 //! top of the trace family's own hot-set parameters).
 
 use rand::Rng;
-use traces::{WorkloadParams, Zipf};
+use traces::{AliasZipf, WorkloadParams};
 
 /// How the issuing client is drawn for each arrival.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,11 +59,16 @@ impl ClientSkew {
 }
 
 /// A prepared per-arrival client sampler for a fixed population size.
+///
+/// Setup is O(min(clients, 1024)) and each draw O(1) for every skew: the
+/// Zipf variant samples through a `traces::AliasZipf` table, so a
+/// million-client population costs the same per arrival as a ten-client
+/// one.
 #[derive(Debug, Clone)]
 pub struct ClientPicker {
     skew: ClientSkew,
-    clients: usize,
-    zipf: Option<Zipf>,
+    clients: u64,
+    zipf: Option<AliasZipf>,
 }
 
 impl ClientPicker {
@@ -71,11 +76,11 @@ impl ClientPicker {
     ///
     /// # Panics
     /// Panics if the skew fails validation or `clients == 0`.
-    pub fn new(skew: ClientSkew, clients: usize) -> ClientPicker {
+    pub fn new(skew: ClientSkew, clients: u64) -> ClientPicker {
         skew.validate().expect("invalid client skew");
         assert!(clients > 0, "picker over empty client population");
         let zipf = match skew {
-            ClientSkew::Zipf { theta } => Some(Zipf::new(clients as u64, theta)),
+            ClientSkew::Zipf { theta } => Some(AliasZipf::new(clients, theta)),
             _ => None,
         };
         ClientPicker {
@@ -86,22 +91,20 @@ impl ClientPicker {
     }
 
     /// Draws the issuing client for one arrival.
-    pub fn pick<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+    pub fn pick<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         match self.skew {
-            ClientSkew::Uniform => rng.random_range(0..self.clients as u64) as usize,
-            ClientSkew::Zipf { .. } => {
-                self.zipf.as_ref().expect("built with zipf").sample(rng) as usize
-            }
+            ClientSkew::Uniform => rng.random_range(0..self.clients),
+            ClientSkew::Zipf { .. } => self.zipf.as_ref().expect("built with zipf").sample(rng),
             ClientSkew::HotSpot {
                 hot_fraction,
                 hot_share,
             } => {
                 let hot_n =
-                    ((self.clients as f64 * hot_fraction).ceil() as usize).clamp(1, self.clients);
+                    ((self.clients as f64 * hot_fraction).ceil() as u64).clamp(1, self.clients);
                 if rng.random::<f64>() < hot_share {
-                    rng.random_range(0..hot_n as u64) as usize
+                    rng.random_range(0..hot_n)
                 } else {
-                    rng.random_range(0..self.clients as u64) as usize
+                    rng.random_range(0..self.clients)
                 }
             }
         }
@@ -206,12 +209,12 @@ mod tests {
         .is_err());
     }
 
-    fn shares(skew: ClientSkew, clients: usize, draws: usize) -> Vec<usize> {
+    fn shares(skew: ClientSkew, clients: u64, draws: usize) -> Vec<usize> {
         let picker = ClientPicker::new(skew, clients);
         let mut rng = StdRng::seed_from_u64(17);
-        let mut counts = vec![0usize; clients];
+        let mut counts = vec![0usize; clients as usize];
         for _ in 0..draws {
-            counts[picker.pick(&mut rng)] += 1;
+            counts[picker.pick(&mut rng) as usize] += 1;
         }
         counts
     }

@@ -1,0 +1,132 @@
+//! Lazy arrival generation: the O(active) alternative to materialising a
+//! whole [`TimedStream`](crate::TimedStream) up front.
+//!
+//! [`ArrivalSource`] is an iterator producing the **byte-identical** op
+//! sequence `OpenLoopSpec::materialize` would build (same seeds, same
+//! draws, same order — pinned by `lazy_equals_eager_*` tests), but with
+//! memory proportional to the *touched* client set instead of the
+//! population: per-client content generators are created on a client's
+//! first pick and nothing is ever pre-allocated per client. Combined with
+//! the alias-table Zipf picker (`traces::AliasZipf`, O(min(n, 1024))
+//! setup), a `clients: 1_000_000` spec costs a few KiB to stand up and
+//! then O(1) per arrival.
+//!
+//! Laziness is sound because the eager path already used one independent
+//! seeded RNG per concern: each client's `WorkloadGen` consumes only its
+//! own `seed + client` stream, arrival times their own salted stream, and
+//! client picks a third — so deferring a generator's construction to first
+//! use cannot perturb any other draw.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use traces::{WorkloadGen, WorkloadParams};
+
+use crate::arrival::ArrivalGen;
+use crate::skew::ClientPicker;
+use crate::stream::TimedOp;
+use crate::OpenLoopSpec;
+
+/// A lazy, infinite-capable source of timed ops for one open-loop spec.
+///
+/// Yields exactly `total_ops` [`TimedOp`]s with strictly increasing
+/// `op.at_ns`. Holds one [`WorkloadGen`] per client *touched so far* —
+/// the only state that scales, reported by [`Self::state_bytes`].
+#[derive(Debug, Clone)]
+pub struct ArrivalSource {
+    params: WorkloadParams,
+    seed: u64,
+    /// Per-client content generators, created on first pick.
+    gens: HashMap<u64, WorkloadGen>,
+    arrivals: ArrivalGen,
+    picker: ClientPicker,
+    pick_rng: StdRng,
+    remaining: u64,
+}
+
+impl ArrivalSource {
+    /// Builds the source; see `OpenLoopSpec::source` for the public entry.
+    ///
+    /// # Panics
+    /// Panics if the spec or `base` fail validation, or `clients == 0`.
+    pub(crate) fn new(
+        spec: &OpenLoopSpec,
+        base: &WorkloadParams,
+        clients: u64,
+        total_ops: u64,
+        seed: u64,
+    ) -> ArrivalSource {
+        spec.validate().expect("invalid open-loop spec");
+        assert!(clients > 0, "open-loop load needs at least one client");
+        let mut params = base.clone();
+        spec.offset_skew.apply(&mut params);
+        ArrivalSource {
+            params,
+            seed,
+            gens: HashMap::new(),
+            arrivals: ArrivalGen::new(
+                spec.process,
+                spec.rate.clone(),
+                seed ^ 0x6172_7269_7661_6c73, // "arrivals"
+            ),
+            picker: ClientPicker::new(spec.client_skew, clients),
+            pick_rng: StdRng::seed_from_u64(seed ^ 0x636c_6965_6e74_7321), // "clients!"
+            remaining: total_ops,
+        }
+    }
+
+    /// Ops not yet yielded.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Distinct clients that have issued at least one op so far — the
+    /// quantity the generator's memory actually scales with.
+    pub fn touched_clients(&self) -> u64 {
+        self.gens.len() as u64
+    }
+
+    /// Heap bytes currently held by the per-client generator map, counted
+    /// from live capacities and exact struct sizes (not population math).
+    pub fn state_bytes(&self) -> u64 {
+        let per_entry = size_of::<u64>() + size_of::<WorkloadGen>();
+        let map = self.gens.capacity() * per_entry;
+        let heap: usize = self
+            .gens
+            .values()
+            .map(|g| {
+                g.params().name.capacity()
+                    + g.params().size_dist.capacity() * size_of::<(u32, f64)>()
+            })
+            .sum();
+        (map + heap) as u64
+    }
+}
+
+impl Iterator for ArrivalSource {
+    type Item = TimedOp;
+
+    fn next(&mut self) -> Option<TimedOp> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let at_ns = self.arrivals.next_ns();
+        let client = self.picker.pick(&mut self.pick_rng);
+        let params = &self.params;
+        let seed = self.seed;
+        let gen = self
+            .gens
+            .entry(client)
+            .or_insert_with(|| WorkloadGen::new(params.clone(), seed.wrapping_add(client)));
+        let mut op = gen.next().expect("generator is infinite");
+        op.at_ns = at_ns;
+        Some(TimedOp { client, op })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining as usize;
+        (n, Some(n))
+    }
+}

@@ -17,8 +17,9 @@ use traces::{OpKind, TraceOp};
 /// One offered op: the arrival schedule lives in `op.at_ns`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimedOp {
-    /// The issuing client.
-    pub client: usize,
+    /// The issuing client (u64: populations can exceed `usize` indexing
+    /// conventions — sparse runtimes key on the id, never index by it).
+    pub client: u64,
     /// The op, with `at_ns` as its absolute arrival time.
     pub op: TraceOp,
 }
@@ -45,7 +46,7 @@ impl TimedStream {
 
     /// All ops issued by one client, timestamps taken from the ops
     /// themselves (e.g. straight out of `msr_to_ops`/`ali_to_ops`).
-    pub fn single_client(client: usize, ops: Vec<TraceOp>) -> TimedStream {
+    pub fn single_client(client: u64, ops: Vec<TraceOp>) -> TimedStream {
         Self::new(ops.into_iter().map(|op| TimedOp { client, op }).collect())
     }
 
@@ -54,13 +55,13 @@ impl TimedStream {
     ///
     /// # Panics
     /// Panics if `clients == 0`.
-    pub fn round_robin(clients: usize, ops: Vec<TraceOp>) -> TimedStream {
+    pub fn round_robin(clients: u64, ops: Vec<TraceOp>) -> TimedStream {
         assert!(clients > 0, "round_robin over zero clients");
         Self::new(
             ops.into_iter()
                 .enumerate()
                 .map(|(i, op)| TimedOp {
-                    client: i % clients,
+                    client: i as u64 % clients,
                     op,
                 })
                 .collect(),
@@ -117,7 +118,7 @@ impl TimedStream {
     pub fn fit_to_volume(mut self, volume_bytes: u64) -> TimedStream {
         assert!(volume_bytes >= SLOT, "volume below one slot");
         let total_slots = volume_bytes / SLOT;
-        let mut written: HashSet<(u32, u64)> = HashSet::new();
+        let mut written: HashSet<(u64, u64)> = HashSet::new();
         for t in &mut self.ops {
             let len = t.op.len.max(1) as u64;
             let len_slots = len.div_ceil(SLOT);
@@ -133,12 +134,8 @@ impl TimedStream {
             let slot = ((t.op.offset / SLOT) % total_slots).min(max_start);
             t.op.offset = slot * SLOT;
             if t.op.kind != OpKind::Read {
-                t.op.kind = traces::io::classify_write(
-                    &mut written,
-                    t.client as u32,
-                    t.op.offset,
-                    t.op.len,
-                );
+                t.op.kind =
+                    traces::io::classify_write(&mut written, t.client, t.op.offset, t.op.len);
             }
         }
         self
@@ -147,7 +144,7 @@ impl TimedStream {
     /// Validates the stream against the replay population and volume:
     /// sorted arrivals, known clients, positive lengths, ops inside the
     /// volume.
-    pub fn validate(&self, clients: usize, volume_bytes: u64) -> Result<(), String> {
+    pub fn validate(&self, clients: u64, volume_bytes: u64) -> Result<(), String> {
         if self.ops.is_empty() {
             return Err("timed stream is empty".into());
         }

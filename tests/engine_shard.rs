@@ -10,7 +10,7 @@ use std::fmt::Write as _;
 
 use ecfs::prelude::*;
 
-fn replay(method: MethodKind, clients: usize, ops: usize) -> ReplayConfig {
+fn replay(method: MethodKind, clients: u64, ops: usize) -> ReplayConfig {
     let code = CodeParams::new(6, 3).unwrap();
     let mut cluster = ClusterConfig::ssd_testbed(code, method);
     cluster.clients = clients;
@@ -38,8 +38,9 @@ fn armed_plans(r: &mut ReplayConfig) {
 
 /// Canonical rendering of every *deterministic* `RunResult` field.
 /// Exhaustive destructuring: adding a field to `RunResult` fails this
-/// test's compile until the field is classified here. Only `wall_ms` and
-/// `events_per_sec` (wall-clock measurements) are excluded.
+/// test's compile until the field is classified here. Only `wall_ms`,
+/// `events_per_sec`, and `setup_ms` (wall-clock measurements) are
+/// excluded.
 fn canon(r: &RunResult) -> String {
     let RunResult {
         method,
@@ -85,6 +86,9 @@ fn canon(r: &RunResult) -> String {
         queue_delay_p99_us,
         peak_queue_depth,
         saturated,
+        active_clients_peak,
+        client_state_bytes,
+        workload_state_bytes,
         disk_fill_max,
         disk_fill_min,
         wear_max_bytes,
@@ -102,6 +106,7 @@ fn canon(r: &RunResult) -> String {
         sim_events,
         wall_ms: _,
         events_per_sec: _,
+        setup_ms: _,
     } = r;
     let mut s = String::new();
     let _ = write!(
@@ -118,6 +123,7 @@ fn canon(r: &RunResult) -> String {
          {degraded_read_p99_us:?},{steady_read_p99_us:?}) \
          open=({offered_ops},{offered_ops_per_s:?},{goodput_ops_per_s:?},{queue_delay_mean_us:?},\
          {queue_delay_p99_us:?},{peak_queue_depth},{saturated}) \
+         scale=({active_clients_peak},{client_state_bytes},{workload_state_bytes}) \
          fleet=({disk_fill_max:?},{disk_fill_min:?},{wear_max_bytes},{wear_spread:?},{copysets_used}) \
          maint=({scrub_gib:?},{lse_injected},{lse_found},{lse_repaired},{maint_migrated_gib:?},\
          {defrag_gib:?},{wear_spread_before:?},{maint_busy_p99_us:?},{maint_idle_p99_us:?}) \

@@ -4,7 +4,7 @@
 
 use ecfs::prelude::*;
 
-fn replay(method: MethodKind, clients: usize, ops: usize) -> ReplayConfig {
+fn replay(method: MethodKind, clients: u64, ops: usize) -> ReplayConfig {
     let code = CodeParams::new(6, 3).unwrap();
     let mut cluster = ClusterConfig::ssd_testbed(code, method);
     cluster.clients = clients;
@@ -14,7 +14,7 @@ fn replay(method: MethodKind, clients: usize, ops: usize) -> ReplayConfig {
     r
 }
 
-fn racked_replay(method: MethodKind, clients: usize, ops: usize) -> ReplayConfig {
+fn racked_replay(method: MethodKind, clients: u64, ops: usize) -> ReplayConfig {
     let mut r = replay(method, clients, ops);
     r.cluster.racks = 4;
     r.cluster.oversubscription = 2.0;

@@ -6,7 +6,7 @@ use rscode::{ReedSolomon, Stripe};
 use traces::workload::MsrVolume;
 use tsue::engine::{EngineConfig, TsueEngine};
 
-fn replay(method: MethodKind, family: TraceFamily, clients: usize) -> ReplayConfig {
+fn replay(method: MethodKind, family: TraceFamily, clients: u64) -> ReplayConfig {
     let code = CodeParams::new(6, 3).unwrap();
     let mut cluster = ClusterConfig::ssd_testbed(code, method);
     cluster.clients = clients;

@@ -6,7 +6,7 @@
 
 use ecfs::prelude::*;
 
-fn replay(method: MethodKind, clients: usize, ops: usize) -> ReplayConfig {
+fn replay(method: MethodKind, clients: u64, ops: usize) -> ReplayConfig {
     let code = CodeParams::new(6, 3).unwrap();
     let mut cluster = ClusterConfig::ssd_testbed(code, method);
     cluster.clients = clients;
@@ -16,7 +16,7 @@ fn replay(method: MethodKind, clients: usize, ops: usize) -> ReplayConfig {
     r
 }
 
-fn tiered_replay(method: MethodKind, clients: usize, ops: usize) -> ReplayConfig {
+fn tiered_replay(method: MethodKind, clients: u64, ops: usize) -> ReplayConfig {
     let mut r = replay(method, clients, ops);
     r.cluster.fleet = DiskFleet::tiered(8, 8);
     r

@@ -3,7 +3,7 @@
 
 use ecfs::prelude::*;
 
-fn replay(method: MethodKind, clients: usize, ops: usize) -> ReplayConfig {
+fn replay(method: MethodKind, clients: u64, ops: usize) -> ReplayConfig {
     let code = CodeParams::new(6, 3).unwrap();
     let mut cluster = ClusterConfig::ssd_testbed(code, method);
     cluster.clients = clients;
