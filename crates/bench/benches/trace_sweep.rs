@@ -1,0 +1,138 @@
+//! Trace sweep: runs every Fig. 5 method with tracing armed and reports
+//! where each method's update latency goes, stage by stage.
+//!
+//! This is Fig. 7's decomposition regenerated from the tracing layer
+//! instead of bespoke counters: each method replays the same AliCloud
+//! smoke cell with [`TraceConfig::on`], and the sweep tabulates the
+//! per-stage rollup (`RunResult::stage_breakdown`), checks that the
+//! stage spans account for the measured latency, and exports the TSUE
+//! trace both ways — `BENCH_trace.json` (Chrome Trace Event Format,
+//! loads in Perfetto; CI validates it with `trace_dump --check`) and
+//! `BENCH_trace.bin` (the compact log `trace_dump` inspects).
+//!
+//! Findings per method, all gated by `bench_gate`:
+//!
+//! * `trace_dropped_spans_<m>` — must be 0 at smoke scale (the default
+//!   retention budget fits the whole run, so a drop means a leak);
+//! * `attribution_<m>` — Σ span durations / Σ op latencies over the
+//!   retained ops, must be ≥ 0.95 (it is 1.0 by construction unless a
+//!   driver forgets to tag a stage);
+//! * `recon_err_<m>` — relative gap between the rollup's mean update
+//!   latency (Σ Update-row total / completed updates) and the
+//!   independently-derived `latency_mean_us`, must be within 1%.
+
+use ecfs::prelude::*;
+use ecfs::telemetry::{binary, chrome, OpClass};
+use traces::TraceFamily;
+use tsue_bench::{print_table, report_dir, ssd_replay, BenchReport, FIG5_METHODS};
+
+fn traced_cell(method: MethodKind) -> ReplayConfig {
+    let mut r = ssd_replay(6, 3, method, TraceFamily::AliCloud, 6);
+    r.ops_per_client = if tsue_bench::smoke() { 100 } else { 400 };
+    r.volume_bytes = 32 << 20;
+    r.trace = TraceConfig::on();
+    r.validate().expect("traced cell validates");
+    r
+}
+
+fn main() {
+    let mut report = BenchReport::new("trace_sweep");
+    let mut rows = Vec::new();
+
+    for method in FIG5_METHODS {
+        let rcfg = traced_cell(method);
+        let (res, trace) = run_traced(&rcfg);
+        let trace = trace.expect("traced run returns a trace");
+        let name = res.method.clone();
+
+        // The update-path stage table (what Fig. 7 plots per method).
+        let update_rows: Vec<_> = res
+            .stage_breakdown
+            .iter()
+            .filter(|r| r.class == OpClass::Update)
+            .collect();
+        let update_total_us: f64 = update_rows.iter().map(|r| r.total_us).sum();
+        for row in &update_rows {
+            let mut cells = vec![
+                ("method", name.as_str().into()),
+                ("stage", row.stage.name().into()),
+                ("count", row.count.into()),
+                ("total_us", row.total_us.into()),
+                ("mean_us", row.mean_us.into()),
+                ("p99_us", row.p99_us.into()),
+            ];
+            cells.extend(tsue_bench::engine_cells(&res));
+            report.add_row(cells);
+            rows.push(vec![
+                name.clone(),
+                row.stage.name().to_string(),
+                format!("{}", row.count),
+                format!("{:.2}", row.mean_us),
+                format!("{:.2}", row.p99_us),
+                format!("{:.1}%", 100.0 * row.total_us / update_total_us.max(1e-9)),
+            ]);
+        }
+
+        // Attribution: the retained spans vs the op index's latencies,
+        // two independently-derived sums.
+        let mut span_us = 0.0f64;
+        let mut latency_us = 0.0f64;
+        for op in &trace.ops {
+            let sum = trace.op_span_sum(op.op).expect("retained ops have spans");
+            span_us += sum as f64 / 1e3;
+            latency_us += op.latency as f64 / 1e3;
+        }
+        let attribution = span_us / latency_us.max(1e-9);
+
+        // Reconciliation: rollup mean vs the metrics-path mean. Both are
+        // per traced op, which is per *slice*: a rare multi-block op
+        // completes once per 4 MiB slice in both the latency histogram
+        // and the trace, while `completed_updates` counts the client op
+        // once — so the rollup's own span count is the right divisor.
+        let traced_updates = update_rows.iter().map(|r| r.count).max().unwrap_or(0);
+        let rollup_mean_us = update_total_us / traced_updates.max(1) as f64;
+        let recon_err =
+            (rollup_mean_us - res.latency_mean_us).abs() / res.latency_mean_us.max(1e-9);
+
+        report.add_finding(
+            &format!("trace_dropped_spans_{name}"),
+            res.trace_dropped_spans,
+        );
+        report.add_finding(&format!("attribution_{name}"), attribution);
+        report.add_finding(&format!("recon_err_{name}"), recon_err);
+        assert!(
+            res.trace_dropped_spans == 0,
+            "{name}: smoke-scale run overflowed the default trace budget"
+        );
+        assert!(
+            recon_err < 0.01,
+            "{name}: rollup mean {rollup_mean_us:.2} us disagrees with \
+             latency_mean_us {:.2}",
+            res.latency_mean_us
+        );
+
+        // Export the TSUE trace for the inspector and the CI check.
+        if method == MethodKind::Tsue {
+            let dir = report_dir();
+            std::fs::create_dir_all(&dir).expect("report dir");
+            std::fs::write(dir.join("BENCH_trace.json"), chrome::to_json(&trace))
+                .expect("chrome trace export");
+            std::fs::write(dir.join("BENCH_trace.bin"), binary::to_bytes(&trace))
+                .expect("binary trace export");
+            report.add_finding("trace_spans_tsue", trace.spans.len());
+            report.add_finding("trace_util_lanes_tsue", trace.util.len());
+        }
+    }
+
+    print_table(
+        "Trace sweep: per-stage update latency attribution (AliCloud smoke cell)",
+        &["method", "stage", "count", "mean us", "p99 us", "share"],
+        &rows,
+    );
+
+    report.write_and_announce();
+    println!(
+        "perfetto trace: {} (load at ui.perfetto.dev)",
+        report_dir().join("BENCH_trace.json").display()
+    );
+}

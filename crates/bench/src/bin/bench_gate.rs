@@ -1,4 +1,4 @@
-//! The bench regression gate: re-reads the seven sweeps' machine-readable
+//! The bench regression gate: re-reads the eight sweeps' machine-readable
 //! reports (`BENCH_<sweep>.json`) and asserts the shape invariants the
 //! repository's findings rest on. Runs as the final bench-smoke step in
 //! CI, so a perf or behaviour regression **fails the workflow** instead of
@@ -32,6 +32,12 @@
 //!    replay speed stays within a bounded factor across the whole ramp,
 //!    and the TSUE >= FO knee ranking survives at every population with
 //!    both methods' knees non-decreasing as the cluster scales up.
+//! 8. `trace_sweep`: tracing is honest at smoke scale — zero dropped
+//!    spans per method, the stage spans attribute >= 95% of the retained
+//!    ops' client-observed latency (it is 100% by construction unless a
+//!    driver forgets a stage), and the rollup's mean update latency
+//!    reconciles with the independently-derived `latency_mean_us` within
+//!    1%; the exported TSUE trace has spans and utilization lanes.
 //!
 //! Usage: `bench_gate [report-dir]` (default: `TSUE_BENCH_REPORT_DIR` or
 //! `target/bench-report`). Exits non-zero listing every violated
@@ -111,6 +117,7 @@ fn main() {
         "maint_sweep",
         "engine_sweep",
         "scale_sweep",
+        "trace_sweep",
     ] {
         match load_report(&dir, sweep) {
             Ok(doc) => reports.push((sweep, doc)),
@@ -418,7 +425,52 @@ fn main() {
         }
     }
 
-    // 8. Every report, every row: the engine-speed cells are present and
+    // 8. Trace sweep: the tracing layer accounts for the latency it
+    // claims to decompose, and loses nothing at smoke scale.
+    if let Some(trace) = get("trace_sweep") {
+        println!("\ntrace_sweep:");
+        let _ = rows(trace, "trace_sweep", &mut gate);
+        for method in ["FO", "PL", "PLR", "PARIX", "CoRD", "TSUE"] {
+            let dropped = gate.finding(trace, &format!("trace_dropped_spans_{method}"));
+            gate.check_cmp(
+                &[dropped],
+                dropped == 0.0,
+                &format!("{method}: no spans dropped at smoke scale ({dropped:.0})"),
+            );
+            let attribution = gate.finding(trace, &format!("attribution_{method}"));
+            gate.check_cmp(
+                &[attribution],
+                attribution >= 0.95,
+                &format!(
+                    "{method}: stage spans attribute >= 95% of client latency \
+                     ({:.1}%)",
+                    attribution * 100.0
+                ),
+            );
+            let recon = gate.finding(trace, &format!("recon_err_{method}"));
+            gate.check_cmp(
+                &[recon],
+                recon <= 0.01,
+                &format!(
+                    "{method}: rollup mean reconciles with latency_mean_us \
+                     ({:.3}% error)",
+                    recon * 100.0
+                ),
+            );
+        }
+        let spans = gate.finding(trace, "trace_spans_tsue");
+        let lanes = gate.finding(trace, "trace_util_lanes_tsue");
+        gate.check_cmp(
+            &[spans, lanes],
+            spans > 0.0 && lanes > 0.0,
+            &format!(
+                "exported TSUE trace carries spans and utilization lanes \
+                 ({spans:.0} spans, {lanes:.0} lanes)"
+            ),
+        );
+    }
+
+    // 9. Every report, every row: the engine-speed cells are present and
     // positive — a sweep that stops carrying `events_per_sec` breaks the
     // speed trajectory even if its own findings still hold.
     println!("\nengine cells across all reports:");

@@ -13,6 +13,7 @@ use crate::fault::FaultState;
 use crate::layout::{BlockAddr, Layout};
 use crate::maintenance::MaintState;
 use crate::methods::{NodeLogState, UpdateCtx};
+use crate::telemetry::{OpClass, Stage, TraceState, UtilKind};
 
 /// A half-open byte interval set with merging — the consistency oracle's
 /// bookkeeping unit.
@@ -353,6 +354,10 @@ pub struct Cluster {
     /// Background-maintenance state: armed policies, busy windows, and
     /// hygiene counters.
     pub maint: MaintState,
+    /// Deterministic tracing state (disarmed by default — every hook is a
+    /// single-branch no-op, keeping untraced replays byte-for-byte on
+    /// their goldens).
+    pub trace: TraceState,
     /// Cross-shard outbox, installed only by the sharded replay engine:
     /// when present, telemetry records and oracle bookkeeping are shipped
     /// to sink shards instead of applied locally (see [`crate::shard`]).
@@ -409,6 +414,7 @@ impl Cluster {
             open_loop: None,
             faults: FaultState::default(),
             maint: MaintState::default(),
+            trace: TraceState::new(),
             shard_tx: None,
             cfg,
         }
@@ -438,24 +444,79 @@ impl Cluster {
 
     /// Books a disk op on `node`, returning its completion time.
     pub fn disk_io(&mut self, node: usize, now: SimTime, op: IoOp) -> SimTime {
-        self.nodes[node].disk.submit(now, op)
+        let done = self.nodes[node].disk.submit(now, op);
+        if self.trace.enabled() {
+            let busy = self.nodes[node].disk.busy_time();
+            self.trace
+                .book_total(UtilKind::Disk, node as u32, now, busy);
+        }
+        done
+    }
+
+    /// Samples the fabric's cumulative busy counters into the trace's
+    /// utilization lanes (no-op unless tracing is armed).
+    fn trace_net(&mut self, now: SimTime, src: usize) {
+        if !self.trace.enabled() {
+            return;
+        }
+        self.trace
+            .book_total(UtilKind::NetTx, src as u32, now, self.net.egress_busy(src));
+        let rack = self.net.topology().rack_of(src);
+        self.trace.book_total(
+            UtilKind::Spine,
+            rack as u32,
+            now,
+            self.net.uplink_busy(rack),
+        );
     }
 
     /// Sends `bytes` between endpoints, returning the delivery time.
     pub fn send(&mut self, now: SimTime, src: usize, dst: usize, bytes: u64) -> SimTime {
-        self.net.send(now, src, dst, bytes)
+        let t = self.net.send(now, src, dst, bytes);
+        self.trace_net(now, src);
+        t
     }
 
     /// Sends rebuild `bytes` between endpoints: reserves the same fabric
     /// resources as [`Self::send`] but is accounted as repair traffic.
     pub fn send_repair(&mut self, now: SimTime, src: usize, dst: usize, bytes: u64) -> SimTime {
-        self.net
-            .send_classed(now, src, dst, bytes, FlowClass::Repair)
+        let t = self
+            .net
+            .send_classed(now, src, dst, bytes, FlowClass::Repair);
+        if self.trace.enabled() {
+            self.trace_net(now, src);
+            // The repair pump's lane: cumulative repair bytes converted to
+            // line time (a monotone busy counter for the rebuild traffic).
+            let busy = self.net.wire_time(self.net.traffic().repair_bytes());
+            self.trace.book_total(UtilKind::Repair, 0, now, busy);
+        }
+        t
     }
 
     /// Small control message (ack) between endpoints.
     pub fn ack(&mut self, now: SimTime, src: usize, dst: usize) -> SimTime {
-        self.net.rpc(now, src, dst)
+        let t = self.net.rpc(now, src, dst);
+        self.trace_net(now, src);
+        t
+    }
+
+    /// Reports a finished op's critical-path stage decomposition to the
+    /// tracing layer (no-op unless tracing is armed). Drivers call this
+    /// immediately before the matching `finish_update`/`finish_other`:
+    /// `marks` are `(stage, end_time)` boundaries in timeline order whose
+    /// last entry is the ack time, so the resulting spans partition
+    /// `[issued_at, ack]` and sum to the client-observed latency exactly.
+    pub fn trace_op(&mut self, ctx: &UpdateCtx, class: OpClass, marks: &[(Stage, SimTime)]) {
+        if self.trace.enabled() {
+            self.trace
+                .record_op(ctx.client, class, ctx.issued_at, ctx.start_at, marks);
+        }
+    }
+
+    /// Records a background child span (recycle, repair, maintenance) on
+    /// `node`'s lane (no-op unless tracing is armed).
+    pub fn trace_child(&mut self, stage: Stage, node: usize, start: SimTime, end: SimTime) {
+        self.trace.child(stage, node, start, end);
     }
 
     /// Schedules the op's client to issue its next op at `done_at`, if
@@ -494,6 +555,10 @@ impl Cluster {
             }
             self.metrics.completions.record(done_at, 1);
         }
+        // Attach the metrics-path latency to the op the driver just
+        // traced: the determinism tests pin `sum(stage spans) == latency`
+        // as two independently derived numbers.
+        self.trace.close_op(latency);
         self.metrics.last_completion = self.metrics.last_completion.max(done_at);
         self.drive_client(sim, ctx, done_at);
     }
@@ -523,6 +588,7 @@ impl Cluster {
         } else {
             self.metrics.completed_writes += 1;
         }
+        self.trace.close_op(done_at.saturating_sub(ctx.issued_at));
         self.metrics.last_completion = self.metrics.last_completion.max(done_at);
         self.drive_client(sim, ctx, done_at);
     }

@@ -36,6 +36,7 @@ pub mod placement;
 pub mod recovery;
 pub mod replay;
 pub mod shard;
+pub mod telemetry;
 
 pub use cluster::Cluster;
 pub use config::{
@@ -46,8 +47,9 @@ pub use fleet::{DiskFleet, DiskProfile};
 pub use maintenance::{MaintenancePlan, MaintenancePolicy};
 pub use methods::{MethodRegistry, NodeLogState, UpdateCtx, UpdateMethod};
 pub use placement::{PlacementKind, PlacementPolicy, RackMap};
-pub use replay::{run_trace, ReplayConfig, ReplayConfigBuilder, RunResult, Workload};
+pub use replay::{run_trace, run_traced, ReplayConfig, ReplayConfigBuilder, RunResult, Workload};
 pub use shard::{replay_threads, run_sharded, ReplayMsg, ReplayOutbox};
+pub use telemetry::{OpClass, Stage, StageRow, Trace, TraceConfig};
 
 /// The coherent public surface, re-exported for one-line imports in
 /// benches, examples, and integration tests:
@@ -83,10 +85,13 @@ pub mod prelude {
         inject_fault, recover_node, recover_rack, recover_scope, RecoveryError, RecoveryResult,
     };
     pub use crate::replay::{
-        run_trace, run_update_phase, ReplayConfig, ReplayConfigBuilder, ResidencySummary,
-        RunResult, Workload, SATURATION_GOODPUT_RATIO,
+        run_trace, run_traced, run_update_phase, ReplayConfig, ReplayConfigBuilder,
+        ResidencySummary, RunResult, Workload, SATURATION_GOODPUT_RATIO,
     };
     pub use crate::shard::{replay_threads, run_sharded, ReplayMsg, ReplayOutbox};
+    pub use crate::telemetry::{
+        OpClass, OpRecord, Stage, StageRow, Trace, TraceConfig, TraceState, UtilKind, UtilLane,
+    };
     // The foreign types every experiment needs alongside the cluster.
     pub use rscode::CodeParams;
     pub use simdisk::{HddConfig, SsdConfig};

@@ -433,6 +433,9 @@ fn tick(sim: &mut Sim<Cluster>, cl: &mut Cluster, policy: Arc<dyn MaintenancePol
     if let Some(t) = done {
         if t > now {
             cl.maint.windows.insert(now, t);
+            // One background lane per policy slot: the busy window the
+            // cost-attribution split uses, visible in the trace too.
+            cl.trace_child(crate::telemetry::Stage::Maintenance, slot, now, t);
         }
         next = next.max(t);
     }

@@ -14,6 +14,7 @@ use simdisk::{IoOp, Pattern};
 use crate::cluster::Cluster;
 use crate::config::ClusterConfig;
 use crate::methods::{self, NodeLogState, UpdateCtx, UpdateMethod};
+use crate::telemetry::{OpClass, Stage};
 use tsue::index::{MergeMode, TwoLevelIndex};
 use tsue::payload::Ghost;
 
@@ -156,6 +157,7 @@ impl UpdateMethod for Cord {
                 state.flushing = true;
             }
             let t_flush = flush_collector(cl, collector, t_logged);
+            cl.trace_child(Stage::Recycle, collector, t_logged, t_flush);
             t_logged = t_flush;
             // Unblock parked updates once the flush finishes.
             sim.schedule_at(t_flush, move |sim, cl: &mut Cluster| {
@@ -168,6 +170,16 @@ impl UpdateMethod for Cord {
 
         let t_ack = cl.ack(t_logged, collector, client_ep);
         cl.oracle_ack(slice.addr, slice.offset, slice.len);
+        cl.trace_op(
+            &ctx,
+            OpClass::Update,
+            &[
+                (Stage::NetSend, t_arrive),
+                (Stage::DiskIo, t_write),
+                (Stage::LogAppend, t_logged),
+                (Stage::Ack, t_ack),
+            ],
+        );
         cl.finish_update(sim, ctx, t_ack);
     }
 
@@ -179,7 +191,11 @@ impl UpdateMethod for Cord {
         let now = sim.now();
         let mut t_end = now;
         for node in 0..cl.cfg.nodes {
-            t_end = t_end.max(flush_collector(cl, node, now));
+            let t_node = flush_collector(cl, node, now);
+            if t_node > now {
+                cl.trace_child(Stage::Recycle, node, now, t_node);
+            }
+            t_end = t_end.max(t_node);
         }
         sim.schedule_at(t_end, |_, _| {});
         t_end

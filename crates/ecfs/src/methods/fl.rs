@@ -14,6 +14,7 @@ use crate::cluster::Cluster;
 use crate::config::ClusterConfig;
 use crate::layout::BlockAddr;
 use crate::methods::{self, NodeLogState, UpdateCtx, UpdateMethod};
+use crate::telemetry::{OpClass, Stage};
 use tsue::index::{MergeMode, TwoLevelIndex};
 use tsue::payload::Ghost;
 
@@ -174,6 +175,7 @@ impl UpdateMethod for Fl {
                 state.recycling = true;
             }
             let t_rec = recycle_node(cl, dnode, t_done);
+            cl.trace_child(Stage::Recycle, dnode, t_done, t_rec);
             sim.schedule_at(t_rec, move |sim, cl: &mut Cluster| {
                 if let Some(state) = cl.nodes[dnode].state.downcast_mut::<FlState>() {
                     state.recycling = false;
@@ -184,6 +186,16 @@ impl UpdateMethod for Fl {
 
         let t_ack = cl.ack(t_done, dnode, client_ep);
         cl.oracle_ack(slice.addr, slice.offset, slice.len);
+        cl.trace_op(
+            &ctx,
+            OpClass::Update,
+            &[
+                (Stage::NetSend, t_arrive),
+                (Stage::LogAppend, t_local),
+                (Stage::ParityIo, t_done),
+                (Stage::Ack, t_ack),
+            ],
+        );
         cl.finish_update(sim, ctx, t_ack);
     }
 
@@ -195,7 +207,11 @@ impl UpdateMethod for Fl {
         let now = sim.now();
         let mut t_end = now;
         for node in 0..cl.cfg.nodes {
-            t_end = t_end.max(recycle_node(cl, node, now));
+            let t_node = recycle_node(cl, node, now);
+            if t_node > now {
+                cl.trace_child(Stage::Recycle, node, now, t_node);
+            }
+            t_end = t_end.max(t_node);
         }
         sim.schedule_at(t_end, |_, _| {});
         t_end

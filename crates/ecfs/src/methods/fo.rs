@@ -11,6 +11,7 @@ use simdisk::{IoOp, Pattern};
 
 use crate::cluster::Cluster;
 use crate::methods::{UpdateCtx, UpdateMethod};
+use crate::telemetry::{OpClass, Stage};
 
 /// The Full-Overwrite driver (stateless; no per-node log state).
 #[derive(Debug, Clone, Copy, Default)]
@@ -50,6 +51,16 @@ impl UpdateMethod for Fo {
 
         let t_ack = cl.ack(t_done, dnode, client_ep);
         cl.oracle_ack(slice.addr, slice.offset, slice.len);
+        cl.trace_op(
+            &ctx,
+            OpClass::Update,
+            &[
+                (Stage::NetSend, t_arrive),
+                (Stage::DiskIo, t_write),
+                (Stage::ParityIo, t_done),
+                (Stage::Ack, t_ack),
+            ],
+        );
         cl.finish_update(sim, ctx, t_ack);
     }
 }

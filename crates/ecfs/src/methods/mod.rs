@@ -40,6 +40,7 @@ use simdisk::{IoOp, Pattern};
 use crate::cluster::Cluster;
 use crate::config::ClusterConfig;
 use crate::layout::{BlockAddr, BlockSlice};
+use crate::telemetry::{OpClass, Stage};
 
 pub use registry::{register_method, resolve_method, MethodRegistry, RegistryError};
 
@@ -336,6 +337,11 @@ fn degraded_read(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
     let decode_ns = len * k as u64 / 10;
     cl.metrics.degraded_reads += 1;
     cl.metrics.degraded_bytes_decoded += len;
+    cl.trace_op(
+        &ctx,
+        OpClass::Read,
+        &[(Stage::DiskIo, ready), (Stage::Decode, ready + decode_ns)],
+    );
     cl.finish_other(sim, ctx, true, ready + decode_ns);
 }
 
@@ -368,6 +374,15 @@ pub fn default_begin_write(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: Update
         IoOp::write(poff, pshare, Pattern::Sequential),
     );
     let t_done = cl.ack(t_data.max(t_parity), node, client_ep);
+    cl.trace_op(
+        &ctx,
+        OpClass::Write,
+        &[
+            (Stage::NetSend, t_arrive.max(t_psend)),
+            (Stage::Encode, t_data.max(t_parity)),
+            (Stage::Ack, t_done),
+        ],
+    );
     cl.finish_other(sim, ctx, false, t_done);
 }
 
@@ -396,6 +411,15 @@ pub fn default_begin_read(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateC
         )
     };
     let t_done = cl.send(t_read, node, client_ep, len);
+    cl.trace_op(
+        &ctx,
+        OpClass::Read,
+        &[
+            (Stage::NetSend, t_arrive),
+            (Stage::DiskIo, t_read),
+            (Stage::Ack, t_done),
+        ],
+    );
     cl.finish_other(sim, ctx, true, t_done);
 }
 

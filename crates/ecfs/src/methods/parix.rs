@@ -18,6 +18,7 @@ use crate::cluster::{Cluster, IntervalSet};
 use crate::config::ClusterConfig;
 use crate::layout::BlockAddr;
 use crate::methods::{NodeLogState, UpdateCtx, UpdateMethod};
+use crate::telemetry::{OpClass, Stage};
 use tsue::index::{MergeMode, TwoLevelIndex};
 use tsue::payload::Ghost;
 
@@ -145,6 +146,16 @@ impl UpdateMethod for Parix {
 
         let t_ack = cl.ack(t_done, dnode, client_ep);
         cl.oracle_ack(slice.addr, slice.offset, slice.len);
+        cl.trace_op(
+            &ctx,
+            OpClass::Update,
+            &[
+                (Stage::NetSend, t_arrive),
+                (Stage::DiskIo, t_write),
+                (Stage::LogAppend, t_done),
+                (Stage::Ack, t_ack),
+            ],
+        );
         cl.finish_update(sim, ctx, t_ack);
     }
 
@@ -156,7 +167,11 @@ impl UpdateMethod for Parix {
         let now = sim.now();
         let mut t_end = now;
         for node in 0..cl.cfg.nodes {
-            t_end = t_end.max(recycle_node(cl, node, now));
+            let t_node = recycle_node(cl, node, now);
+            if t_node > now {
+                cl.trace_child(Stage::Recycle, node, now, t_node);
+            }
+            t_end = t_end.max(t_node);
         }
         for osd in cl.nodes.iter_mut() {
             if let Some(state) = osd.state.downcast_mut::<ParixState>() {

@@ -20,6 +20,7 @@ use crate::cluster::Cluster;
 use crate::config::ClusterConfig;
 use crate::layout::BlockAddr;
 use crate::methods::{NodeLogState, UpdateCtx, UpdateMethod};
+use crate::telemetry::{OpClass, Stage};
 
 /// The Parity-Logging-with-Reserved-space driver.
 #[derive(Debug, Clone, Copy, Default)]
@@ -137,7 +138,9 @@ impl UpdateMethod for Plr {
                 None => false,
             };
             let t_space = if needs_recycle {
-                recycle_reserved(cl, pnode, paddr, t_delta)
+                let t_rec = recycle_reserved(cl, pnode, paddr, t_delta);
+                cl.trace_child(Stage::Recycle, pnode, t_delta, t_rec);
+                t_rec
             } else {
                 t_delta
             };
@@ -164,6 +167,16 @@ impl UpdateMethod for Plr {
 
         let t_ack = cl.ack(t_done, dnode, client_ep);
         cl.oracle_ack(slice.addr, slice.offset, slice.len);
+        cl.trace_op(
+            &ctx,
+            OpClass::Update,
+            &[
+                (Stage::NetSend, t_arrive),
+                (Stage::DiskIo, t_write),
+                (Stage::ParityIo, t_done),
+                (Stage::Ack, t_ack),
+            ],
+        );
         cl.finish_update(sim, ctx, t_ack);
     }
 
@@ -185,6 +198,9 @@ impl UpdateMethod for Plr {
             let mut t = now;
             for paddr in addrs {
                 t = recycle_reserved(cl, node, paddr, t);
+            }
+            if t > now {
+                cl.trace_child(Stage::Recycle, node, now, t);
             }
             t_end = t_end.max(t);
         }

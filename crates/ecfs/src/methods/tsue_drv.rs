@@ -26,6 +26,7 @@ use crate::cluster::Cluster;
 use crate::config::ClusterConfig;
 use crate::layout::BlockAddr;
 use crate::methods::{self, NodeLogState, UpdateCtx, UpdateMethod};
+use crate::telemetry::{OpClass, Stage};
 use tsue::layers::{
     group_delta_jobs, group_parity_jobs, union_ranges, LogPoolSet, ParityKey, StripeBlock,
 };
@@ -281,6 +282,19 @@ fn begin_update(sim: &mut Sim<Cluster>, cl: &mut Cluster, ctx: UpdateCtx) {
         );
     }
     cl.oracle_ack(slice.addr, slice.offset, slice.len);
+    // The replica append is TSUE's redundancy work on the critical path —
+    // charged to ParityIo so cross-method waterfalls compare like for like
+    // (FO's parity RMW vs TSUE's replicated sequential append).
+    cl.trace_op(
+        &ctx,
+        OpClass::Update,
+        &[
+            (Stage::NetSend, t_arrive),
+            (Stage::LogAppend, t_local),
+            (Stage::ParityIo, t_local.max(t_replica)),
+            (Stage::Ack, t_ack),
+        ],
+    );
     cl.finish_update(sim, ctx, t_ack);
 }
 
@@ -385,6 +399,7 @@ pub fn recycle_data(sim: &mut Sim<Cluster>, cl: &mut Cluster, node: usize) {
         });
     }
     t_end = t_end.max(t_io);
+    cl.trace_child(Stage::Recycle, node, now, t_end.max(now));
 
     // Finish: free the unit, wake stalled clients, account residency.
     let unit_id = taken.id;
@@ -516,6 +531,7 @@ pub fn recycle_delta(sim: &mut Sim<Cluster>, cl: &mut Cluster, node: usize) {
         cl.forwards_in_flight -= 1;
         forward_stripe_deltas(sim, cl, node, &jobs);
     });
+    cl.trace_child(Stage::Recycle, node, now, t_end.max(now));
 
     let unit_id = taken.id;
     let bytes = taken.bytes;
@@ -660,6 +676,7 @@ pub fn recycle_parity(sim: &mut Sim<Cluster>, cl: &mut Cluster, node: usize) {
         }
     }
 
+    cl.trace_child(Stage::Recycle, node, now, t_end.max(now));
     let unit_id = taken.id;
     let bytes = taken.bytes;
     sim.schedule_at(t_end.max(now), move |sim, cl: &mut Cluster| {

@@ -434,6 +434,7 @@ pub(crate) fn rebuild_block(
         IoOp::write(rebuilt_off, block_bytes, Pattern::Sequential),
     );
     cl.layout.relocate(addr, target, rebuilt_off);
+    cl.trace_child(crate::telemetry::Stage::Repair, target, from, t_write);
     Ok(t_write)
 }
 

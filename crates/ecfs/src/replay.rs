@@ -15,6 +15,7 @@ use crate::fault::FaultPlan;
 use crate::maintenance::{self, MaintenancePlan};
 use crate::methods::{self, UpdateCtx};
 use crate::recovery;
+use crate::telemetry::{StageRow, Trace, TraceConfig};
 
 /// Goodput below this fraction of the offered rate marks a run saturated —
 /// provided the admission queues actually backed up (at least one full
@@ -88,6 +89,12 @@ pub struct ReplayConfig {
     /// engine ([`crate::shard`]) with **byte-for-byte identical results**
     /// — shard 1 carries telemetry, shards 2.. carry oracle partitions.
     pub shards: usize,
+    /// Deterministic tracing. The default (off) arms nothing and
+    /// reproduces the untraced replay byte for byte; when enabled the run
+    /// records per-op lifecycle spans, the stage-attribution rollup
+    /// (`RunResult::stage_breakdown`), and utilization lanes — identical
+    /// between serial and sharded runs of the same cell.
+    pub trace: TraceConfig,
 }
 
 impl ReplayConfig {
@@ -104,6 +111,7 @@ impl ReplayConfig {
             workload: Workload::ClosedLoop,
             maintenance: MaintenancePlan::default(),
             shards: 1,
+            trace: TraceConfig::default(),
         }
     }
 
@@ -152,6 +160,7 @@ impl ReplayConfig {
         }
         self.faults.validate(&self.cluster)?;
         self.maintenance.validate(&self.cluster)?;
+        self.trace.validate().map_err(crate::config::ConfigError)?;
         match &self.workload {
             Workload::ClosedLoop => {}
             Workload::Open(spec) => spec.validate().map_err(crate::config::ConfigError)?,
@@ -272,6 +281,26 @@ impl ReplayConfigBuilder {
     /// ```
     pub fn shards(mut self, shards: usize) -> Self {
         self.inner.shards = shards;
+        self
+    }
+
+    /// Deterministic tracing (off by default).
+    ///
+    /// ```
+    /// use ecfs::prelude::*;
+    ///
+    /// let cluster = ClusterConfig::ssd_testbed(
+    ///     CodeParams::new(6, 3).unwrap(),
+    ///     MethodKind::Tsue,
+    /// );
+    /// let rcfg = ReplayConfig::builder(cluster, TraceFamily::AliCloud)
+    ///     .trace(TraceConfig::on())
+    ///     .build()
+    ///     .unwrap();
+    /// assert!(rcfg.trace.enabled);
+    /// ```
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.inner.trace = trace;
         self
     }
 
@@ -484,6 +513,20 @@ pub struct RunResult {
     pub maint_busy_p99_us: f64,
     /// Foreground update p99 (µs) outside maintenance-busy windows.
     pub maint_idle_p99_us: f64,
+    /// Per-stage latency attribution: one row per `(op class, stage)`
+    /// observed while tracing was armed, in canonical (class, stage id)
+    /// order. Empty when [`ReplayConfig::trace`] is off. The rollup sees
+    /// **every** op regardless of the trace sampling/filter knobs, so
+    /// `sum(total_us)` over Update rows divided by their span count
+    /// reconciles with `latency_mean_us`. (The rollup counts per *slice*,
+    /// like the latency histogram — a rare multi-block op contributes one
+    /// traced completion per 4 MiB slice, while `completed_updates`
+    /// counts the client op once.)
+    pub stage_breakdown: Vec<StageRow>,
+    /// Spans discarded because the trace ring filled
+    /// ([`TraceConfig::capacity`]). Sampling and filter exclusions are
+    /// *not* drops — this is honest data loss only.
+    pub trace_dropped_spans: u64,
     /// Simulation events executed by the (core) event loop — identical
     /// between serial and sharded runs of the same cell.
     pub sim_events: u64,
@@ -742,6 +785,11 @@ pub fn run_update_phase(rcfg: &ReplayConfig) -> (Sim<Cluster>, Cluster) {
         maintenance::arm(&mut sim, &mut cl, &rcfg.maintenance);
     }
 
+    // Arm deterministic tracing. Same contract again: the default (off)
+    // config arms nothing, touches no state, and leaves the replay byte
+    // for byte identical to an untraced run.
+    cl.trace.arm(rcfg.trace);
+
     // Kick the closed-loop clients with staggered start times. In a fully
     // deterministic simulation, identical service times would otherwise
     // keep all clients in lockstep convoys — synchronized arrival waves
@@ -776,6 +824,14 @@ pub fn run_update_phase(rcfg: &ReplayConfig) -> (Sim<Cluster>, Cluster) {
 /// Runs one full replay: build cluster, generate per-client traces, replay
 /// closed-loop, drain logs, verify the oracle, and harvest metrics.
 pub fn run_trace(rcfg: &ReplayConfig) -> RunResult {
+    run_traced(rcfg).0
+}
+
+/// [`run_trace`], plus the retained trace when [`ReplayConfig::trace`] is
+/// enabled. The `RunResult` is identical to what `run_trace` returns for
+/// the same config — tracing changes what is *recorded*, never what is
+/// *simulated*.
+pub fn run_traced(rcfg: &ReplayConfig) -> (RunResult, Option<Trace>) {
     let wall_start = std::time::Instant::now();
     let (mut sim, mut cl) = run_update_phase(rcfg);
     let run_end = cl.metrics.last_completion;
@@ -946,6 +1002,9 @@ pub fn run_trace(rcfg: &ReplayConfig) -> RunResult {
             _ => (0.0, 0.0),
         };
     const GIB: f64 = (1u64 << 30) as f64;
+    // Harvest tracing after the drain so recycle/maintenance child spans
+    // emitted while draining are included. `finish` resets the state.
+    let (stage_breakdown, trace_dropped_spans, trace) = cl.trace.finish(rcfg.cluster.method.name());
     let sim_events = sim.events_executed();
     let wall_ms = wall_start.elapsed().as_secs_f64() * 1_000.0;
     let events_per_sec = if wall_ms > 0.0 {
@@ -953,7 +1012,7 @@ pub fn run_trace(rcfg: &ReplayConfig) -> RunResult {
     } else {
         0.0
     };
-    RunResult {
+    let result = RunResult {
         method: rcfg.cluster.method.name().to_string(),
         completed_updates: m.completed_updates,
         completed_reads: m.completed_reads,
@@ -1014,11 +1073,14 @@ pub fn run_trace(rcfg: &ReplayConfig) -> RunResult {
         wear_spread_before: cl.maint.wear_spread_before,
         maint_busy_p99_us,
         maint_idle_p99_us,
+        stage_breakdown,
+        trace_dropped_spans,
         sim_events,
         wall_ms,
         events_per_sec,
         setup_ms: cl.metrics.setup_ms,
-    }
+    };
+    (result, trace)
 }
 
 fn log_memory(cl: &Cluster) -> u64 {

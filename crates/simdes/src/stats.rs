@@ -155,8 +155,14 @@ impl Histogram {
         self.max
     }
 
-    /// Approximate quantile `q` in `[0, 1]`: returns the upper bound of the
-    /// bucket containing the q-th sample.
+    /// Approximate quantile `q` in `[0, 1]`: returns the **upper bound**
+    /// (exclusive) of the log2 bucket containing the q-th sample, so the
+    /// reported value is always `>=` the true quantile and within 2x of it.
+    ///
+    /// Reports and waterfalls that mix exact per-span sums with histogram
+    /// quantiles must keep this convention in mind: a p99 of `1024` means
+    /// "the 99th-percentile sample fell in `[512, 1024)`". Use
+    /// [`Histogram::quantile_lower`] for the matching lower bound.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -167,6 +173,24 @@ impl Histogram {
             seen += c;
             if seen >= target {
                 return 1u64 << (i + 1).min(63);
+            }
+        }
+        self.max
+    }
+
+    /// The **lower bound** (inclusive) of the bucket containing the q-th
+    /// sample — the dual of [`Histogram::quantile`]. The true quantile lies
+    /// in `[quantile_lower(q), quantile(q))`; bucket 0 reports 0.
+    pub fn quantile_lower(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return if i == 0 { 0 } else { 1u64 << i.min(63) };
             }
         }
         self.max
@@ -328,12 +352,25 @@ impl SampleLog {
         self.samples.is_empty()
     }
 
+    /// Borrowing view of the raw `(time, value)` samples, in record order —
+    /// the allocation-free path for consumers that re-aggregate samples
+    /// their own way (per-stage attribution walks this instead of paying
+    /// [`SampleLog::split`]'s two-histogram clone per call).
+    pub fn samples(&self) -> &[(SimTime, u64)] {
+        &self.samples
+    }
+
+    /// Iterates `(time, value)` pairs without cloning or aggregating.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, u64)> + '_ {
+        self.samples.iter().copied()
+    }
+
     /// Splits the samples into `(inside, outside)` histograms against the
-    /// window set.
+    /// window set. An empty window set puts every sample in `outside`.
     pub fn split(&self, windows: &WindowSet) -> (Histogram, Histogram) {
         let mut inside = Histogram::new();
         let mut outside = Histogram::new();
-        for &(t, v) in &self.samples {
+        for (t, v) in self.iter() {
             if windows.contains(t) {
                 inside.record(v);
             } else {
@@ -409,6 +446,42 @@ mod tests {
     }
 
     #[test]
+    fn histogram_quantile_reports_bucket_bounds() {
+        // All samples in one log2 bucket: [512, 1024) is bucket 9, so every
+        // quantile reports upper bound 1024 and lower bound 512, bracketing
+        // the exact values.
+        let mut h = Histogram::new();
+        for v in [512u64, 700, 1023] {
+            h.record(v);
+        }
+        for q in [0.01, 0.5, 0.99] {
+            assert_eq!(h.quantile(q), 1024, "upper bound of [512, 1024)");
+            assert_eq!(h.quantile_lower(q), 512, "lower bound of [512, 1024)");
+        }
+        // Exact-count check: the q-th sample lands in the reported bucket.
+        let mut g = Histogram::new();
+        for v in [1u64, 1, 1, 1000] {
+            g.record(v);
+        }
+        // 3 of 4 samples sit in bucket 0 ([0, 2)): p50/p75 report it...
+        assert_eq!(g.quantile(0.75), 2);
+        assert_eq!(g.quantile_lower(0.75), 0, "bucket 0 lower bound is 0");
+        // ...and only the count beyond 3/4 crosses into the 1000 bucket.
+        assert_eq!(g.quantile(0.76), 1024);
+        assert_eq!(g.quantile_lower(0.76), 512);
+        // The bounds always bracket: lower <= true value < upper.
+        let mut r = Histogram::new();
+        for v in 1..=1000u64 {
+            r.record(v);
+        }
+        for q in [0.5f64, 0.9, 0.99] {
+            let exact = (1000.0 * q).ceil() as u64;
+            assert!(r.quantile_lower(q) <= exact, "q={q}");
+            assert!(r.quantile(q) > exact, "q={q}");
+        }
+    }
+
+    #[test]
     fn histogram_merge() {
         let mut a = Histogram::new();
         a.record(10);
@@ -475,6 +548,32 @@ mod tests {
         let (ins, outs) = log.split(&WindowSet::new());
         assert_eq!(ins.count(), 0);
         assert_eq!(outs.count(), 100);
+    }
+
+    #[test]
+    fn sample_log_borrowing_iteration_matches_split() {
+        let mut log = SampleLog::new();
+        for t in 0..50u64 {
+            log.record(t, t * 10);
+        }
+        // The borrowing paths see every sample in record order without
+        // cloning into histograms.
+        assert_eq!(log.samples().len(), 50);
+        assert_eq!(log.samples()[7], (7, 70));
+        let mut w = WindowSet::new();
+        w.insert(10, 20);
+        let inside_sum: u64 = log
+            .iter()
+            .filter(|&(t, _)| w.contains(t))
+            .map(|(_, v)| v)
+            .sum();
+        let (inside, _) = log.split(&w);
+        assert_eq!(inside.count(), 10);
+        assert_eq!(inside_sum, (10..20u64).map(|t| t * 10).sum::<u64>());
+        // split(empty windows) == (empty, all): the borrowing path agrees.
+        let (ins, outs) = log.split(&WindowSet::new());
+        assert_eq!(ins.count(), 0);
+        assert_eq!(outs.count() as usize, log.samples().len());
     }
 
     #[test]

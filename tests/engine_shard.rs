@@ -103,6 +103,8 @@ fn canon(r: &RunResult) -> String {
         wear_spread_before,
         maint_busy_p99_us,
         maint_idle_p99_us,
+        stage_breakdown,
+        trace_dropped_spans,
         sim_events,
         wall_ms: _,
         events_per_sec: _,
@@ -127,6 +129,7 @@ fn canon(r: &RunResult) -> String {
          fleet=({disk_fill_max:?},{disk_fill_min:?},{wear_max_bytes},{wear_spread:?},{copysets_used}) \
          maint=({scrub_gib:?},{lse_injected},{lse_found},{lse_repaired},{maint_migrated_gib:?},\
          {defrag_gib:?},{wear_spread_before:?},{maint_busy_p99_us:?},{maint_idle_p99_us:?}) \
+         trace=({stage_breakdown:?},{trace_dropped_spans}) \
          events={sim_events}"
     );
     s

@@ -208,6 +208,8 @@ fn sparse_runtime_matches_dense_golden_exhaustively() {
         wear_spread_before,
         maint_busy_p99_us,
         maint_idle_p99_us,
+        stage_breakdown,
+        trace_dropped_spans,
         sim_events,
         wall_ms: _,
         events_per_sec: _,
@@ -267,6 +269,9 @@ fn sparse_runtime_matches_dense_golden_exhaustively() {
     assert_eq!((lse_injected, lse_found, lse_repaired), (0, 0, 0));
     assert_eq!(wear_spread_before, 0.0);
     assert_eq!((maint_busy_p99_us, maint_idle_p99_us), (0.0, 0.0));
+    // Tracing is off by default: no rollup rows, no drops.
+    assert!(stage_breakdown.is_empty());
+    assert_eq!(trace_dropped_spans, 0);
     assert!(sim_events > 0);
 }
 

@@ -1,0 +1,226 @@
+//! The tracing contract, pinned end to end:
+//!
+//! 1. **Off is free, on is invisible** — the default `TraceConfig` arms
+//!    nothing and a traced run reproduces every deterministic legacy
+//!    `RunResult` field of the untraced run byte for byte: tracing changes
+//!    what is *recorded*, never what is *simulated*.
+//! 2. **Sharded == serial** — with fault *and* maintenance plans armed,
+//!    the 4-shard trace serialises to the identical binary log as the
+//!    serial trace (extending `tests/engine_shard.rs` to the span stream).
+//! 3. **Exact attribution** — for every method and every traced op, the
+//!    sum of the op's stage spans equals the client-observed latency
+//!    within 1 ns (the spans partition `[issued_at, ack]` by
+//!    construction, and the latency is derived independently on the
+//!    metrics path).
+
+use ecfs::prelude::*;
+use ecfs::telemetry::{binary, chrome};
+
+fn replay(method: MethodKind, clients: u64, ops: usize) -> ReplayConfig {
+    let code = CodeParams::new(6, 3).unwrap();
+    let mut cluster = ClusterConfig::ssd_testbed(code, method);
+    cluster.clients = clients;
+    let mut r = ReplayConfig::new(cluster, TraceFamily::AliCloud);
+    r.ops_per_client = ops;
+    r.volume_bytes = 32 << 20;
+    r
+}
+
+fn armed_plans(r: &mut ReplayConfig) {
+    r.faults = FaultPlan::new()
+        .fail_node(5 * simdes::units::MILLIS, 2)
+        .with_repair_bandwidth(200 << 20);
+    r.maintenance = MaintenancePlan::new()
+        .with_scrub(ScrubConfig {
+            bytes_per_sec: 8 << 30,
+        })
+        .with_lse(LseConfig {
+            per_device: 4,
+            span_bytes: 8 << 20,
+            ..LseConfig::default()
+        })
+        .with_rebalance(RebalanceConfig::default());
+}
+
+/// Canonical rendering of every deterministic non-trace `RunResult` field:
+/// the full Debug output with the trace harvest and the wall-clock
+/// measurements forced to fixed values. Exhaustive by construction — a new
+/// field shows up here automatically.
+fn legacy_canon(r: &RunResult) -> String {
+    let mut r = r.clone();
+    r.stage_breakdown = Vec::new();
+    r.trace_dropped_spans = 0;
+    r.wall_ms = 0.0;
+    r.events_per_sec = 0.0;
+    r.setup_ms = 0.0;
+    format!("{r:?}")
+}
+
+#[test]
+fn tracing_changes_no_legacy_field() {
+    let mut off = replay(MethodKind::Tsue, 3, 100);
+    armed_plans(&mut off);
+    let mut on = off.clone();
+    on.trace = TraceConfig::on();
+    on.validate().expect("traced config validates");
+
+    let r_off = run_trace(&off);
+    let (r_on, trace) = run_traced(&on);
+
+    assert_eq!(
+        legacy_canon(&r_off),
+        legacy_canon(&r_on),
+        "tracing perturbed the simulation"
+    );
+    assert!(r_off.stage_breakdown.is_empty(), "off-run recorded rollup");
+    assert!(!r_on.stage_breakdown.is_empty(), "on-run rollup missing");
+    assert_eq!(r_on.trace_dropped_spans, 0);
+    let trace = trace.expect("enabled run returns a trace");
+    assert!(!trace.spans.is_empty());
+    assert!(!trace.util.is_empty(), "utilization lanes missing");
+}
+
+#[test]
+fn sharded_trace_is_bit_identical_to_serial() {
+    let mut rcfg = replay(MethodKind::Tsue, 3, 100);
+    armed_plans(&mut rcfg);
+    rcfg.trace = TraceConfig::on();
+
+    rcfg.shards = 1;
+    rcfg.validate().expect("serial config validates");
+    let (serial_result, serial_trace) = run_traced(&rcfg);
+    rcfg.shards = 4;
+    rcfg.validate().expect("sharded config validates");
+    let (sharded_result, sharded_trace) = run_traced(&rcfg);
+
+    let serial_trace = serial_trace.expect("serial trace");
+    let sharded_trace = sharded_trace.expect("sharded trace");
+    assert_eq!(
+        binary::to_bytes(&serial_trace),
+        binary::to_bytes(&sharded_trace),
+        "sharded(4) trace diverged from serial"
+    );
+    assert_eq!(
+        serial_result.stage_breakdown,
+        sharded_result.stage_breakdown
+    );
+    assert_eq!(
+        serial_result.trace_dropped_spans,
+        sharded_result.trace_dropped_spans
+    );
+}
+
+#[test]
+fn stage_spans_partition_client_latency_for_every_method() {
+    for method in MethodKind::ALL {
+        let mut rcfg = replay(method, 3, 100);
+        rcfg.trace = TraceConfig::on();
+        let (result, trace) = run_traced(&rcfg);
+        let trace = trace.expect("trace");
+        assert_eq!(result.trace_dropped_spans, 0, "{method:?}: dropped spans");
+        assert!(
+            trace.ops.len() as u64 >= result.completed_updates,
+            "{method:?}: ops missing from the trace"
+        );
+        for op in &trace.ops {
+            let sum = trace
+                .op_span_sum(op.op)
+                .expect("every retained op has spans");
+            let latency = op.latency;
+            assert!(
+                sum.abs_diff(latency) <= 1,
+                "{method:?} op {}: span sum {sum} ns != latency {latency} ns",
+                op.op
+            );
+        }
+    }
+}
+
+#[test]
+fn binary_log_round_trips_and_chrome_export_parses() {
+    let mut rcfg = replay(MethodKind::Fo, 2, 60);
+    rcfg.trace = TraceConfig::on();
+    let (_, trace) = run_traced(&rcfg);
+    let trace = trace.expect("trace");
+
+    let bytes = binary::to_bytes(&trace);
+    let back = binary::from_bytes(&bytes).expect("binary trace parses");
+    assert_eq!(back, trace);
+
+    let json = chrome::to_json(&trace);
+    let doc = tsue_bench::report::parse(&json).expect("chrome JSON parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    // Complete events carry non-negative ts/dur, monotone per lane in
+    // file order (the exporter sorts by (pid, tid, ts)).
+    let mut last: std::collections::HashMap<(u64, u64), f64> = std::collections::HashMap::new();
+    for ev in events {
+        if ev.get("ph").and_then(|p| p.as_str()) != Some("X") {
+            continue;
+        }
+        let pid = ev.get("pid").and_then(|v| v.as_f64()).unwrap() as u64;
+        let tid = ev.get("tid").and_then(|v| v.as_f64()).unwrap() as u64;
+        let ts = ev.get("ts").and_then(|v| v.as_f64()).unwrap();
+        let dur = ev.get("dur").and_then(|v| v.as_f64()).unwrap();
+        assert!(ts >= 0.0 && dur >= 0.0);
+        let prev = last.insert((pid, tid), ts);
+        assert!(
+            prev.is_none_or(|p| p <= ts),
+            "lane ({pid},{tid}) not monotone"
+        );
+    }
+}
+
+#[test]
+fn sampling_and_filters_are_validated_and_bound_retention() {
+    // Invalid knobs are rejected at validate() time.
+    for bad in [
+        TraceConfig {
+            sample_every: 0,
+            ..TraceConfig::on()
+        },
+        TraceConfig {
+            capacity: 0,
+            ..TraceConfig::on()
+        },
+        TraceConfig {
+            stage_mask: 0,
+            ..TraceConfig::on()
+        },
+        TraceConfig {
+            op_filter: Some((10, 10)),
+            ..TraceConfig::on()
+        },
+        TraceConfig {
+            util_bucket_ns: 0,
+            ..TraceConfig::on()
+        },
+    ] {
+        let mut rcfg = replay(MethodKind::Fo, 2, 60);
+        rcfg.trace = bad;
+        assert!(rcfg.validate().is_err(), "accepted invalid {bad:?}");
+    }
+
+    // Sampling bounds retention but never the rollup.
+    let mut all = replay(MethodKind::Fo, 2, 60);
+    all.trace = TraceConfig::on();
+    let (r_all, t_all) = run_traced(&all);
+    let mut sampled = replay(MethodKind::Fo, 2, 60);
+    sampled.trace = TraceConfig::on().with_sampling(10);
+    let (r_sampled, t_sampled) = run_traced(&sampled);
+    assert_eq!(r_all.stage_breakdown, r_sampled.stage_breakdown);
+    let (t_all, t_sampled) = (t_all.unwrap(), t_sampled.unwrap());
+    assert!(t_sampled.ops.len() < t_all.ops.len());
+    assert_eq!(r_sampled.trace_dropped_spans, 0, "sampling is not a drop");
+
+    // A tiny capacity drops honestly instead of silently.
+    let mut tiny = replay(MethodKind::Fo, 2, 60);
+    tiny.trace = TraceConfig::on().with_capacity(8);
+    let (r_tiny, t_tiny) = run_traced(&tiny);
+    assert!(r_tiny.trace_dropped_spans > 0);
+    assert_eq!(t_tiny.unwrap().spans.len(), 8);
+    assert_eq!(r_tiny.stage_breakdown, r_all.stage_breakdown);
+}
