@@ -1,0 +1,217 @@
+//! Cache sweep: the node-local cache & write-staging decorator measured
+//! over every update method via the method-spec grammar.
+//!
+//! Each method replays the Ali-Cloud mix bare and under `lru(S)+<method>`
+//! for a ramp of cache sizes, plus one policy-comparison cell per
+//! replacement policy and one `stage(8MiB,2ms)+lru(16MiB)+<method>` cell
+//! that exercises write coalescing. The table reports the spec string the
+//! cell was built from (every one must round-trip through
+//! `MethodSpec::parse` — the regression gate re-checks this), the hit
+//! ratio, update IOPS, and coalesced bytes.
+//!
+//! Expected shape: hit ratio grows monotonically with cache size for every
+//! method (the workload's Zipf hot set fits progressively better); caching
+//! never hurts a closed-loop replay, so `lru(64MiB)+FO` rides at least
+//! bare FO's IOPS; and TSUE's *relative* gain is the smallest of all
+//! methods — its two-stage log front end already keeps the update path
+//! off the read-modify-write critical path, so a read cache has the least
+//! left to absorb (the same asymmetry PAPER.md §5 reports for absolute
+//! latency).
+
+use ecfs::prelude::*;
+use traces::TraceFamily;
+use tsue_bench::{kfmt, print_table, run_grid, ssd_replay, BenchReport};
+
+/// The swept LRU capacities: 64 KiB misses most of the hot set at this
+/// scale, 64 MiB holds effectively all of it.
+const CACHE_SIZES: [&str; 3] = ["64KiB", "1MiB", "64MiB"];
+
+fn methods() -> Vec<MethodKind> {
+    if tsue_bench::smoke() {
+        vec![MethodKind::Fo, MethodKind::Plr, MethodKind::Tsue]
+    } else {
+        MethodKind::ALL.to_vec()
+    }
+}
+
+/// One replay cell: the standard SSD testbed with the cluster's method
+/// swapped for the decorated spec (bare specs resolve to the same driver
+/// `ssd_replay` installs).
+fn cell(method: MethodKind, spec: &str) -> ReplayConfig {
+    let clients = if tsue_bench::smoke() { 6 } else { 8 };
+    let mut r = ssd_replay(6, 3, method, TraceFamily::AliCloud, clients);
+    r.volume_bytes = 32 << 20;
+    let parsed = MethodSpec::parse(spec).expect("sweep specs are well-formed");
+    r.cluster.method = build_method(&parsed).expect("sweep specs resolve");
+    r
+}
+
+fn main() {
+    let methods = methods();
+
+    // The grid, labelled by (method, spec, swept-size-if-lru).
+    let mut grid = Vec::new();
+    let mut labels: Vec<(MethodKind, String, Option<&str>)> = Vec::new();
+    for &method in &methods {
+        let mut push = |spec: String, size: Option<&'static str>, grid: &mut Vec<ReplayConfig>| {
+            grid.push(cell(method, &spec));
+            labels.push((method, spec, size));
+        };
+        push(method.name().to_string(), None, &mut grid);
+        for size in CACHE_SIZES {
+            push(
+                format!("lru({size})+{}", method.name()),
+                Some(size),
+                &mut grid,
+            );
+        }
+        push(
+            format!("stage(8MiB,2ms)+lru(16MiB)+{}", method.name()),
+            None,
+            &mut grid,
+        );
+    }
+    // Policy comparison on TSUE at the middle size (LRU's 16 MiB cell
+    // above is the third point).
+    for policy in ["plru", "adaptive"] {
+        grid.push(cell(MethodKind::Tsue, &format!("{policy}(16MiB)+TSUE")));
+        labels.push((MethodKind::Tsue, format!("{policy}(16MiB)+TSUE"), None));
+    }
+    let results = run_grid(&grid);
+
+    let mut report = BenchReport::new("cache_sweep");
+    let mut rows = Vec::new();
+    for ((method, spec, _), res) in labels.iter().zip(&results) {
+        assert_eq!(
+            res.oracle_violations, 0,
+            "{spec}: cache/staging layer violated consistency"
+        );
+        assert_eq!(res.method, *spec, "{spec}: method name drifted");
+        let parsed = MethodSpec::parse(spec).expect("row spec parses");
+        assert_eq!(parsed.to_string(), *spec, "{spec}: not canonical");
+        let decorated = !parsed.decorators.is_empty();
+        if decorated {
+            assert!(res.cache_lookups > 0, "{spec}: cache never consulted");
+        } else {
+            assert_eq!(res.cache_lookups, 0, "{spec}: bare cell probed a cache");
+            assert_eq!(res.staged_bytes, 0, "{spec}: bare cell staged writes");
+        }
+        if spec.starts_with("stage(") {
+            assert!(res.staged_bytes > 0, "{spec}: staging bypassed");
+            assert!(res.stage_flushes > 0, "{spec}: staging never flushed");
+        }
+        let mut cells = vec![
+            ("method", method.name().into()),
+            ("spec", spec.as_str().into()),
+            ("update_iops", res.update_iops.into()),
+            ("cache_lookups", res.cache_lookups.into()),
+            ("cache_hits", res.cache_hits.into()),
+            ("cache_hit_ratio", res.cache_hit_ratio.into()),
+            ("staged_bytes", res.staged_bytes.into()),
+            ("coalesced_bytes", res.coalesced_bytes.into()),
+            ("stage_flushes", res.stage_flushes.into()),
+        ];
+        cells.extend(tsue_bench::engine_cells(res));
+        report.add_row(cells);
+        rows.push(vec![
+            spec.clone(),
+            kfmt(res.update_iops),
+            format!("{:.3}", res.cache_hit_ratio),
+            format!("{}", res.cache_hits),
+            format!("{:.2}", res.staged_bytes as f64 / (1 << 20) as f64),
+            format!("{:.2}", res.coalesced_bytes as f64 / (1 << 20) as f64),
+            format!("{}", res.stage_flushes),
+        ]);
+    }
+    print_table(
+        "Cache sweep: RS(6,3) Ali-Cloud, node-local cache & write staging over every method",
+        &[
+            "spec",
+            "IOPS",
+            "hit ratio",
+            "hits",
+            "staged MiB",
+            "coalesced MiB",
+            "flushes",
+        ],
+        &rows,
+    );
+
+    // Per-method findings: the hit-ratio ramp and the relative IOPS gain
+    // from the largest cache.
+    let lookup = |m: MethodKind, want: &dyn Fn(&str, Option<&str>) -> bool| -> &RunResult {
+        labels
+            .iter()
+            .zip(&results)
+            .find(|((lm, spec, size), _)| *lm == m && want(spec, *size))
+            .map(|(_, res)| res)
+            .expect("grid covers every (method, variant)")
+    };
+    println!();
+    let mut gains = Vec::new();
+    for &method in &methods {
+        let bare = lookup(method, &|spec, _| spec == method.name());
+        let mut ramp = Vec::new();
+        for swept in CACHE_SIZES {
+            let res = lookup(method, &|_, size| size == Some(swept));
+            report.add_finding(
+                &format!("hit_ratio_{}_{}", method.name(), swept),
+                res.cache_hit_ratio,
+            );
+            ramp.push(res.cache_hit_ratio);
+        }
+        let best = lookup(method, &|_, size| size == Some("64MiB"));
+        let gain = best.update_iops / bare.update_iops;
+        report.add_finding(&format!("cache_gain_{}", method.name()), gain);
+        let staged = lookup(method, &|spec, _| spec.starts_with("stage("));
+        report.add_finding(
+            &format!("coalesced_frac_{}", method.name()),
+            staged.coalesced_bytes as f64 / staged.staged_bytes.max(1) as f64,
+        );
+        println!(
+            "  -> {:>5}: hit ratio {:.3} -> {:.3} -> {:.3} across {:?}, \
+             64 MiB cache gain {:.3}x, staging coalesces {:.1}% of staged bytes",
+            method.name(),
+            ramp[0],
+            ramp[1],
+            ramp[2],
+            CACHE_SIZES,
+            gain,
+            100.0 * staged.coalesced_bytes as f64 / staged.staged_bytes.max(1) as f64,
+        );
+        gains.push((method, gain));
+    }
+
+    // The sweep's own shape assertions (the gate re-checks them from the
+    // report so a regression fails CI even when nobody reruns the bench).
+    for &method in &methods {
+        let ramp: Vec<f64> = CACHE_SIZES
+            .iter()
+            .map(|&swept| lookup(method, &|_, size| size == Some(swept)).cache_hit_ratio)
+            .collect();
+        for pair in ramp.windows(2) {
+            assert!(
+                pair[1] >= pair[0] - 0.01,
+                "{}: hit ratio not monotone in cache size ({ramp:?})",
+                method.name()
+            );
+        }
+    }
+    let gain_of = |m: MethodKind| gains.iter().find(|(k, _)| *k == m).unwrap().1;
+    assert!(
+        gain_of(MethodKind::Fo) >= 1.0,
+        "a read cache must not slow FO down ({:.3}x)",
+        gain_of(MethodKind::Fo)
+    );
+    for &(method, gain) in &gains {
+        assert!(
+            gain_of(MethodKind::Tsue) <= gain + 0.02,
+            "TSUE's cache gain ({:.3}x) must be the smallest, but {} gains {:.3}x",
+            gain_of(MethodKind::Tsue),
+            method.name(),
+            gain
+        );
+    }
+
+    report.write_and_announce();
+}

@@ -41,7 +41,7 @@ fn main() {
 
     for method in FIG5_METHODS {
         let rcfg = traced_cell(method);
-        let (res, trace) = run_traced(&rcfg);
+        let RunOutcome { result: res, trace } = Replay::run(&rcfg);
         let trace = trace.expect("traced run returns a trace");
         let name = res.method.clone();
 

@@ -1,4 +1,4 @@
-//! The bench regression gate: re-reads the eight sweeps' machine-readable
+//! The bench regression gate: re-reads the nine sweeps' machine-readable
 //! reports (`BENCH_<sweep>.json`) and asserts the shape invariants the
 //! repository's findings rest on. Runs as the final bench-smoke step in
 //! CI, so a perf or behaviour regression **fails the workflow** instead of
@@ -38,6 +38,12 @@
 //!    driver forgets a stage), and the rollup's mean update latency
 //!    reconciles with the independently-derived `latency_mean_us` within
 //!    1%; the exported TSUE trace has spans and utilization lanes.
+//! 9. `cache_sweep`: the node-local cache & staging decorator behaves —
+//!    every row's spec string round-trips through `MethodSpec::parse`
+//!    unchanged, each method's hit ratio is monotone in cache size and
+//!    stays in [0, 1], `lru(64MiB)+FO` rides at least bare FO's IOPS,
+//!    TSUE's relative cache gain is the smallest of the swept methods,
+//!    and every staged cell actually coalesced bytes.
 //!
 //! Usage: `bench_gate [report-dir]` (default: `TSUE_BENCH_REPORT_DIR` or
 //! `target/bench-report`). Exits non-zero listing every violated
@@ -118,6 +124,7 @@ fn main() {
         "engine_sweep",
         "scale_sweep",
         "trace_sweep",
+        "cache_sweep",
     ] {
         match load_report(&dir, sweep) {
             Ok(doc) => reports.push((sweep, doc)),
@@ -470,7 +477,88 @@ fn main() {
         );
     }
 
-    // 9. Every report, every row: the engine-speed cells are present and
+    // 9. Cache sweep: the node-local cache & write-staging decorator.
+    if let Some(cache) = get("cache_sweep") {
+        println!("\ncache_sweep:");
+        let cache_rows = rows(cache, "cache_sweep", &mut gate);
+        // Every reported spec string is canonical under the redesigned
+        // method-spec grammar: parse -> display reproduces it exactly.
+        let bad_specs: Vec<String> = cache_rows
+            .iter()
+            .filter_map(|row| row.get("spec").and_then(|v| v.as_str()))
+            .filter(|spec| {
+                ecfs::MethodSpec::parse(spec)
+                    .map(|p| p.to_string() != **spec)
+                    .unwrap_or(true)
+            })
+            .map(|s| s.to_string())
+            .collect();
+        gate.check(
+            bad_specs.is_empty(),
+            &format!(
+                "every row's spec round-trips through MethodSpec::parse{}",
+                if bad_specs.is_empty() {
+                    String::new()
+                } else {
+                    format!(" (violations: {})", bad_specs.join("; "))
+                }
+            ),
+        );
+        // The swept methods are read off the rows so the gate follows the
+        // smoke and full grids alike.
+        let mut methods: Vec<String> = cache_rows
+            .iter()
+            .filter_map(|row| row.get("method").and_then(|v| v.as_str()))
+            .map(|s| s.to_string())
+            .collect();
+        methods.dedup();
+        gate.check(
+            methods.iter().any(|m| m == "FO") && methods.iter().any(|m| m == "TSUE"),
+            "cache_sweep covers FO and TSUE",
+        );
+        for method in &methods {
+            let ramp: Vec<f64> = ["64KiB", "1MiB", "64MiB"]
+                .iter()
+                .map(|size| gate.finding(cache, &format!("hit_ratio_{method}_{size}")))
+                .collect();
+            gate.check_cmp(
+                &ramp,
+                ramp.iter().all(|r| (0.0..=1.0).contains(r)),
+                &format!("{method}: hit ratios within [0, 1] ({ramp:?})"),
+            );
+            gate.check_cmp(
+                &ramp,
+                ramp.windows(2).all(|w| w[1] >= w[0] - 0.01),
+                &format!("{method}: hit ratio monotone in cache size ({ramp:?})"),
+            );
+            let frac = gate.finding(cache, &format!("coalesced_frac_{method}"));
+            gate.check_cmp(
+                &[frac],
+                frac > 0.0 && frac < 1.0,
+                &format!("{method}: staging coalesces a nonzero fraction ({frac:.3})"),
+            );
+        }
+        let fo_gain = gate.finding(cache, "cache_gain_FO");
+        gate.check_cmp(
+            &[fo_gain],
+            fo_gain >= 1.0,
+            &format!("a read cache never slows FO down ({fo_gain:.3}x)"),
+        );
+        let tsue_gain = gate.finding(cache, "cache_gain_TSUE");
+        for method in &methods {
+            let gain = gate.finding(cache, &format!("cache_gain_{method}"));
+            gate.check_cmp(
+                &[tsue_gain, gain],
+                tsue_gain <= gain + 0.02,
+                &format!(
+                    "TSUE's cache gain ({tsue_gain:.3}x) is the smallest \
+                     ({method} gains {gain:.3}x)"
+                ),
+            );
+        }
+    }
+
+    // 10. Every report, every row: the engine-speed cells are present and
     // positive — a sweep that stops carrying `events_per_sec` breaks the
     // speed trajectory even if its own findings still hold.
     println!("\nengine cells across all reports:");

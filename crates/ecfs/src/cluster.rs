@@ -63,6 +63,12 @@ impl IntervalSet {
     pub fn span_count(&self) -> usize {
         self.spans.len()
     }
+
+    /// Iterates the disjoint `(start, end)` spans in ascending order —
+    /// e.g. the cache layer replaying a staged buffer as coalesced deltas.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.spans.iter().copied()
+    }
 }
 
 /// Residency timing per log layer (paper Table 2).
@@ -95,6 +101,18 @@ pub struct Metrics {
     pub last_completion: SimTime,
     /// Reads served from a log read-cache.
     pub cache_read_hits: u64,
+    /// Reads checked against a node-local cache decorator
+    /// ([`crate::cache`]); 0 unless a cache/staging layer is armed.
+    pub cache_lookups: u64,
+    /// Reads served from the node-local cache decorator (memory, no disk).
+    pub cache_hits: u64,
+    /// Update bytes absorbed into write-staging buffers.
+    pub staged_bytes: u64,
+    /// Staged bytes that overlapped already-staged ranges — downstream
+    /// work the coalescing buffer absorbed outright.
+    pub coalesced_bytes: u64,
+    /// Staged-buffer flush events (size, age, pressure, or drain).
+    pub stage_flushes: u64,
     /// DataLog residency (TSUE).
     pub data_residency: LayerResidency,
     /// DeltaLog residency (TSUE).
@@ -133,6 +151,11 @@ impl Default for Metrics {
             stall_waits: 0,
             last_completion: 0,
             cache_read_hits: 0,
+            cache_lookups: 0,
+            cache_hits: 0,
+            staged_bytes: 0,
+            coalesced_bytes: 0,
+            stage_flushes: 0,
             data_residency: LayerResidency::default(),
             delta_residency: LayerResidency::default(),
             parity_residency: LayerResidency::default(),
@@ -507,10 +530,22 @@ impl Cluster {
     /// last entry is the ack time, so the resulting spans partition
     /// `[issued_at, ack]` and sum to the client-observed latency exactly.
     pub fn trace_op(&mut self, ctx: &UpdateCtx, class: OpClass, marks: &[(Stage, SimTime)]) {
-        if self.trace.enabled() {
-            self.trace
-                .record_op(ctx.client, class, ctx.issued_at, ctx.start_at, marks);
+        if !self.trace.enabled() {
+            return;
         }
+        if ctx.background {
+            // A staged-flush replay through the wrapped method: attribute
+            // the whole span as background stage-flush work on the data
+            // node's lane instead of a client lifecycle op, so the Update
+            // rollup keeps reconciling against client latency exactly.
+            if let Some(&(_, end)) = marks.last() {
+                let node = self.layout.current_node(ctx.slice.addr);
+                self.trace.child(Stage::StageFlush, node, ctx.start_at, end);
+            }
+            return;
+        }
+        self.trace
+            .record_op(ctx.client, class, ctx.issued_at, ctx.start_at, marks);
     }
 
     /// Records a background child span (recycle, repair, maintenance) on
@@ -540,7 +575,12 @@ impl Cluster {
     }
 
     /// Records an update completion and drives the client's next op.
+    /// Background ops (staged flushes) book their I/O like any other but
+    /// are invisible here: no counters, no latency, no closed-loop drive.
     pub fn finish_update(&mut self, sim: &mut Sim<Cluster>, ctx: UpdateCtx, done_at: SimTime) {
+        if ctx.background {
+            return;
+        }
         self.metrics.completed_updates += 1;
         let latency = done_at.saturating_sub(ctx.issued_at);
         if let Some(tx) = &mut self.shard_tx {
@@ -571,6 +611,9 @@ impl Cluster {
         is_read: bool,
         done_at: SimTime,
     ) {
+        if ctx.background {
+            return;
+        }
         if is_read {
             self.metrics.completed_reads += 1;
             let latency = done_at.saturating_sub(ctx.issued_at);
@@ -608,6 +651,9 @@ impl Cluster {
         done_at: SimTime,
     ) {
         self.metrics.failed_ops += 1;
+        if ctx.background {
+            return;
+        }
         if !ctx.drive {
             let counter = match kind {
                 traces::OpKind::Update => &mut self.metrics.completed_updates,

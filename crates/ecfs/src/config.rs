@@ -13,7 +13,9 @@ use simdisk::{HddConfig, SsdConfig};
 use tsue::pool::PoolConfig;
 use tsue::MergeMode;
 
+use crate::cache::{CacheConfig, Cached, StagingConfig};
 use crate::fleet::DiskFleet;
+use crate::methods::spec::MethodSpec;
 use crate::methods::{cord, fl, fo, parix, pl, plr, tsue_drv, UpdateMethod};
 use crate::placement::{FlatRotate, PlacementPolicy, RackMap};
 
@@ -476,6 +478,8 @@ pub struct ClusterConfigBuilder {
     parix_threshold_bytes: Option<u64>,
     fl_threshold_bytes: Option<u64>,
     tsue_recycle_cpu_per_record: Option<u64>,
+    cache: Option<CacheConfig>,
+    staging: Option<StagingConfig>,
 }
 
 #[derive(Debug, Clone)]
@@ -579,11 +583,40 @@ impl ClusterConfigBuilder {
         self
     }
 
-    /// The update method by registry name, resolved against
-    /// [`crate::methods::MethodRegistry::global`] at [`Self::build`] time — the hook for
-    /// out-of-tree methods.
+    /// The update method as a *spec string* — a registry name with
+    /// optional cache/staging decorators ([`crate::methods::spec`]) —
+    /// parsed and resolved against
+    /// [`crate::methods::MethodRegistry::global`] at [`Self::build`] time:
+    /// the hook for out-of-tree methods and decorated configurations alike.
+    ///
+    /// ```
+    /// use ecfs::ClusterConfig;
+    /// use rscode::CodeParams;
+    ///
+    /// let cfg = ClusterConfig::builder()
+    ///     .code(CodeParams::new(6, 3).unwrap())
+    ///     .method_name("stage(8MiB,2ms)+lru(64MiB)+PLR")
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(cfg.method.name(), "stage(8MiB,2ms)+lru(64MiB)+PLR");
+    /// ```
     pub fn method_name(mut self, name: impl Into<String>) -> Self {
         self.method = Some(MethodChoice::Name(name.into()));
+        self
+    }
+
+    /// Arms a node-local read cache ([`crate::cache`]) in front of the
+    /// configured method; validated and wrapped at [`Self::build`] time.
+    pub fn cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Arms a per-node write-coalescing staging buffer ([`crate::cache`])
+    /// in front of the configured method; validated and wrapped at
+    /// [`Self::build`] time.
+    pub fn staging(mut self, staging: StagingConfig) -> Self {
+        self.staging = Some(staging);
         self
     }
 
@@ -593,12 +626,13 @@ impl ClusterConfigBuilder {
         let method = match self.method {
             Some(MethodChoice::Driver(driver)) => driver,
             Some(MethodChoice::Name(name)) => {
-                crate::methods::resolve_method(&name).ok_or_else(|| {
-                    ConfigError(format!("unknown update method {name:?} (not registered)"))
-                })?
+                let spec = MethodSpec::parse(&name).map_err(|e| ConfigError(e.to_string()))?;
+                crate::methods::build_method(&spec).map_err(|e| ConfigError(e.to_string()))?
             }
             None => return Err("an update method is required".into()),
         };
+        let method = Cached::wrap(method, self.cache, self.staging)
+            .map_err(|e| ConfigError(e.to_string()))?;
         let defaults = ClusterConfig::ssd_testbed(code, Arc::clone(&method));
         let cfg = ClusterConfig {
             nodes: self.nodes.unwrap_or(defaults.nodes),
@@ -723,6 +757,47 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(err.to_string().contains("warp-drive"));
+    }
+
+    #[test]
+    fn builder_arms_cache_and_staging() {
+        use crate::cache::{CacheConfig, CachePolicy, StagingConfig};
+        let cfg = ClusterConfig::builder()
+            .code(CodeParams::new(4, 2).unwrap())
+            .method(MethodKind::Fo)
+            .cache(CacheConfig::new(CachePolicy::Lru, 64 << 20))
+            .staging(StagingConfig::new(8 << 20, 2_000_000))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.method.name(), "stage(8MiB,2ms)+lru(64MiB)+FO");
+
+        // Invalid layer sizes surface as ConfigError, not a panic.
+        let err = ClusterConfig::builder()
+            .code(CodeParams::new(4, 2).unwrap())
+            .method(MethodKind::Fo)
+            .cache(CacheConfig::new(CachePolicy::Lru, 16))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("cache size"));
+    }
+
+    #[test]
+    fn builder_parses_decorated_method_names() {
+        let cfg = ClusterConfig::builder()
+            .code(CodeParams::new(4, 2).unwrap())
+            .method_name("lru(1MiB)+tsue")
+            .build()
+            .unwrap();
+        assert_eq!(cfg.method.name(), "lru(1MiB)+TSUE");
+        // A decorated name plus builder-armed layers would double-wrap:
+        // rejected with the reason.
+        let err = ClusterConfig::builder()
+            .code(CodeParams::new(4, 2).unwrap())
+            .method_name("lru(1MiB)+tsue")
+            .staging(crate::cache::StagingConfig::new(8 << 20, 1_000_000))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("already wrapped"));
     }
 
     #[test]

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cluster;
 pub mod config;
 pub mod fault;
@@ -38,6 +39,7 @@ pub mod replay;
 pub mod shard;
 pub mod telemetry;
 
+pub use cache::{CacheConfig, CachePolicy, Cached, PageCache, StagingConfig};
 pub use cluster::Cluster;
 pub use config::{
     ClusterConfig, ClusterConfigBuilder, ConfigError, DiskKind, MethodKind, TsueFeatures,
@@ -45,9 +47,14 @@ pub use config::{
 pub use fault::{FaultEvent, FaultPlan, FaultScope};
 pub use fleet::{DiskFleet, DiskProfile};
 pub use maintenance::{MaintenancePlan, MaintenancePolicy};
-pub use methods::{MethodRegistry, NodeLogState, UpdateCtx, UpdateMethod};
+pub use methods::{
+    Decorator, MethodRegistry, MethodSpec, NodeLogState, ResolveError, UpdateCtx, UpdateMethod,
+};
 pub use placement::{PlacementKind, PlacementPolicy, RackMap};
-pub use replay::{run_trace, run_traced, ReplayConfig, ReplayConfigBuilder, RunResult, Workload};
+pub use replay::{
+    run_trace, run_traced, Replay, ReplayConfig, ReplayConfigBuilder, RunOutcome, RunResult,
+    Workload,
+};
 pub use shard::{replay_threads, run_sharded, ReplayMsg, ReplayOutbox};
 pub use telemetry::{OpClass, Stage, StageRow, Trace, TraceConfig};
 
@@ -62,6 +69,7 @@ pub use telemetry::{OpClass, Stage, StageRow, Trace, TraceConfig};
 /// assert!(rcfg.validate().is_ok());
 /// ```
 pub mod prelude {
+    pub use crate::cache::{CacheConfig, CachePolicy, Cached, PageCache, StagingConfig};
     pub use crate::cluster::{Cluster, IntervalSet, Metrics, Oracle, Osd};
     pub use crate::config::{
         ClusterConfig, ClusterConfigBuilder, ConfigError, DiskKind, MethodKind, TsueFeatures,
@@ -74,8 +82,8 @@ pub mod prelude {
         RebalanceConfig, ScrubConfig,
     };
     pub use crate::methods::{
-        register_method, resolve_method, MethodRegistry, NodeLogState, PlainState, RegistryError,
-        UpdateCtx, UpdateMethod,
+        build_method, register_method, resolve_method, Decorator, MethodRegistry, MethodSpec,
+        NodeLogState, PlainState, RegistryError, ResolveError, UpdateCtx, UpdateMethod,
     };
     pub use crate::placement::{
         CapacityWeighted, Copyset, FlatRotate, PlacementKind, PlacementPolicy, RackAware,
@@ -85,8 +93,8 @@ pub mod prelude {
         inject_fault, recover_node, recover_rack, recover_scope, RecoveryError, RecoveryResult,
     };
     pub use crate::replay::{
-        run_trace, run_traced, run_update_phase, ReplayConfig, ReplayConfigBuilder,
-        ResidencySummary, RunResult, Workload, SATURATION_GOODPUT_RATIO,
+        run_trace, run_traced, run_update_phase, Replay, ReplayConfig, ReplayConfigBuilder,
+        ResidencySummary, RunOutcome, RunResult, Workload, SATURATION_GOODPUT_RATIO,
     };
     pub use crate::shard::{replay_threads, run_sharded, ReplayMsg, ReplayOutbox};
     pub use crate::telemetry::{

@@ -29,6 +29,7 @@ pub mod parix;
 pub mod pl;
 pub mod plr;
 pub mod registry;
+pub mod spec;
 pub mod tsue_drv;
 
 use std::any::Any;
@@ -42,7 +43,8 @@ use crate::config::ClusterConfig;
 use crate::layout::{BlockAddr, BlockSlice};
 use crate::telemetry::{OpClass, Stage};
 
-pub use registry::{register_method, resolve_method, MethodRegistry, RegistryError};
+pub use registry::{build_method, register_method, resolve_method, MethodRegistry, RegistryError};
+pub use spec::{Decorator, MethodSpec, ResolveError};
 
 /// Per-node, method-specific log state, held as a trait object on every
 /// [`crate::cluster::Osd`]. Drivers downcast to their concrete state via
@@ -65,17 +67,42 @@ pub trait NodeLogState: Any + Send {
         let _ = (addr, offset, len);
         false
     }
+
+    /// The wrapped state, for decorator states holding another method's
+    /// state inside ([`crate::cache::CacheNodeState`]). `None` for every
+    /// plain driver state. [`dyn NodeLogState::downcast_ref`] /
+    /// [`dyn NodeLogState::downcast_mut`] recurse through this, so a
+    /// driver's downcasts keep working unchanged under any decorator stack.
+    fn inner(&self) -> Option<&dyn NodeLogState> {
+        None
+    }
+
+    /// Mutable access to the wrapped state (see [`Self::inner`]).
+    fn inner_mut(&mut self) -> Option<&mut dyn NodeLogState> {
+        None
+    }
 }
 
 impl dyn NodeLogState {
-    /// Downcasts to a concrete state type.
+    /// Downcasts to a concrete state type, looking through decorator
+    /// states ([`NodeLogState::inner`]) until a match is found.
     pub fn downcast_ref<T: NodeLogState>(&self) -> Option<&T> {
-        (self as &dyn Any).downcast_ref::<T>()
+        if let Some(t) = (self as &dyn Any).downcast_ref::<T>() {
+            return Some(t);
+        }
+        self.inner().and_then(|s| s.downcast_ref::<T>())
     }
 
-    /// Downcasts to a concrete state type, mutably.
+    /// Downcasts to a concrete state type, mutably, looking through
+    /// decorator states ([`NodeLogState::inner_mut`]).
     pub fn downcast_mut<T: NodeLogState>(&mut self) -> Option<&mut T> {
-        (self as &mut dyn Any).downcast_mut::<T>()
+        // Two-phase: probing `self` first borrows it mutably for the whole
+        // match in NLL terms, so check the type with an immutable probe
+        // before committing to either branch.
+        if (self as &dyn Any).is::<T>() {
+            return (self as &mut dyn Any).downcast_mut::<T>();
+        }
+        self.inner_mut().and_then(|s| s.downcast_mut::<T>())
     }
 }
 
@@ -105,6 +132,14 @@ pub struct UpdateCtx {
     /// slice of a multi-slice op drives; background remainder slices
     /// complete without touching the closed loop.
     pub drive: bool,
+    /// Whether this op is cluster-internal background work rather than a
+    /// client op — e.g. a staged write-buffer flush replaying a coalesced
+    /// delta through the wrapped method ([`crate::cache`]). Background ops
+    /// book I/O and network like any other, but the completion hooks skip
+    /// the client-facing counters, latency histograms, and the closed
+    /// loop, and `trace_op` attributes them as [`Stage::StageFlush`] child
+    /// spans instead of client lifecycle spans.
+    pub background: bool,
 }
 
 impl UpdateCtx {
@@ -116,6 +151,20 @@ impl UpdateCtx {
             issued_at: now,
             start_at: now,
             drive: true,
+            background: false,
+        }
+    }
+
+    /// A background (non-client) op startable at `now` — used by the cache
+    /// layer's staged flushes. Never drives the closed loop.
+    pub fn background(client: u64, slice: BlockSlice, now: SimTime) -> UpdateCtx {
+        UpdateCtx {
+            client,
+            slice,
+            issued_at: now,
+            start_at: now,
+            drive: false,
+            background: true,
         }
     }
 }

@@ -7,21 +7,34 @@
 //! [`MethodRegistry::global`] instance comes pre-seeded with the paper's
 //! seven built-ins (`FO`, `FL`, `PL`, `PLR`, `PARIX`, `CoRD`, `TSUE`).
 //!
+//! Lookups take a full method-spec string ([`crate::methods::spec`]), so
+//! cache/staging decorators compose over any registered driver:
+//!
 //! ```
-//! use ecfs::methods::{MethodRegistry, UpdateMethod};
+//! use ecfs::methods::{build_method, MethodRegistry, ResolveError, UpdateMethod};
+//! use ecfs::MethodSpec;
 //!
 //! let reg = MethodRegistry::with_builtins();
-//! let tsue = reg.resolve("TSUE").unwrap();
+//! let tsue = reg.build(&MethodSpec::parse("TSUE").unwrap()).unwrap();
 //! assert_eq!(tsue.name(), "TSUE");
-//! // Lookups are case-insensitive.
-//! assert!(reg.resolve("cord").is_some());
-//! assert!(reg.resolve("no-such-method").is_none());
+//!
+//! // A decorated spec wraps the base driver in the cache layer.
+//! let cached = build_method(&"lru(64MiB)+cord".parse().unwrap()).unwrap();
+//! assert_eq!(cached.name(), "lru(64MiB)+CoRD");
+//!
+//! // Failures are typed, not `None`.
+//! assert_eq!(
+//!     reg.build(&MethodSpec::base_only("no-such-method")).unwrap_err(),
+//!     ResolveError::UnknownMethod("no-such-method".to_string())
+//! );
 //! ```
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
+use super::spec::{MethodSpec, ResolveError};
 use super::UpdateMethod;
+use crate::cache::Cached;
 use crate::config::MethodKind;
 
 /// Builds one method instance per call. Factories rather than instances so
@@ -108,12 +121,31 @@ impl MethodRegistry {
 
     /// Builds the method registered under `name` (ASCII-case-insensitive).
     ///
+    /// **Deprecation path:** this is the legacy stringly lookup — it takes
+    /// a bare registered name (no decorators) and collapses every failure
+    /// to `None`. New code should parse a full spec with
+    /// [`MethodSpec::parse`] and call [`MethodRegistry::build`] (or the
+    /// free [`build_method`]), which accept cache/staging decorators and
+    /// return a typed [`ResolveError`]. Kept as a thin shim for existing
+    /// callers.
+    ///
     /// This invokes the factory. On the shared [`MethodRegistry::global`]
     /// instance prefer [`resolve_method`], which releases the registry lock
     /// *before* the factory runs — so factories may themselves consult the
     /// registry (e.g. decorators wrapping a built-in).
     pub fn resolve(&self, name: &str) -> Option<Arc<dyn UpdateMethod>> {
         self.factory(name).map(|factory| factory())
+    }
+
+    /// Builds a driver from a parsed [`MethodSpec`]: resolves the base
+    /// name, then wraps it in the spec's cache/staging decorators
+    /// ([`Cached::apply`]). The typed replacement for
+    /// [`MethodRegistry::resolve`].
+    pub fn build(&self, spec: &MethodSpec) -> Result<Arc<dyn UpdateMethod>, ResolveError> {
+        let base = self
+            .resolve(&spec.base)
+            .ok_or_else(|| ResolveError::UnknownMethod(spec.base.clone()))?;
+        Cached::apply(base, &spec.decorators)
     }
 
     /// The registered factory for `name`, if any (does not invoke it).
@@ -145,13 +177,45 @@ where
 
 /// Resolves a method from the process-wide registry. The registry lock is
 /// released before the factory runs, so factories may re-enter the
-/// registry (e.g. to wrap a built-in driver).
+/// registry (e.g. to wrap a built-in driver):
+///
+/// ```
+/// use ecfs::cache::{CacheConfig, CachePolicy, Cached};
+/// use ecfs::methods::{register_method, resolve_method};
+///
+/// // A decorator factory: wraps the registry's own TSUE in a read cache.
+/// // Resolving it re-enters `global()` — no deadlock, the lock is free.
+/// register_method("tsue-cached-doc", || {
+///     let base = resolve_method("TSUE").unwrap();
+///     Cached::wrap(
+///         base,
+///         Some(CacheConfig::new(CachePolicy::Lru, 16 << 20)),
+///         None,
+///     )
+///     .unwrap()
+/// })
+/// .unwrap();
+/// assert_eq!(resolve_method("tsue-cached-doc").unwrap().name(), "lru(16MiB)+TSUE");
+/// ```
+///
+/// **Deprecation path:** bare-name lookup only — prefer [`build_method`]
+/// with a parsed [`MethodSpec`] for decorator support and typed errors.
 pub fn resolve_method(name: &str) -> Option<Arc<dyn UpdateMethod>> {
     let factory = MethodRegistry::global()
         .lock()
         .expect("method registry lock")
         .factory(name);
     factory.map(|factory| factory())
+}
+
+/// Builds a driver from a parsed [`MethodSpec`] against the process-wide
+/// registry. Like [`resolve_method`], the registry lock is released before
+/// the base factory runs, so decorator factories may re-enter the
+/// registry.
+pub fn build_method(spec: &MethodSpec) -> Result<Arc<dyn UpdateMethod>, ResolveError> {
+    let base =
+        resolve_method(&spec.base).ok_or_else(|| ResolveError::UnknownMethod(spec.base.clone()))?;
+    Cached::apply(base, &spec.decorators)
 }
 
 #[cfg(test)]
@@ -196,6 +260,36 @@ mod tests {
     #[test]
     fn global_has_builtins() {
         assert!(resolve_method("PLR").is_some());
+    }
+
+    #[test]
+    fn build_composes_decorators_over_any_base() {
+        let reg = MethodRegistry::with_builtins();
+        for name in ["FO", "FL", "PL", "PLR", "PARIX", "CoRD", "TSUE"] {
+            let spec = MethodSpec::parse(&format!("stage(8MiB,2ms)+lru(64MiB)+{name}")).unwrap();
+            let m = reg.build(&spec).unwrap();
+            assert_eq!(m.name(), format!("stage(8MiB,2ms)+lru(64MiB)+{name}"));
+            // The built name round-trips through the grammar.
+            assert_eq!(MethodSpec::parse(m.name()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn build_returns_typed_errors() {
+        let reg = MethodRegistry::with_builtins();
+        assert_eq!(
+            reg.build(&MethodSpec::base_only("warp-drive")).unwrap_err(),
+            ResolveError::UnknownMethod("warp-drive".to_string())
+        );
+        let err = MethodSpec::parse("arc(64MiB)+FO").unwrap_err();
+        assert!(matches!(err, ResolveError::BadDecorator { .. }));
+    }
+
+    #[test]
+    fn build_method_matches_registry_build() {
+        let spec = MethodSpec::parse("plru(32MiB)+PL").unwrap();
+        let m = build_method(&spec).unwrap();
+        assert_eq!(m.name(), "plru(32MiB)+PL");
     }
 
     #[test]

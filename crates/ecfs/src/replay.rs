@@ -401,6 +401,22 @@ pub struct RunResult {
     pub stalls: u64,
     /// Reads served from log caches.
     pub cache_read_hits: u64,
+    /// Reads checked against a node-local cache decorator
+    /// ([`crate::cache`]); 0 unless a cache/staging layer is armed.
+    pub cache_lookups: u64,
+    /// Reads served from the node-local cache decorator (no disk, no
+    /// delegation to the wrapped method).
+    pub cache_hits: u64,
+    /// [`Self::cache_hits`] over [`Self::cache_lookups`] (0.0 when no
+    /// lookups happened).
+    pub cache_hit_ratio: f64,
+    /// Update bytes absorbed into write-staging buffers.
+    pub staged_bytes: u64,
+    /// Staged bytes that overlapped already-staged ranges — downstream
+    /// work the coalescing buffer absorbed outright.
+    pub coalesced_bytes: u64,
+    /// Staged-buffer flush events (size, age, or drain triggered).
+    pub stage_flushes: u64,
     /// Seconds spent draining logs after the run.
     pub drain_s: f64,
     /// Consistency-oracle violations (must be 0).
@@ -823,15 +839,70 @@ pub fn run_update_phase(rcfg: &ReplayConfig) -> (Sim<Cluster>, Cluster) {
 
 /// Runs one full replay: build cluster, generate per-client traces, replay
 /// closed-loop, drain logs, verify the oracle, and harvest metrics.
+///
+/// **Deprecation path:** thin shim over [`Replay::run`] — the unified
+/// entry point returning a [`RunOutcome`] (result *and* optional trace).
+/// Kept for the many call sites that only want the result.
 pub fn run_trace(rcfg: &ReplayConfig) -> RunResult {
-    run_traced(rcfg).0
+    Replay::run(rcfg).result
 }
 
 /// [`run_trace`], plus the retained trace when [`ReplayConfig::trace`] is
 /// enabled. The `RunResult` is identical to what `run_trace` returns for
 /// the same config — tracing changes what is *recorded*, never what is
 /// *simulated*.
+///
+/// **Deprecation path:** thin shim over [`Replay::run`]; prefer the named
+/// [`RunOutcome`] fields over this positional tuple.
 pub fn run_traced(rcfg: &ReplayConfig) -> (RunResult, Option<Trace>) {
+    let RunOutcome { result, trace } = Replay::run(rcfg);
+    (result, trace)
+}
+
+/// Everything one replay produces: the harvested metrics and, when
+/// [`ReplayConfig::trace`] was armed with retention, the trace itself.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The harvested metrics (identical whether or not tracing was armed).
+    pub result: RunResult,
+    /// The retained trace; `None` unless tracing was enabled.
+    pub trace: Option<Trace>,
+}
+
+/// The unified replay entry point: [`Replay::run`] subsumes the historical
+/// `run_trace`/`run_traced` split behind one call returning [`RunOutcome`].
+#[derive(Debug, Clone, Copy)]
+pub struct Replay;
+
+impl Replay {
+    /// Runs one full replay — build the cluster, offer the workload,
+    /// drain logs, verify the consistency oracle, harvest metrics and the
+    /// optional trace.
+    ///
+    /// ```
+    /// use ecfs::prelude::*;
+    ///
+    /// let cluster = ClusterConfig::builder()
+    ///     .code(CodeParams::new(4, 2).unwrap())
+    ///     .method(MethodKind::Fo)
+    ///     .nodes(6)
+    ///     .clients(2)
+    ///     .build()
+    ///     .unwrap();
+    /// let rcfg = ReplayConfig::builder(cluster, TraceFamily::AliCloud)
+    ///     .ops_per_client(40)
+    ///     .build()
+    ///     .unwrap();
+    /// let out = Replay::run(&rcfg);
+    /// assert_eq!(out.result.oracle_violations, 0);
+    /// assert!(out.trace.is_none()); // tracing was not armed
+    /// ```
+    pub fn run(rcfg: &ReplayConfig) -> RunOutcome {
+        run_replay(rcfg)
+    }
+}
+
+fn run_replay(rcfg: &ReplayConfig) -> RunOutcome {
     let wall_start = std::time::Instant::now();
     let (mut sim, mut cl) = run_update_phase(rcfg);
     let run_end = cl.metrics.last_completion;
@@ -1033,6 +1104,16 @@ pub fn run_traced(rcfg: &ReplayConfig) -> (RunResult, Option<Trace>) {
         parity_residency: ResidencySummary::from_layer(&m.parity_residency),
         stalls: m.stall_waits,
         cache_read_hits: m.cache_read_hits,
+        cache_lookups: m.cache_lookups,
+        cache_hits: m.cache_hits,
+        cache_hit_ratio: if m.cache_lookups > 0 {
+            m.cache_hits as f64 / m.cache_lookups as f64
+        } else {
+            0.0
+        },
+        staged_bytes: m.staged_bytes,
+        coalesced_bytes: m.coalesced_bytes,
+        stage_flushes: m.stage_flushes,
         drain_s,
         oracle_violations: violations.len(),
         degraded_reads: m.degraded_reads,
@@ -1080,7 +1161,7 @@ pub fn run_traced(rcfg: &ReplayConfig) -> (RunResult, Option<Trace>) {
         events_per_sec,
         setup_ms: cl.metrics.setup_ms,
     };
-    (result, trace)
+    RunOutcome { result, trace }
 }
 
 fn log_memory(cl: &Cluster) -> u64 {

@@ -73,10 +73,15 @@ pub enum Stage {
     Repair = 9,
     /// Background: maintenance window (scrub, rebalance, demote, defrag).
     Maintenance = 10,
+    /// Served from the node-local cache layer (read hit: no disk touched).
+    CacheHit = 11,
+    /// Background: a staged write-buffer flush replaying coalesced deltas
+    /// through the wrapped method ([`crate::cache`]).
+    StageFlush = 12,
 }
 
 /// Every stage, in id order (export tables iterate this).
-pub const STAGES: [Stage; 11] = [
+pub const STAGES: [Stage; 13] = [
     Stage::QueueWait,
     Stage::NetSend,
     Stage::DiskIo,
@@ -88,6 +93,8 @@ pub const STAGES: [Stage; 11] = [
     Stage::Recycle,
     Stage::Repair,
     Stage::Maintenance,
+    Stage::CacheHit,
+    Stage::StageFlush,
 ];
 
 impl Stage {
@@ -115,6 +122,8 @@ impl Stage {
             Stage::Recycle => "recycle",
             Stage::Repair => "repair",
             Stage::Maintenance => "maintenance",
+            Stage::CacheHit => "cache_hit",
+            Stage::StageFlush => "stage_flush",
         }
     }
 }

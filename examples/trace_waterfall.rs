@@ -54,8 +54,8 @@ fn bar(us: f64, scale: f64) -> String {
 
 fn main() {
     println!("Replaying the open_loop burst schedule with tracing armed...\n");
-    let fo = run_traced(&replay(MethodKind::Fo)).0;
-    let tsue = run_traced(&replay(MethodKind::Tsue)).0;
+    let fo = Replay::run(&replay(MethodKind::Fo)).result;
+    let tsue = Replay::run(&replay(MethodKind::Tsue)).result;
     assert_eq!(fo.trace_dropped_spans, 0);
     assert_eq!(tsue.trace_dropped_spans, 0);
 

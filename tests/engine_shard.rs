@@ -63,6 +63,12 @@ fn canon(r: &RunResult) -> String {
         parity_residency,
         stalls,
         cache_read_hits,
+        cache_lookups,
+        cache_hits,
+        cache_hit_ratio,
+        staged_bytes,
+        coalesced_bytes,
+        stage_flushes,
         drain_s,
         oracle_violations,
         degraded_reads,
@@ -118,7 +124,9 @@ fn canon(r: &RunResult) -> String {
          disk={disk:?} net=({net_gib:?},{net_cross_rack_gib:?},{net_msgs}) erases={erases} \
          series={series:?} logmem={log_memory_bytes} \
          res=({data_residency:?},{delta_residency:?},{parity_residency:?}) \
-         stalls={stalls} cache={cache_read_hits} drain={drain_s:?} viol={oracle_violations} \
+         stalls={stalls} cache={cache_read_hits} \
+         nodecache=({cache_lookups},{cache_hits},{cache_hit_ratio:?},{staged_bytes},\
+         {coalesced_bytes},{stage_flushes}) drain={drain_s:?} viol={oracle_violations} \
          degr=({degraded_reads},{degraded_bytes_decoded},{failed_ops}) \
          repair=({inline_rebuilds},{repaired_blocks},{repaired_bytes},{data_loss_blocks},{net_repair_gib:?}) \
          mttr={mttr_s:?} p99s=({degraded_p99_us:?},{steady_p99_us:?},{read_p99_us:?},\
@@ -196,6 +204,24 @@ fn sharded_equals_serial_open_loop() {
     rcfg.workload = Workload::Open(OpenLoopSpec::poisson(64_000.0).with_window(4));
     rcfg.faults = FaultPlan::new().fail_node(5 * simdes::units::MILLIS, 2);
     assert_sharded_matches_serial(rcfg, 4);
+}
+
+/// A cache + staging decorator over TSUE: the new node-local layers
+/// (BTreeMap staging buffers, deterministic page caches, age-timer
+/// flushes) must survive sharding byte for byte like everything else.
+#[test]
+fn sharded_equals_serial_with_cache_and_staging() {
+    let code = CodeParams::new(6, 3).unwrap();
+    let cluster = ClusterConfig::builder()
+        .code(code)
+        .method_name("stage(64KiB,2ms)+lru(1MiB)+TSUE")
+        .clients(3)
+        .build()
+        .unwrap();
+    let mut rcfg = ReplayConfig::new(cluster, TraceFamily::AliCloud);
+    rcfg.ops_per_client = 100;
+    rcfg.volume_bytes = 32 << 20;
+    assert_sharded_matches_serial(rcfg, 2);
 }
 
 /// `shards = 1` is the serial loop itself — the degenerate case is free.

@@ -210,6 +210,12 @@ fn sparse_runtime_matches_dense_golden_exhaustively() {
         maint_idle_p99_us,
         stage_breakdown,
         trace_dropped_spans,
+        cache_lookups,
+        cache_hits,
+        cache_hit_ratio,
+        staged_bytes,
+        coalesced_bytes,
+        stage_flushes,
         sim_events,
         wall_ms: _,
         events_per_sec: _,
@@ -272,6 +278,10 @@ fn sparse_runtime_matches_dense_golden_exhaustively() {
     // Tracing is off by default: no rollup rows, no drops.
     assert!(stage_breakdown.is_empty());
     assert_eq!(trace_dropped_spans, 0);
+    // No cache/staging decorator armed: the ledger stays zero.
+    assert_eq!((cache_lookups, cache_hits), (0, 0));
+    assert_eq!(cache_hit_ratio, 0.0);
+    assert_eq!((staged_bytes, coalesced_bytes, stage_flushes), (0, 0, 0));
     assert!(sim_events > 0);
 }
 

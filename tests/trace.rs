@@ -64,8 +64,11 @@ fn tracing_changes_no_legacy_field() {
     on.trace = TraceConfig::on();
     on.validate().expect("traced config validates");
 
-    let r_off = run_trace(&off);
-    let (r_on, trace) = run_traced(&on);
+    let r_off = Replay::run(&off).result;
+    let RunOutcome {
+        result: r_on,
+        trace,
+    } = Replay::run(&on);
 
     assert_eq!(
         legacy_canon(&r_off),
@@ -88,10 +91,12 @@ fn sharded_trace_is_bit_identical_to_serial() {
 
     rcfg.shards = 1;
     rcfg.validate().expect("serial config validates");
-    let (serial_result, serial_trace) = run_traced(&rcfg);
+    let serial = Replay::run(&rcfg);
     rcfg.shards = 4;
     rcfg.validate().expect("sharded config validates");
-    let (sharded_result, sharded_trace) = run_traced(&rcfg);
+    let sharded = Replay::run(&rcfg);
+    let (serial_result, serial_trace) = (serial.result, serial.trace);
+    let (sharded_result, sharded_trace) = (sharded.result, sharded.trace);
 
     let serial_trace = serial_trace.expect("serial trace");
     let sharded_trace = sharded_trace.expect("sharded trace");
@@ -115,7 +120,7 @@ fn stage_spans_partition_client_latency_for_every_method() {
     for method in MethodKind::ALL {
         let mut rcfg = replay(method, 3, 100);
         rcfg.trace = TraceConfig::on();
-        let (result, trace) = run_traced(&rcfg);
+        let RunOutcome { result, trace } = Replay::run(&rcfg);
         let trace = trace.expect("trace");
         assert_eq!(result.trace_dropped_spans, 0, "{method:?}: dropped spans");
         assert!(
@@ -140,8 +145,7 @@ fn stage_spans_partition_client_latency_for_every_method() {
 fn binary_log_round_trips_and_chrome_export_parses() {
     let mut rcfg = replay(MethodKind::Fo, 2, 60);
     rcfg.trace = TraceConfig::on();
-    let (_, trace) = run_traced(&rcfg);
-    let trace = trace.expect("trace");
+    let trace = Replay::run(&rcfg).trace.expect("trace");
 
     let bytes = binary::to_bytes(&trace);
     let back = binary::from_bytes(&bytes).expect("binary trace parses");
@@ -207,10 +211,12 @@ fn sampling_and_filters_are_validated_and_bound_retention() {
     // Sampling bounds retention but never the rollup.
     let mut all = replay(MethodKind::Fo, 2, 60);
     all.trace = TraceConfig::on();
-    let (r_all, t_all) = run_traced(&all);
+    let out_all = Replay::run(&all);
+    let (r_all, t_all) = (out_all.result, out_all.trace);
     let mut sampled = replay(MethodKind::Fo, 2, 60);
     sampled.trace = TraceConfig::on().with_sampling(10);
-    let (r_sampled, t_sampled) = run_traced(&sampled);
+    let out_sampled = Replay::run(&sampled);
+    let (r_sampled, t_sampled) = (out_sampled.result, out_sampled.trace);
     assert_eq!(r_all.stage_breakdown, r_sampled.stage_breakdown);
     let (t_all, t_sampled) = (t_all.unwrap(), t_sampled.unwrap());
     assert!(t_sampled.ops.len() < t_all.ops.len());
@@ -219,7 +225,8 @@ fn sampling_and_filters_are_validated_and_bound_retention() {
     // A tiny capacity drops honestly instead of silently.
     let mut tiny = replay(MethodKind::Fo, 2, 60);
     tiny.trace = TraceConfig::on().with_capacity(8);
-    let (r_tiny, t_tiny) = run_traced(&tiny);
+    let out_tiny = Replay::run(&tiny);
+    let (r_tiny, t_tiny) = (out_tiny.result, out_tiny.trace);
     assert!(r_tiny.trace_dropped_spans > 0);
     assert_eq!(t_tiny.unwrap().spans.len(), 8);
     assert_eq!(r_tiny.stage_breakdown, r_all.stage_breakdown);
